@@ -1,0 +1,197 @@
+//! BGLS aggregate signatures (Boneh–Gentry–Lynn–Shacham, Eurocrypt 2003) —
+//! the `BGLS` row of Table II.
+//!
+//! Short BLS signatures `σ = sk·H(m) ∈ G1` with public keys in `G2`;
+//! aggregation sums signatures and verifies with `n + 1` pairings
+//! (vs SecCloud's designated batch at a constant 2).
+
+use seccloud_hash::HmacDrbg;
+use seccloud_pairing::{
+    hash_to_g1, multi_pairing, pairing, Fr, G1, G1Affine, G2, G2Affine, Gt,
+};
+
+/// A BLS signing key.
+#[derive(Clone)]
+pub struct BlsKeyPair {
+    sk: Fr,
+    public: BlsPublicKey,
+}
+
+impl std::fmt::Debug for BlsKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlsKeyPair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A BLS verification key `pk = sk·P₂ ∈ G2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlsPublicKey {
+    pk: G2,
+}
+
+/// A (possibly aggregated) BLS signature in `G1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlsSignature(G1);
+
+impl BlsKeyPair {
+    /// Generates a key pair deterministically from a seed.
+    pub fn generate(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg::new(seed);
+        let sk = Fr::random_nonzero(&mut drbg);
+        Self {
+            public: BlsPublicKey {
+                pk: G2::generator().mul_fr(&sk),
+            },
+            sk,
+        }
+    }
+
+    /// The verification key.
+    pub fn public(&self) -> &BlsPublicKey {
+        &self.public
+    }
+
+    /// Signs: `σ = sk·H(m)`.
+    pub fn sign(&self, message: &[u8]) -> BlsSignature {
+        BlsSignature(hash_to_g1(message).mul_fr(&self.sk))
+    }
+}
+
+impl BlsPublicKey {
+    /// Verifies `ê(σ, P₂) = ê(H(m), pk)` — two pairings.
+    pub fn verify(&self, message: &[u8], sig: &BlsSignature) -> bool {
+        let lhs = pairing(&sig.0.to_affine(), &G2Affine::from(G2::generator().to_affine()));
+        let rhs = pairing(&hash_to_g1(message).to_affine(), &self.pk.to_affine());
+        lhs == rhs
+    }
+}
+
+/// Aggregates signatures by summation: `σ_A = Σ σᵢ`.
+pub fn aggregate(sigs: &[BlsSignature]) -> BlsSignature {
+    BlsSignature(
+        sigs.iter()
+            .fold(G1::identity(), |acc, s| acc.add(&s.0)),
+    )
+}
+
+/// Verifies an aggregate over `(pk, message)` pairs with `n + 1` pairings
+/// (one shared final exponentiation via the multi-pairing):
+/// `ê(σ_A, −P₂) · Πᵢ ê(H(mᵢ), pkᵢ) = 1`.
+///
+/// Distinct-message aggregation only — duplicate messages under different
+/// keys are rejected to rule out the classic rogue-key-style forgery, as in
+/// the original BGLS security model.
+pub fn verify_aggregate(
+    pairs: &[(&BlsPublicKey, &[u8])],
+    aggregate_sig: &BlsSignature,
+) -> bool {
+    if pairs.is_empty() {
+        return aggregate_sig.0.is_identity();
+    }
+    // Enforce message distinctness.
+    let mut msgs: Vec<&[u8]> = pairs.iter().map(|(_, m)| *m).collect();
+    msgs.sort_unstable();
+    if msgs.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    let mut terms: Vec<(G1Affine, G2Affine)> = Vec::with_capacity(pairs.len() + 1);
+    terms.push((
+        aggregate_sig.0.neg().to_affine(),
+        G2::generator().to_affine(),
+    ));
+    for (pk, msg) in pairs {
+        terms.push((hash_to_g1(msg).to_affine(), pk.pk.to_affine()));
+    }
+    multi_pairing(&terms) == Gt::one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sign_verify() {
+        let key = BlsKeyPair::generate(b"bls-1");
+        let sig = key.sign(b"message");
+        assert!(key.public().verify(b"message", &sig));
+        assert!(!key.public().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn cross_key_rejection() {
+        let k1 = BlsKeyPair::generate(b"a");
+        let k2 = BlsKeyPair::generate(b"b");
+        let sig = k1.sign(b"m");
+        assert!(!k2.public().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn aggregate_of_distinct_messages_verifies() {
+        let keys: Vec<_> = (0..5)
+            .map(|i| BlsKeyPair::generate(format!("agg-{i}").as_bytes()))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..5u32).map(|i| format!("msg-{i}").into_bytes()).collect();
+        let sigs: Vec<_> = keys
+            .iter()
+            .zip(&msgs)
+            .map(|(k, m)| k.sign(m))
+            .collect();
+        let agg = aggregate(&sigs);
+        let pairs: Vec<(&BlsPublicKey, &[u8])> = keys
+            .iter()
+            .zip(&msgs)
+            .map(|(k, m)| (k.public(), m.as_slice()))
+            .collect();
+        assert!(verify_aggregate(&pairs, &agg));
+    }
+
+    #[test]
+    fn aggregate_detects_any_bad_component() {
+        let keys: Vec<_> = (0..3)
+            .map(|i| BlsKeyPair::generate(format!("bad-{i}").as_bytes()))
+            .collect();
+        let msgs = [b"m0".to_vec(), b"m1".to_vec(), b"m2".to_vec()];
+        let mut sigs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        // Replace one signature with a signature on a different message.
+        sigs[1] = keys[1].sign(b"forged");
+        let agg = aggregate(&sigs);
+        let pairs: Vec<(&BlsPublicKey, &[u8])> = keys
+            .iter()
+            .zip(&msgs)
+            .map(|(k, m)| (k.public(), m.as_slice()))
+            .collect();
+        assert!(!verify_aggregate(&pairs, &agg));
+    }
+
+    #[test]
+    fn duplicate_messages_rejected() {
+        let k1 = BlsKeyPair::generate(b"dup-1");
+        let k2 = BlsKeyPair::generate(b"dup-2");
+        let sigs = [k1.sign(b"same"), k2.sign(b"same")];
+        let agg = aggregate(&sigs);
+        let pairs: Vec<(&BlsPublicKey, &[u8])> =
+            vec![(k1.public(), b"same"), (k2.public(), b"same")];
+        assert!(!verify_aggregate(&pairs, &agg));
+    }
+
+    #[test]
+    fn empty_aggregate_is_identity_only() {
+        assert!(verify_aggregate(&[], &aggregate(&[])));
+        let k = BlsKeyPair::generate(b"nonempty");
+        assert!(!verify_aggregate(&[], &k.sign(b"m")));
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let keys: Vec<_> = (0..4)
+            .map(|i| BlsKeyPair::generate(format!("ord-{i}").as_bytes()))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..4u32).map(|i| format!("m-{i}").into_bytes()).collect();
+        let sigs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        let mut rev = sigs.clone();
+        rev.reverse();
+        assert_eq!(aggregate(&sigs), aggregate(&rev));
+    }
+}

@@ -1,0 +1,188 @@
+//! ECDSA over the BN254 `G1` curve — the `ECDSA` row of Table II.
+//!
+//! One verification costs two scalar multiplications; like RSA it admits no
+//! batch verification, which is what Table II records.
+
+use seccloud_bigint::U256;
+use seccloud_hash::{HmacDrbg, Sha256};
+use seccloud_pairing::{Fr, G1};
+
+/// An ECDSA signing key.
+#[derive(Clone)]
+pub struct EcdsaKeyPair {
+    d: Fr,
+    public: EcdsaPublicKey,
+}
+
+impl std::fmt::Debug for EcdsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcdsaKeyPair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An ECDSA verification key `Q = d·G`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EcdsaPublicKey {
+    q: G1,
+}
+
+/// An ECDSA signature `(r, s)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcdsaSignature {
+    r: Fr,
+    s: Fr,
+}
+
+/// Hashes a message to the scalar `z`.
+fn message_scalar(message: &[u8]) -> Fr {
+    let digest = Sha256::digest(message);
+    let mut wide = [0u8; 64];
+    wide[32..].copy_from_slice(&digest);
+    Fr::from_bytes_wide(&wide)
+}
+
+/// Maps a curve point's affine `x` coordinate into the scalar field
+/// (`r = x mod n` in ECDSA terms).
+fn x_scalar(p: &G1) -> Fr {
+    let x: U256 = p.to_affine().x().to_u256();
+    let mut wide = [0u8; 64];
+    wide[32..].copy_from_slice(&x.to_be_bytes());
+    Fr::from_bytes_wide(&wide)
+}
+
+impl EcdsaKeyPair {
+    /// Generates a key pair deterministically from a seed.
+    pub fn generate(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg::new(seed);
+        let d = Fr::random_nonzero(&mut drbg);
+        Self {
+            public: EcdsaPublicKey {
+                q: G1::generator().mul_fr(&d),
+            },
+            d,
+        }
+    }
+
+    /// The verification key.
+    pub fn public(&self) -> &EcdsaPublicKey {
+        &self.public
+    }
+
+    /// Signs a message with a deterministic (RFC-6979-style) nonce.
+    pub fn sign(&self, message: &[u8]) -> EcdsaSignature {
+        let z = message_scalar(message);
+        let mut nonce_seed = Vec::new();
+        nonce_seed.extend_from_slice(&self.d.to_u256().to_be_bytes());
+        nonce_seed.extend_from_slice(&z.to_u256().to_be_bytes());
+        let mut drbg = HmacDrbg::new(&nonce_seed);
+        loop {
+            let k = Fr::random_nonzero(&mut drbg);
+            let r = x_scalar(&G1::generator().mul_fr(&k));
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = k.inverse().expect("k ≠ 0");
+            let s = k_inv.mul(&z.add(&r.mul(&self.d)));
+            if s.is_zero() {
+                continue;
+            }
+            return EcdsaSignature { r, s };
+        }
+    }
+}
+
+impl EcdsaPublicKey {
+    /// Verifies a signature: `x([z/s]G + [r/s]Q) ≡ r (mod n)`.
+    pub fn verify(&self, message: &[u8], sig: &EcdsaSignature) -> bool {
+        if sig.r.is_zero() || sig.s.is_zero() {
+            return false;
+        }
+        let z = message_scalar(message);
+        let Some(s_inv) = sig.s.inverse() else {
+            return false;
+        };
+        let u1 = z.mul(&s_inv);
+        let u2 = sig.r.mul(&s_inv);
+        let point = G1::double_scalar_mul(
+            &G1::generator(),
+            &u1.to_u256(),
+            &self.q,
+            &u2.to_u256(),
+        );
+        if point.is_identity() {
+            return false;
+        }
+        x_scalar(&point) == sig.r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let key = EcdsaKeyPair::generate(b"ecdsa-1");
+        let sig = key.sign(b"message");
+        assert!(key.public().verify(b"message", &sig));
+        assert!(!key.public().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn cross_key_rejection() {
+        let k1 = EcdsaKeyPair::generate(b"a");
+        let k2 = EcdsaKeyPair::generate(b"b");
+        let sig = k1.sign(b"m");
+        assert!(!k2.public().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn signature_component_tampering_detected() {
+        let key = EcdsaKeyPair::generate(b"tamper");
+        let sig = key.sign(b"m");
+        let bad_r = EcdsaSignature {
+            r: sig.r.add(&Fr::one()),
+            s: sig.s,
+        };
+        let bad_s = EcdsaSignature {
+            r: sig.r,
+            s: sig.s.add(&Fr::one()),
+        };
+        assert!(!key.public().verify(b"m", &bad_r));
+        assert!(!key.public().verify(b"m", &bad_s));
+    }
+
+    #[test]
+    fn zero_components_rejected() {
+        let key = EcdsaKeyPair::generate(b"zeros");
+        let sig = key.sign(b"m");
+        assert!(!key
+            .public()
+            .verify(b"m", &EcdsaSignature { r: Fr::zero(), s: sig.s }));
+        assert!(!key
+            .public()
+            .verify(b"m", &EcdsaSignature { r: sig.r, s: Fr::zero() }));
+    }
+
+    #[test]
+    fn deterministic_nonces_but_message_dependent() {
+        let key = EcdsaKeyPair::generate(b"det");
+        assert_eq!(key.sign(b"m"), key.sign(b"m"));
+        let s1 = key.sign(b"m1");
+        let s2 = key.sign(b"m2");
+        assert_ne!(s1, s2);
+        assert_ne!(s1.r, s2.r, "distinct messages use distinct nonces");
+    }
+
+    #[test]
+    fn many_messages_round_trip() {
+        let key = EcdsaKeyPair::generate(b"bulk");
+        for i in 0..10u32 {
+            let m = i.to_be_bytes();
+            let sig = key.sign(&m);
+            assert!(key.public().verify(&m, &sig));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline signature schemes for the paper's Table II comparison.
+//!
+//! The paper compares its designated batch verification against three
+//! comparators; all are implemented here from scratch on the workspace's
+//! own arithmetic so their costs are *measured*, not quoted:
+//!
+//! | scheme | individual verify | batch verify |
+//! |---|---|---|
+//! | [`rsa`]   | `n · T_RSA`   | n/a |
+//! | [`ecdsa`] | `n · T_ECDSA` | n/a |
+//! | [`bgls`]  | `2n · T_pair` | `(n+1) · T_pair` |
+//! | SecCloud (in `seccloud-ibs`) | `2n · T_pair` | `2 · T_pair` |
+//!
+//! # Examples
+//!
+//! ```
+//! use seccloud_baselines::rsa::RsaKeyPair;
+//!
+//! let key = RsaKeyPair::generate(512, b"doc-seed"); // small key for speed
+//! let sig = key.sign(b"message");
+//! assert!(key.public().verify(b"message", &sig));
+//! assert!(!key.public().verify(b"other", &sig));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgls;
+pub mod ecdsa;
+pub mod rsa;

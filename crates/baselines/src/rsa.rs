@@ -1,0 +1,212 @@
+//! Textbook-hardened RSA signatures (PKCS#1 v1.5-style encoding) built on
+//! the workspace's arbitrary-precision integers.
+//!
+//! Used as the `RSA` row of Table II: verification costs one public-exponent
+//! modular exponentiation per signature and admits no batch verification.
+
+use seccloud_bigint::{is_probable_prime, ApInt};
+use seccloud_hash::{HmacDrbg, Sha256};
+
+/// Fixed public exponent `e = 2¹⁶ + 1`.
+const PUBLIC_EXPONENT: u64 = 65_537;
+
+/// Domain prefix standing in for the DigestInfo ASN.1 header.
+const DIGEST_PREFIX: &[u8] = b"seccloud:sha-256:";
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: ApInt,
+    e: ApInt,
+    modulus_bytes: usize,
+}
+
+/// An RSA key pair.
+#[derive(Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: ApInt,
+}
+
+impl std::fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsaKeyPair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An RSA signature (one modulus-sized integer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaSignature(ApInt);
+
+impl RsaKeyPair {
+    /// Generates a key with a modulus of `2·prime_bits` bits,
+    /// deterministically from `seed` (HMAC-DRBG; reproducible benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prime_bits < 32` — smaller primes make `e | φ(n)` likely
+    /// and the scheme meaningless.
+    pub fn generate(prime_bits: usize, seed: &[u8]) -> Self {
+        assert!(prime_bits >= 32, "prime size too small");
+        let mut drbg = HmacDrbg::new(seed);
+        let e = ApInt::from_u64(PUBLIC_EXPONENT);
+        loop {
+            let p = gen_prime(prime_bits, &mut drbg);
+            let q = gen_prime(prime_bits, &mut drbg);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            let phi = &p.checked_sub(&ApInt::one()).expect("p > 1")
+                * &q.checked_sub(&ApInt::one()).expect("q > 1");
+            let Some(d) = e.modinv(&phi) else {
+                continue; // gcd(e, φ) ≠ 1; rare — resample
+            };
+            let modulus_bytes = n.bits().div_ceil(8);
+            return Self {
+                public: RsaPublicKey {
+                    n,
+                    e,
+                    modulus_bytes,
+                },
+                d,
+            };
+        }
+    }
+
+    /// The public key.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Signs a message: `EM^d mod n` with deterministic v1.5-style padding.
+    pub fn sign(&self, message: &[u8]) -> RsaSignature {
+        let em = encode_message(message, self.public.modulus_bytes);
+        RsaSignature(em.modpow(&self.d, &self.public.n))
+    }
+}
+
+impl RsaPublicKey {
+    /// Verifies `sig^e mod n == EM(message)`.
+    pub fn verify(&self, message: &[u8], sig: &RsaSignature) -> bool {
+        if sig.0 >= self.n {
+            return false;
+        }
+        let em = encode_message(message, self.modulus_bytes);
+        sig.0.modpow(&self.e, &self.n) == em
+    }
+
+    /// The modulus bit length.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bits()
+    }
+}
+
+/// Deterministic EMSA-PKCS1-v1.5-style encoding:
+/// `0x00 ‖ 0x01 ‖ 0xFF… ‖ 0x00 ‖ prefix ‖ SHA256(m)`, interpreted big-endian.
+fn encode_message(message: &[u8], modulus_bytes: usize) -> ApInt {
+    let digest = Sha256::digest(message);
+    let payload_len = DIGEST_PREFIX.len() + digest.len();
+    assert!(
+        modulus_bytes >= payload_len + 11,
+        "modulus too small for the digest encoding"
+    );
+    let mut em = Vec::with_capacity(modulus_bytes);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(modulus_bytes - payload_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(DIGEST_PREFIX);
+    em.extend_from_slice(&digest);
+    ApInt::from_be_bytes(&em)
+}
+
+/// Draws a `bits`-bit probable prime (top two bits and the low bit forced).
+fn gen_prime(bits: usize, drbg: &mut HmacDrbg) -> ApInt {
+    loop {
+        let mut bytes = drbg.next_bytes(bits.div_ceil(8));
+        // Force exact bit length and oddness.
+        let excess = bytes.len() * 8 - bits;
+        bytes[0] &= 0xffu8 >> excess;
+        bytes[0] |= 0xc0u8 >> excess; // top two bits
+        let last = bytes.len() - 1;
+        bytes[last] |= 1;
+        let candidate = ApInt::from_be_bytes(&bytes);
+        let mut entropy = || drbg.next_u64();
+        if is_probable_prime(&candidate, 24, &mut entropy) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let key = RsaKeyPair::generate(256, b"rsa-test-1");
+        assert!(key.public().modulus_bits() >= 511);
+        let sig = key.sign(b"hello cloud");
+        assert!(key.public().verify(b"hello cloud", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_message_and_cross_key() {
+        let k1 = RsaKeyPair::generate(256, b"rsa-a");
+        let k2 = RsaKeyPair::generate(256, b"rsa-b");
+        let sig = k1.sign(b"m");
+        assert!(!k1.public().verify(b"m'", &sig));
+        assert!(!k2.public().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let key = RsaKeyPair::generate(256, b"rsa-tamper");
+        let sig = key.sign(b"m");
+        let bad = RsaSignature(&sig.0 + &ApInt::one());
+        assert!(!key.public().verify(b"m", &bad));
+        // Out-of-range signatures are rejected outright.
+        let huge = RsaSignature(&sig.0 + &key.public().n);
+        assert!(!key.public().verify(b"m", &huge));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let k1 = RsaKeyPair::generate(128, b"same-seed");
+        let k2 = RsaKeyPair::generate(128, b"same-seed");
+        assert_eq!(k1.public(), k2.public());
+        assert_ne!(
+            k1.public(),
+            RsaKeyPair::generate(128, b"other-seed").public()
+        );
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let key = RsaKeyPair::generate(256, b"det");
+        assert_eq!(key.sign(b"m"), key.sign(b"m"));
+        assert_ne!(key.sign(b"m"), key.sign(b"n"));
+    }
+
+    #[test]
+    fn textbook_multiplicative_forgery_is_blocked_by_padding() {
+        // σ(m1)·σ(m2) mod n is a valid textbook-RSA signature of m1·m2 but
+        // must not verify for any padded message.
+        let key = RsaKeyPair::generate(256, b"mult");
+        let s1 = key.sign(b"a");
+        let s2 = key.sign(b"b");
+        let forged = RsaSignature(s1.0.modmul(&s2.0, &key.public().n));
+        for m in [b"a".as_slice(), b"b", b"ab"] {
+            assert!(!key.public().verify(m, &forged));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prime size too small")]
+    fn tiny_keys_rejected() {
+        let _ = RsaKeyPair::generate(16, b"x");
+    }
+}

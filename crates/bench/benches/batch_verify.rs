@@ -1,0 +1,65 @@
+//! Criterion benches behind Fig. 5 / Table II's "ours" rows: batch vs
+//! individual designated verification across batch sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seccloud_ibs::{designate, sign, BatchItem, BatchVerifier, MasterKey};
+
+fn make_items(n: usize) -> (seccloud_ibs::VerifierKey, Vec<BatchItem>) {
+    let sio = MasterKey::from_seed(b"bench-batch");
+    let server = sio.extract_verifier("cs");
+    let items = (0..n)
+        .map(|i| {
+            let user = sio.extract_user(&format!("user-{}", i % 4));
+            let msg = format!("block-{i}").into_bytes();
+            let sig = designate(&sign(&user, &msg, b"n"), server.public());
+            BatchItem {
+                signer: user.public().clone(),
+                message: msg,
+                signature: sig,
+            }
+        })
+        .collect();
+    (server, items)
+}
+
+fn bench_batch_vs_individual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_verify");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &n in &[1usize, 4, 16, 32] {
+        let (server, items) = make_items(n);
+        group.bench_with_input(BenchmarkId::new("individual", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(seccloud_ibs::verify_individually(&items, &server).is_none());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut batch = BatchVerifier::new();
+                for item in &items {
+                    batch.push_item(item);
+                }
+                assert!(batch.verify(&server));
+            })
+        });
+        // Ablation: aggregation (fold) cost alone, without the pairing.
+        group.bench_with_input(BenchmarkId::new("fold_only", n), &n, |b, _| {
+            b.iter(|| {
+                let mut batch = BatchVerifier::new();
+                for item in &items {
+                    batch.push_item(item);
+                }
+                batch.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_individual);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the Merkle commitment layer (paper eq. 6, Fig. 3)
+//! and the multi-proof-vs-independent-paths ablation from DESIGN.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seccloud_merkle::MerkleTree;
+
+fn data(n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("y{i}||p{i}").into_bytes()).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_build");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for &n in &[64usize, 1024, 16_384] {
+        let d = data(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| MerkleTree::from_data(d.iter().map(Vec::as_slice)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prove_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_prove_verify");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 4096;
+    let d = data(n);
+    let tree = MerkleTree::from_data(d.iter().map(Vec::as_slice));
+    let root = tree.root();
+    let proof = tree.prove(n / 2).unwrap();
+
+    group.bench_function("prove_single", |b| b.iter(|| tree.prove(n / 2).unwrap()));
+    group.bench_function("verify_single", |b| {
+        b.iter(|| assert!(proof.verify(&root, &d[n / 2], n / 2)))
+    });
+    group.finish();
+}
+
+fn bench_multiproof_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: one multi-proof for t samples vs t single paths.
+    let mut group = c.benchmark_group("merkle_multiproof");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 4096;
+    let d = data(n);
+    let tree = MerkleTree::from_data(d.iter().map(Vec::as_slice));
+    let root = tree.root();
+
+    for &t in &[8usize, 33] {
+        let indices: Vec<usize> = (0..t).map(|i| i * (n / t)).collect();
+        group.bench_with_input(BenchmarkId::new("multi", t), &t, |b, _| {
+            b.iter(|| tree.prove_multi(&indices).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("singles", t), &t, |b, _| {
+            b.iter(|| {
+                indices
+                    .iter()
+                    .map(|&i| tree.prove(i).unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+        let multi = tree.prove_multi(&indices).unwrap();
+        let claims: Vec<(usize, &[u8])> =
+            indices.iter().map(|&i| (i, d[i].as_slice())).collect();
+        group.bench_with_input(BenchmarkId::new("verify_multi", t), &t, |b, _| {
+            b.iter(|| assert!(multi.verify(&root, &claims)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_prove_verify, bench_multiproof_ablation);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Criterion benches for the end-to-end protocol steps: block signing
+//! (Protocol II), commitment generation (Protocol III) and the sampling
+//! audit (Algorithm 1) at several sampling sizes — including the
+//! batch-vs-individual audit ablation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seccloud_core::computation::{
+    verify_response, verify_response_batched, AuditChallenge, Commitment, CommitmentSession,
+    ComputationRequest, ComputeFunction, RequestItem,
+};
+use seccloud_core::storage::{DataBlock, SignedBlock};
+use seccloud_core::{CloudUser, Sio, VerifierCredential};
+use seccloud_hash::HmacDrbg;
+
+struct World {
+    user: CloudUser,
+    cs: VerifierCredential,
+    da: VerifierCredential,
+    blocks: Vec<DataBlock>,
+    stored: Vec<SignedBlock>,
+    request: ComputationRequest,
+}
+
+fn world(n_items: usize) -> World {
+    let sio = Sio::new(b"protocol-bench");
+    let user = sio.register("alice");
+    let cs = sio.register_verifier("cs");
+    let da = sio.register_verifier("da");
+    let blocks: Vec<DataBlock> = (0..n_items as u64)
+        .map(|i| DataBlock::from_values(i, &[i, i + 1, i + 2]))
+        .collect();
+    let stored = user.sign_blocks(&blocks, &[cs.public(), da.public()]);
+    let request = ComputationRequest::new(
+        (0..n_items as u64)
+            .map(|i| RequestItem {
+                function: ComputeFunction::Sum,
+                positions: vec![i],
+            })
+            .collect(),
+    );
+    World {
+        user,
+        cs,
+        da,
+        blocks,
+        stored,
+        request,
+    }
+}
+
+fn commit(w: &World) -> (Commitment, CommitmentSession) {
+    CommitmentSession::commit(
+        &w.request,
+        |pos| w.stored.get(pos as usize),
+        w.cs.signer(),
+        w.da.public(),
+    )
+    .expect("blocks present")
+}
+
+fn bench_sign_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_sign_blocks");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let w = world(8);
+    group.bench_function("sign_8_blocks_2_designees", |b| {
+        b.iter(|| w.user.sign_blocks(&w.blocks, &[w.cs.public(), w.da.public()]))
+    });
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_commit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[16usize, 64] {
+        let w = world(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| commit(&w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_audit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let w = world(64);
+    let (commitment, session) = commit(&w);
+    for &t in &[1usize, 8, 15] {
+        let mut drbg = HmacDrbg::new(b"challenge");
+        let challenge = AuditChallenge::sample(&mut drbg, w.request.len(), t);
+        let response = session.respond(&challenge).unwrap();
+        group.bench_with_input(BenchmarkId::new("respond", t), &t, |b, _| {
+            b.iter(|| session.respond(&challenge).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verify_individual", t), &t, |b, _| {
+            b.iter(|| {
+                let outcome = verify_response(
+                    w.da.key(),
+                    w.user.public(),
+                    w.cs.signer_public(),
+                    &w.request,
+                    &challenge,
+                    &commitment,
+                    &response,
+                );
+                assert!(outcome.is_valid());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("verify_batched", t), &t, |b, _| {
+            b.iter(|| {
+                assert!(verify_response_batched(
+                    w.da.key(),
+                    w.user.public(),
+                    w.cs.signer_public(),
+                    &w.request,
+                    &challenge,
+                    &commitment,
+                    &response,
+                ));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sign_blocks, bench_commit, bench_audit);
+criterion_main!(benches);

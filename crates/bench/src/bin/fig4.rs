@@ -1,0 +1,57 @@
+//! **Figure 4** — required sample size achieving uncheatable cloud
+//! computing, `ε = 0.0001`.
+//!
+//! Regenerates the paper's surface: the smallest `t` with
+//! `Pr[cheating successful] < ε` over the (SSC, CSC) grid, for `R = 2` and
+//! `R → ∞`. Anchors quoted in the paper: `(0.5, 0.5, R=2) → 33` and
+//! `(0.5, 0.5, R→∞) → 15`.
+//!
+//! ```text
+//! cargo run -p seccloud-bench --release --bin fig4
+//! ```
+
+use seccloud_core::analysis::sampling::{required_sample_size, CheatParams};
+
+const EPSILON: f64 = 1e-4;
+
+fn grid(range: Option<f64>) {
+    let axis: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+    print!("{:>5}", "SSC\\CSC");
+    for csc in &axis {
+        print!("{csc:>6.1}");
+    }
+    println!();
+    for &ssc in &axis {
+        print!("{ssc:>7.1}");
+        for &csc in &axis {
+            let mut p = CheatParams::new(csc, ssc);
+            if let Some(r) = range {
+                p = p.with_range(r);
+            }
+            match required_sample_size(&p, EPSILON) {
+                Some(t) => print!("{t:>6}"),
+                None => print!("{:>6}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("# Figure 4 — required sampling size t for ε = {EPSILON}\n");
+
+    println!("## R = 2 (results guessable with probability 1/2)\n");
+    grid(Some(2.0));
+
+    println!("\n## R → ∞ (results unguessable)\n");
+    grid(None);
+
+    println!("\n## Paper anchors\n");
+    let a1 = required_sample_size(&CheatParams::new(0.5, 0.5).with_range(2.0), EPSILON);
+    let a2 = required_sample_size(&CheatParams::new(0.5, 0.5), EPSILON);
+    println!("CSC = SSC = 0.5, R = 2   → t = {:?}   (paper: 33)", a1);
+    println!("CSC = SSC = 0.5, R → ∞   → t = {:?}   (paper: 15)", a2);
+    assert_eq!(a1, Some(33), "paper anchor must reproduce");
+    assert_eq!(a2, Some(15), "paper anchor must reproduce");
+    println!("\nBoth anchors reproduce exactly.");
+}

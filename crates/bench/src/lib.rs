@@ -1,0 +1,74 @@
+//! Shared measurement helpers for the SecCloud experiment harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (Section VII); the Criterion benches in `benches/`
+//! provide statistically robust timings for the same primitives. See
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
+//! results.
+
+use std::time::Instant;
+
+/// Measures the mean wall-clock milliseconds of `f` over `iters` calls
+/// after `warmup` unmeasured calls.
+///
+/// A deliberately simple estimator for the experiment binaries — the
+/// Criterion benches are the rigorous source of timing numbers; the
+/// binaries only need table-of-magnitude figures to print paper-style rows.
+pub fn measure_ms<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "need at least one measured iteration");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / iters as f64
+}
+
+/// Formats a milliseconds value with adaptive precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0} ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.2} ms")
+    } else {
+        format!("{:.1} µs", ms * 1_000.0)
+    }
+}
+
+/// Formats a Markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let ms = measure_ms(1, 5, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(ms > 0.0);
+        assert!(ms < 1_000.0, "a 1k-iteration loop is not a second");
+    }
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(250.0), "250 ms");
+        assert_eq!(fmt_ms(4.14), "4.14 ms");
+        assert_eq!(fmt_ms(0.5), "500.0 µs");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_iters_panics() {
+        let _ = measure_ms(0, 0, || 1);
+    }
+}

@@ -1,0 +1,710 @@
+//! Arbitrary-precision unsigned integers.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Mul, Sub};
+
+use crate::limb::{adc, mac, sbb};
+use crate::uint::Uint;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs,
+/// normalized so the most significant limb is nonzero).
+///
+/// `ApInt` backs the RSA baseline (keygen, modexp) and the runtime
+/// derivation of pairing constants (final-exponent, cofactors). It favours
+/// clarity over peak speed: multiplication is schoolbook and division is
+/// Knuth Algorithm D — plenty for ≤ 4096-bit operands.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_bigint::ApInt;
+/// let n = ApInt::from_u64(91);
+/// let e = ApInt::from_u64(5);
+/// let m = ApInt::from_u64(42);
+/// let c = m.modpow(&e, &n);        // 42^5 mod 91
+/// assert_eq!(c, ApInt::from_u64(35));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct ApInt {
+    limbs: Vec<u64>, // little-endian, no trailing zero limbs
+}
+
+impl ApInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Creates a value from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut s = Self { limbs: vec![v] };
+        s.normalize();
+        s
+    }
+
+    /// Creates a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut s = Self {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        s.normalize();
+        s
+    }
+
+    /// Creates a value from little-endian limbs (trailing zeros allowed).
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        let mut s = Self {
+            limbs: limbs.to_vec(),
+        };
+        s.normalize();
+        s
+    }
+
+    /// Converts a fixed-width [`Uint`] into an `ApInt`.
+    pub fn from_uint<const N: usize>(v: &Uint<N>) -> Self {
+        Self::from_limbs(v.limbs())
+    }
+
+    /// Converts to a fixed-width [`Uint`], or `None` if it does not fit.
+    pub fn to_uint<const N: usize>(&self) -> Option<Uint<N>> {
+        if self.limbs.len() > N {
+            return None;
+        }
+        let mut limbs = [0u64; N];
+        limbs[..self.limbs.len()].copy_from_slice(&self.limbs);
+        Some(Uint::from_limbs(limbs))
+    }
+
+    /// Parses a big-endian hexadecimal string (`_` separators allowed).
+    ///
+    /// Returns `None` on an empty string or invalid digit.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let digits: Vec<u64> = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| c.to_digit(16).map(u64::from))
+            .collect::<Option<_>>()?;
+        if digits.is_empty() {
+            return None;
+        }
+        let mut limbs = vec![0u64; digits.len().div_ceil(16)];
+        for (i, &d) in digits.iter().rev().enumerate() {
+            limbs[i / 16] |= d << (4 * (i % 16));
+        }
+        let mut v = Self { limbs };
+        v.normalize();
+        Some(v)
+    }
+
+    /// Parses a base-10 string.
+    ///
+    /// Returns `None` on an empty string or invalid digit.
+    pub fn from_dec(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let ten = ApInt::from_u64(10);
+        let mut acc = ApInt::zero();
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10)?;
+            acc = &(&acc * &ten) + &ApInt::from_u64(d as u64);
+        }
+        Some(acc)
+    }
+
+    /// Formats as a base-10 string.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let ten = ApInt::from_u64(10);
+        let mut v = self.clone();
+        let mut digits = Vec::new();
+        while !v.is_zero() {
+            let (q, r) = v.divrem(&ten).expect("ten is nonzero");
+            digits.push(char::from(b'0' + r.low_u64() as u8));
+            v = q;
+        }
+        digits.iter().rev().collect()
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&l| l & 1 == 1)
+    }
+
+    /// Returns `true` if the value equals the `u64`.
+    pub fn eq_u64(&self, v: u64) -> bool {
+        match (self.limbs.len(), v) {
+            (0, 0) => true,
+            (1, _) => self.limbs[0] == v,
+            _ => false,
+        }
+    }
+
+    /// The low 64 bits (0 for zero).
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Minimal bit length (`0` for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        limb < self.limbs.len() && (self.limbs[limb] >> off) & 1 == 1
+    }
+
+    /// Returns the little-endian limbs (empty for zero).
+    pub fn to_le_limbs(&self) -> Vec<u64> {
+        self.limbs.clone()
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(8 * self.limbs.len());
+        for i in (0..self.limbs.len()).rev() {
+            out.extend_from_slice(&self.limbs[i].to_be_bytes());
+        }
+        let first = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.split_off(first)
+    }
+
+    /// Deserializes from big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = vec![0u64; bytes.len().div_ceil(8)];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        let mut v = Self { limbs };
+        v.normalize();
+        v
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let mut borrow = 0;
+        for (i, limb) in out.iter_mut().enumerate() {
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (l, b) = sbb(*limb, r, borrow);
+            *limb = l;
+            borrow = b;
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut v = Self { limbs: out };
+        v.normalize();
+        Some(v)
+    }
+
+    /// Shifts left by `k` bits.
+    pub fn shl(&self, k: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let (limb_shift, bit_shift) = (k / 64, k % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        let mut v = Self { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// Shifts right by `k` bits.
+    pub fn shr(&self, k: usize) -> Self {
+        let (limb_shift, bit_shift) = (k / 64, k % 64);
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() - limb_shift];
+        for i in 0..out.len() {
+            let src = i + limb_shift;
+            let mut v = self.limbs[src] >> bit_shift;
+            if bit_shift > 0 && src + 1 < self.limbs.len() {
+                v |= self.limbs[src + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        let mut v = Self { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// Uses Knuth Algorithm D with 64-bit limbs.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `divisor` is zero.
+    pub fn divrem(&self, divisor: &Self) -> Option<(Self, Self)> {
+        if divisor.is_zero() {
+            return None;
+        }
+        if self < divisor {
+            return Some((Self::zero(), self.clone()));
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0];
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem: u64 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = ((rem as u128) << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = (cur % d as u128) as u64;
+            }
+            let mut qv = Self { limbs: q };
+            qv.normalize();
+            return Some((qv, Self::from_u64(rem)));
+        }
+
+        // Knuth Algorithm D. Normalize so the divisor's top limb has its
+        // high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift);
+        let u = self.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 digits
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top two dividend limbs.
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut q_hat = top / vn[n - 1] as u128;
+            let mut r_hat = top % vn[n - 1] as u128;
+            while q_hat >> 64 != 0
+                || q_hat * vn[n - 2] as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += vn[n - 1] as u128;
+                if r_hat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-subtract: un[j..j+n+1] -= q_hat * vn
+            let mut borrow: u64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let (prod_lo, prod_hi) = mac(0, q_hat as u64, vn[i], carry);
+                carry = prod_hi;
+                let (d, b) = sbb(un[j + i], prod_lo, borrow);
+                un[j + i] = d;
+                borrow = b;
+            }
+            let (d, b) = sbb(un[j + n], carry, borrow);
+            un[j + n] = d;
+
+            q[j] = q_hat as u64;
+            if b != 0 {
+                // q_hat was one too large: add the divisor back.
+                q[j] -= 1;
+                let mut c = 0;
+                for i in 0..n {
+                    let (s, c2) = adc(un[j + i], vn[i], c);
+                    un[j + i] = s;
+                    c = c2;
+                }
+                un[j + n] = un[j + n].wrapping_add(c);
+            }
+        }
+
+        let mut quotient = Self { limbs: q };
+        quotient.normalize();
+        let mut rem = Self {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        Some((quotient, rem.shr(shift)))
+    }
+
+    /// `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &Self) -> Self {
+        self.divrem(m).expect("modulus must be nonzero").1
+    }
+
+    /// Modular multiplication `self · rhs mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modmul(&self, rhs: &Self, m: &Self) -> Self {
+        (self * rhs).rem(m)
+    }
+
+    /// Modular exponentiation `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &Self, m: &Self) -> Self {
+        if m.eq_u64(1) {
+            return Self::zero();
+        }
+        let mut base = self.rem(m);
+        let mut acc = Self::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                acc = acc.modmul(&base, m);
+            }
+            if i + 1 < exp.bits() {
+                base = base.modmul(&base, m);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse `self⁻¹ mod m` via the extended Euclidean algorithm.
+    ///
+    /// Returns `None` if `gcd(self, m) ≠ 1` or `m < 2`.
+    pub fn modinv(&self, m: &Self) -> Option<Self> {
+        if m.bits() < 2 {
+            return None;
+        }
+        // Track Bezout coefficient of `self` as (sign, magnitude).
+        let (mut r0, mut r1) = (m.clone(), self.rem(m));
+        let (mut t0, mut t1) = ((false, Self::zero()), (false, Self::one()));
+        while !r1.is_zero() {
+            let (q, r2) = r0.divrem(&r1).expect("r1 nonzero");
+            // t2 = t0 - q*t1 with signs
+            let qt1 = &q * &t1.1;
+            let t2 = signed_sub(t0.clone(), (t1.0, qt1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.eq_u64(1) {
+            return None;
+        }
+        // Normalize t0 into [0, m)
+        let (neg, mag) = t0;
+        let mag = mag.rem(m);
+        if neg && !mag.is_zero() {
+            Some(m.checked_sub(&mag).expect("mag < m"))
+        } else {
+            Some(mag)
+        }
+    }
+}
+
+/// Computes `a - b` on sign-magnitude pairs.
+fn signed_sub(a: (bool, ApInt), b: (bool, ApInt)) -> (bool, ApInt) {
+    match (a.0, b.0) {
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (false, &a.1 + &b.1),
+        (true, false) => (true, &a.1 + &b.1),
+        // same sign: compare magnitudes
+        (sa, _) => {
+            if a.1 >= b.1 {
+                (sa, a.1.checked_sub(&b.1).expect("a >= b"))
+            } else {
+                (!sa, b.1.checked_sub(&a.1).expect("b > a"))
+            }
+        }
+    }
+}
+
+impl Add for &ApInt {
+    type Output = ApInt;
+
+    fn add(self, rhs: &ApInt) -> ApInt {
+        let (longer, shorter) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = longer.limbs.clone();
+        let mut carry = 0;
+        for (i, limb) in out.iter_mut().enumerate() {
+            let r = shorter.limbs.get(i).copied().unwrap_or(0);
+            let (l, c) = adc(*limb, r, carry);
+            *limb = l;
+            carry = c;
+            if carry == 0 && i >= shorter.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut v = ApInt { limbs: out };
+        v.normalize();
+        v
+    }
+}
+
+impl Sub for &ApInt {
+    type Output = ApInt;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`ApInt::checked_sub`] to handle that case.
+    fn sub(self, rhs: &ApInt) -> ApInt {
+        self.checked_sub(rhs)
+            .expect("ApInt subtraction underflowed")
+    }
+}
+
+impl Mul for &ApInt {
+    type Output = ApInt;
+
+    fn mul(self, rhs: &ApInt) -> ApInt {
+        if self.is_zero() || rhs.is_zero() {
+            return ApInt::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let (l, c) = mac(out[i + j], a, b, carry);
+                out[i + j] = l;
+                carry = c;
+            }
+            out[i + rhs.limbs.len()] = carry;
+        }
+        let mut v = ApInt { limbs: out };
+        v.normalize();
+        v
+    }
+}
+
+impl Add<&ApInt> for ApInt {
+    type Output = ApInt;
+    fn add(self, rhs: &ApInt) -> ApInt {
+        &self + rhs
+    }
+}
+
+impl Ord for ApInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for ApInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x{:x}", self.limbs.last().unwrap())?;
+        for i in (0..self.limbs.len() - 1).rev() {
+            write!(f, "{:016x}", self.limbs[i])?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dec())
+    }
+}
+
+impl From<u64> for ApInt {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn apint(max_limbs: usize) -> impl Strategy<Value = ApInt> {
+        prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(|v| ApInt::from_limbs(&v))
+    }
+
+    #[test]
+    fn dec_hex_round_trip() {
+        let p = ApInt::from_dec(
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        )
+        .unwrap();
+        let h = ApInt::from_hex(
+            "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47",
+        )
+        .unwrap();
+        assert_eq!(p, h);
+        assert_eq!(ApInt::from_dec(&p.to_dec()), Some(p));
+    }
+
+    #[test]
+    fn small_arithmetic_sanity() {
+        let a = ApInt::from_u64(1234);
+        let b = ApInt::from_u64(5678);
+        assert_eq!((&a * &b).to_dec(), "7006652");
+        assert_eq!((&a + &b).to_dec(), "6912");
+        assert_eq!((&b - &a).to_dec(), "4444");
+        assert!(a.checked_sub(&b).is_none());
+    }
+
+    #[test]
+    fn divrem_by_zero_is_none() {
+        assert!(ApInt::from_u64(5).divrem(&ApInt::zero()).is_none());
+    }
+
+    #[test]
+    fn modinv_known_values() {
+        // 3 * 4 = 12 ≡ 1 mod 11
+        let inv = ApInt::from_u64(3).modinv(&ApInt::from_u64(11)).unwrap();
+        assert_eq!(inv, ApInt::from_u64(4));
+        // gcd != 1
+        assert!(ApInt::from_u64(6).modinv(&ApInt::from_u64(9)).is_none());
+        assert!(ApInt::from_u64(6).modinv(&ApInt::one()).is_none());
+    }
+
+    #[test]
+    fn modpow_fermat_little_theorem() {
+        let p = ApInt::from_u64(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            let a = ApInt::from_u64(a);
+            let e = ApInt::from_u64(1_000_000_006);
+            assert_eq!(a.modpow(&e, &p), ApInt::one());
+        }
+    }
+
+    #[test]
+    fn to_be_bytes_minimal() {
+        assert!(ApInt::zero().to_be_bytes().is_empty());
+        assert_eq!(ApInt::from_u64(0x01ff).to_be_bytes(), vec![0x01, 0xff]);
+        let v = ApInt::from_hex("deadbeefcafebabe0123").unwrap();
+        assert_eq!(ApInt::from_be_bytes(&v.to_be_bytes()), v);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn division_reconstructs(n in apint(8), d in apint(4)) {
+            prop_assume!(!d.is_zero());
+            let (q, r) = n.divrem(&d).unwrap();
+            prop_assert!(r < d);
+            prop_assert_eq!(&(&q * &d) + &r, n);
+        }
+
+        #[test]
+        fn add_sub_round_trip(a in apint(6), b in apint(6)) {
+            let s = &a + &b;
+            prop_assert_eq!(s.checked_sub(&b).unwrap(), a);
+        }
+
+        #[test]
+        fn mul_commutes_and_assoc(a in apint(3), b in apint(3), c in apint(3)) {
+            prop_assert_eq!(&a * &b, &b * &a);
+            prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        }
+
+        #[test]
+        fn shl_shr_round_trip(a in apint(4), k in 0usize..200) {
+            prop_assert_eq!(a.shl(k).shr(k), a);
+        }
+
+        #[test]
+        fn shl_is_mul_by_power_of_two(a in apint(4), k in 0usize..100) {
+            let pow = ApInt::one().shl(k);
+            prop_assert_eq!(a.shl(k), &a * &pow);
+        }
+
+        #[test]
+        fn modpow_mul_law(a in apint(2), e1 in 0u64..64, e2 in 0u64..64, m in apint(2)) {
+            prop_assume!(m.bits() >= 2);
+            // a^(e1+e2) = a^e1 * a^e2 (mod m)
+            let lhs = a.modpow(&ApInt::from_u64(e1 + e2), &m);
+            let rhs = a.modpow(&ApInt::from_u64(e1), &m)
+                .modmul(&a.modpow(&ApInt::from_u64(e2), &m), &m);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn modinv_is_inverse(a in apint(3), m in apint(3)) {
+            prop_assume!(m.bits() >= 2);
+            if let Some(inv) = a.modinv(&m) {
+                prop_assert_eq!(a.modmul(&inv, &m), ApInt::one());
+                prop_assert!(inv < m);
+            }
+        }
+
+        #[test]
+        fn gcd_divides_both(a in apint(3), b in apint(3)) {
+            prop_assume!(!a.is_zero() && !b.is_zero());
+            let g = a.gcd(&b);
+            prop_assert!(a.rem(&g).is_zero());
+            prop_assert!(b.rem(&g).is_zero());
+        }
+
+        #[test]
+        fn dec_round_trip(a in apint(3)) {
+            prop_assert_eq!(ApInt::from_dec(&a.to_dec()).unwrap(), a);
+        }
+    }
+}

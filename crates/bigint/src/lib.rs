@@ -1,0 +1,42 @@
+//! Fixed-width and arbitrary-precision unsigned integer arithmetic.
+//!
+//! This crate is the arithmetic substrate for the SecCloud reproduction.
+//! Everything above it (prime fields, pairings, RSA) is built on two types:
+//!
+//! * [`Uint<N>`] — a stack-allocated little-endian `N × u64` unsigned
+//!   integer used by the pairing-friendly prime fields (`N = 4` for 256-bit
+//!   BN254 elements). Provides carry-propagating add/sub, widening
+//!   multiplication and the comparison/shift toolkit Montgomery arithmetic
+//!   needs.
+//! * [`ApInt`] — a heap-allocated arbitrary-precision unsigned integer with
+//!   schoolbook multiplication, Knuth Algorithm-D division, modular
+//!   exponentiation and an extended Euclid inverse. Used by the RSA baseline
+//!   and to *derive* curve constants at runtime instead of transcribing them.
+//!
+//! # Examples
+//!
+//! ```
+//! use seccloud_bigint::{ApInt, U256};
+//!
+//! let p = U256::from_hex(
+//!     "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47",
+//! ).unwrap();
+//! assert_eq!(p.bits(), 254);
+//!
+//! let a = ApInt::from_u64(1 << 40);
+//! let b = ApInt::from_u64(10);
+//! let (q, r) = a.divrem(&b).unwrap();
+//! assert_eq!(&q * &b + &r, a);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apint;
+mod limb;
+mod prime;
+mod uint;
+
+pub use apint::ApInt;
+pub use limb::{adc, mac, sbb};
+pub use prime::is_probable_prime;
+pub use uint::{ParseUintError, Uint, U256, U512};

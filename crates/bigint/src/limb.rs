@@ -1,0 +1,88 @@
+//! Single-limb (`u64`) primitives with explicit carry propagation.
+
+/// Adds `a + b + carry`, returning the low 64 bits and the carry out.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_bigint::adc;
+/// assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+/// assert_eq!(adc(1, 2, 1), (4, 0));
+/// ```
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtracts `a - b - borrow`, returning the low 64 bits and the borrow out
+/// (`1` when the subtraction wrapped, `0` otherwise).
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_bigint::sbb;
+/// assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+/// assert_eq!(sbb(5, 2, 1), (2, 0));
+/// ```
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Multiply-accumulate: computes `acc + a * b + carry`, returning the low 64
+/// bits and the high 64 bits (the next carry).
+///
+/// The result never overflows 128 bits because
+/// `u64::MAX² + 2·u64::MAX < 2¹²⁸`.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_bigint::mac;
+/// let (lo, hi) = mac(1, u64::MAX, u64::MAX, 0);
+/// assert_eq!((lo, hi), (2, u64::MAX - 1));
+/// ```
+#[inline(always)]
+pub const fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (acc as u128) + (a as u128) * (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_propagates_carry_chain() {
+        let (lo, c) = adc(u64::MAX, u64::MAX, 1);
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn sbb_borrow_out_is_binary() {
+        let (lo, b) = sbb(0, u64::MAX, 1);
+        assert_eq!(lo, 0);
+        assert_eq!(b, 1);
+        let (_, b) = sbb(10, 3, 0);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn mac_matches_u128_reference() {
+        for &(acc, a, b, c) in &[
+            (0u64, 0u64, 0u64, 0u64),
+            (u64::MAX, u64::MAX, u64::MAX, u64::MAX),
+            (1, 2, 3, 4),
+            (0xdead_beef, 0x1234_5678_9abc_def0, 0xfeed_face, 7),
+        ] {
+            let want = (acc as u128) + (a as u128) * (b as u128) + (c as u128);
+            let (lo, hi) = mac(acc, a, b, c);
+            assert_eq!(((hi as u128) << 64) | lo as u128, want);
+        }
+    }
+}

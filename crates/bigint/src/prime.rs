@@ -1,0 +1,137 @@
+//! Probabilistic primality testing (Miller–Rabin).
+
+use crate::apint::ApInt;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 25] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97,
+];
+
+/// Tests whether `n` is probably prime using trial division followed by
+/// `rounds` iterations of Miller–Rabin.
+///
+/// `entropy` supplies raw 64-bit randomness for witness selection; a cheating
+/// caller can only *increase* the false-positive probability, never produce
+/// a false negative. The error probability is at most `4^-rounds` for random
+/// witnesses.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_bigint::{is_probable_prime, ApInt};
+/// let mut ctr = 0u64;
+/// let mut entropy = move || { ctr = ctr.wrapping_mul(6364136223846793005).wrapping_add(1); ctr };
+/// // 2^61 - 1 is a Mersenne prime.
+/// let m61 = ApInt::from_u64((1u64 << 61) - 1);
+/// assert!(is_probable_prime(&m61, 20, &mut entropy));
+/// assert!(!is_probable_prime(&ApInt::from_u64(561), 20, &mut entropy)); // Carmichael
+/// ```
+pub fn is_probable_prime(
+    n: &ApInt,
+    rounds: usize,
+    entropy: &mut impl FnMut() -> u64,
+) -> bool {
+    if n.bits() <= 6 {
+        let v = n.low_u64();
+        return SMALL_PRIMES.contains(&v);
+    }
+    if !n.is_odd() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        if n.rem(&ApInt::from_u64(p)).is_zero() {
+            return n.eq_u64(p);
+        }
+    }
+
+    // n - 1 = d * 2^s with d odd
+    let n_minus_1 = n.checked_sub(&ApInt::one()).expect("n > 1");
+    let mut s = 0usize;
+    let mut d = n_minus_1.clone();
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    let limbs = n.bits().div_ceil(64);
+    'witness: for _ in 0..rounds {
+        // Sample a in [2, n-2] by rejection.
+        let a = loop {
+            let raw: Vec<u64> = (0..limbs).map(|_| entropy()).collect();
+            let cand = ApInt::from_limbs(&raw).rem(n);
+            if cand.bits() >= 2 && cand < n_minus_1 {
+                break cand;
+            }
+        };
+        let mut x = a.modpow(&d, n);
+        if x.eq_u64(1) || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.modmul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entropy() -> impl FnMut() -> u64 {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    #[test]
+    fn classifies_small_numbers() {
+        let mut e = entropy();
+        let primes = [2u64, 3, 5, 7, 97, 101, 65537, 1_000_000_007];
+        let composites = [0u64, 1, 4, 9, 91, 561, 6601, 1_000_000_008, 65537 * 3];
+        for p in primes {
+            assert!(
+                is_probable_prime(&ApInt::from_u64(p), 30, &mut e),
+                "{p} should be prime"
+            );
+        }
+        for c in composites {
+            assert!(
+                !is_probable_prime(&ApInt::from_u64(c), 30, &mut e),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn recognizes_large_known_prime() {
+        // BN254 base field prime.
+        let p = ApInt::from_dec(
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        )
+        .unwrap();
+        let mut e = entropy();
+        assert!(is_probable_prime(&p, 16, &mut e));
+        // p+2 is divisible by 5 (last digit), hence composite.
+        let p2 = &p + &ApInt::from_u64(2);
+        assert!(!is_probable_prime(&p2, 16, &mut e));
+    }
+
+    #[test]
+    fn strong_pseudoprimes_are_caught() {
+        // Carmichael numbers that fool Fermat but not Miller–Rabin.
+        let mut e = entropy();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_probable_prime(&ApInt::from_u64(c), 30, &mut e));
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Fixed-width little-endian multi-limb unsigned integers.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use crate::limb::{adc, mac, sbb};
+
+/// A fixed-width unsigned integer of `N` little-endian 64-bit limbs.
+///
+/// `Uint` is the value-representation type underneath the prime fields in
+/// `seccloud-pairing`; it deliberately provides only the operations
+/// Montgomery arithmetic and scalar recoding need. For division and
+/// arbitrary-size work use [`crate::ApInt`].
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_bigint::U256;
+/// let a = U256::from_u64(7);
+/// let b = U256::from_u64(9);
+/// let (sum, carry) = a.overflowing_add(&b);
+/// assert_eq!(sum, U256::from_u64(16));
+/// assert!(!carry);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uint<const N: usize> {
+    limbs: [u64; N],
+}
+
+/// 256-bit unsigned integer (4 limbs).
+pub type U256 = Uint<4>;
+/// 512-bit unsigned integer (8 limbs).
+pub type U512 = Uint<8>;
+
+/// Error returned when parsing a [`Uint`] from a hex string fails.
+///
+/// Produced by [`Uint::from_hex`] when the input is empty, contains a
+/// non-hex-digit character, or encodes a value wider than `64·N` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseUintError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a hexadecimal digit.
+    InvalidDigit(char),
+    /// The value does not fit in the target width.
+    Overflow,
+}
+
+impl fmt::Display for ParseUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseUintError::Empty => write!(f, "empty hex string"),
+            ParseUintError::InvalidDigit(c) => write!(f, "invalid hex digit {c:?}"),
+            ParseUintError::Overflow => write!(f, "value does not fit in target width"),
+        }
+    }
+}
+
+impl std::error::Error for ParseUintError {}
+
+impl<const N: usize> Uint<N> {
+    /// The value `0`.
+    pub const ZERO: Self = Self { limbs: [0; N] };
+
+    /// The value `1`.
+    pub const ONE: Self = {
+        let mut limbs = [0; N];
+        limbs[0] = 1;
+        Self { limbs }
+    };
+
+    /// The maximum representable value (all bits set).
+    pub const MAX: Self = Self {
+        limbs: [u64::MAX; N],
+    };
+
+    /// Number of limbs.
+    pub const LIMBS: usize = N;
+
+    /// Creates a value from little-endian limbs.
+    #[inline]
+    pub const fn from_limbs(limbs: [u64; N]) -> Self {
+        Self { limbs }
+    }
+
+    /// Creates a value from a single `u64`.
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0; N];
+        limbs[0] = v;
+        Self { limbs }
+    }
+
+    /// Creates a value from a `u128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N < 2`.
+    #[inline]
+    pub const fn from_u128(v: u128) -> Self {
+        let mut limbs = [0; N];
+        limbs[0] = v as u64;
+        limbs[1] = (v >> 64) as u64;
+        Self { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    #[inline]
+    pub const fn limbs(&self) -> &[u64; N] {
+        &self.limbs
+    }
+
+    /// Returns a mutable view of the little-endian limbs.
+    #[inline]
+    pub fn limbs_mut(&mut self) -> &mut [u64; N] {
+        &mut self.limbs
+    }
+
+    /// Parses a big-endian hexadecimal string (no `0x` prefix, `_`
+    /// separators allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUintError`] if the string is empty, contains an invalid
+    /// digit, or overflows `64·N` bits.
+    pub fn from_hex(s: &str) -> Result<Self, ParseUintError> {
+        let digits: Vec<u8> = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| {
+                c.to_digit(16)
+                    .map(|d| d as u8)
+                    .ok_or(ParseUintError::InvalidDigit(c))
+            })
+            .collect::<Result<_, _>>()?;
+        if digits.is_empty() {
+            return Err(ParseUintError::Empty);
+        }
+        if digits.len() > N * 16 {
+            // Tolerate redundant leading zeros.
+            let extra = digits.len() - N * 16;
+            if digits[..extra].iter().any(|&d| d != 0) {
+                return Err(ParseUintError::Overflow);
+            }
+        }
+        let mut limbs = [0u64; N];
+        for (i, &d) in digits.iter().rev().enumerate() {
+            let limb = i / 16;
+            if limb >= N {
+                continue; // already checked to be zero
+            }
+            limbs[limb] |= (d as u64) << (4 * (i % 16));
+        }
+        Ok(Self { limbs })
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    #[inline]
+    pub const fn is_odd(&self) -> bool {
+        self.limbs[0] & 1 == 1
+    }
+
+    /// Returns bit `i` (little-endian, bit 0 is the least significant).
+    ///
+    /// Bits at or beyond the width are `false`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        limb < N && (self.limbs[limb] >> off) & 1 == 1
+    }
+
+    /// Returns the minimal number of bits needed to represent the value
+    /// (`0` for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..N).rev() {
+            if self.limbs[i] != 0 {
+                return 64 * i + (64 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Wrapping addition returning the sum and whether a carry occurred.
+    #[inline]
+    pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; N];
+        let mut carry = 0;
+        for i in 0..N {
+            let (l, c) = adc(self.limbs[i], rhs.limbs[i], carry);
+            out[i] = l;
+            carry = c;
+        }
+        (Self { limbs: out }, carry != 0)
+    }
+
+    /// Wrapping subtraction returning the difference and whether a borrow
+    /// occurred.
+    #[inline]
+    pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; N];
+        let mut borrow = 0;
+        for i in 0..N {
+            let (l, b) = sbb(self.limbs[i], rhs.limbs[i], borrow);
+            out[i] = l;
+            borrow = b;
+        }
+        (Self { limbs: out }, borrow != 0)
+    }
+
+    /// Addition that wraps on overflow.
+    #[inline]
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Subtraction that wraps on underflow.
+    #[inline]
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    #[inline]
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Full widening multiplication: returns `(lo, hi)` limbs of the
+    /// `2·N`-limb product.
+    pub fn widening_mul(&self, rhs: &Self) -> (Self, Self) {
+        let mut w = [0u64; 64]; // generous upper bound; only 2N used
+        debug_assert!(2 * N <= 64);
+        for i in 0..N {
+            let mut carry = 0;
+            for j in 0..N {
+                let (l, c) = mac(w[i + j], self.limbs[i], rhs.limbs[j], carry);
+                w[i + j] = l;
+                carry = c;
+            }
+            w[i + N] = carry;
+        }
+        let mut lo = [0u64; N];
+        let mut hi = [0u64; N];
+        lo.copy_from_slice(&w[..N]);
+        hi.copy_from_slice(&w[N..2 * N]);
+        (Self { limbs: lo }, Self { limbs: hi })
+    }
+
+    /// Low half of the product (wrapping multiplication).
+    #[inline]
+    pub fn wrapping_mul(&self, rhs: &Self) -> Self {
+        self.widening_mul(rhs).0
+    }
+
+    /// Shifts left by `k` bits, discarding bits shifted out of the width.
+    pub fn shl(&self, k: usize) -> Self {
+        let mut out = [0u64; N];
+        let (limb_shift, bit_shift) = (k / 64, k % 64);
+        for i in (0..N).rev() {
+            if i < limb_shift {
+                continue;
+            }
+            let src = i - limb_shift;
+            let mut v = self.limbs[src] << bit_shift;
+            if bit_shift > 0 && src > 0 {
+                v |= self.limbs[src - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        Self { limbs: out }
+    }
+
+    /// Shifts right by `k` bits.
+    pub fn shr(&self, k: usize) -> Self {
+        let mut out = [0u64; N];
+        let (limb_shift, bit_shift) = (k / 64, k % 64);
+        for i in 0..N {
+            let src = i + limb_shift;
+            if src >= N {
+                break;
+            }
+            let mut v = self.limbs[src] >> bit_shift;
+            if bit_shift > 0 && src + 1 < N {
+                v |= self.limbs[src + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        Self { limbs: out }
+    }
+
+    /// Serializes to big-endian bytes (`8·N` bytes).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * N);
+        for i in (0..N).rev() {
+            out.extend_from_slice(&self.limbs[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from big-endian bytes.
+    ///
+    /// Shorter inputs are zero-extended on the left; longer inputs must have
+    /// only zero bytes beyond `8·N` or `None` is returned.
+    pub fn from_be_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut trimmed = bytes;
+        while trimmed.len() > 8 * N {
+            if trimmed[0] != 0 {
+                return None;
+            }
+            trimmed = &trimmed[1..];
+        }
+        let mut limbs = [0u64; N];
+        for (i, &b) in trimmed.iter().rev().enumerate() {
+            limbs[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        Some(Self { limbs })
+    }
+
+    /// Interprets the low 64 bits.
+    #[inline]
+    pub const fn as_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+}
+
+impl<const N: usize> Default for Uint<N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize> Ord for Uint<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..N).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const N: usize> PartialOrd for Uint<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const N: usize> fmt::Debug for Uint<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for i in (0..N).rev() {
+            write!(f, "{:016x}", self.limbs[i])?;
+        }
+        Ok(())
+    }
+}
+
+impl<const N: usize> fmt::Display for Uint<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const N: usize> fmt::LowerHex for Uint<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..N).rev() {
+            write!(f, "{:016x}", self.limbs[i])?;
+        }
+        Ok(())
+    }
+}
+
+impl<const N: usize> From<u64> for Uint<N> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u256() -> impl Strategy<Value = U256> {
+        prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+    }
+
+    #[test]
+    fn hex_round_trip_and_width() {
+        let p = U256::from_hex(
+            "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47",
+        )
+        .unwrap();
+        assert_eq!(p.bits(), 254);
+        assert_eq!(
+            format!("{p:x}"),
+            "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47"
+        );
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert_eq!(U256::from_hex(""), Err(ParseUintError::Empty));
+        assert_eq!(U256::from_hex("zz"), Err(ParseUintError::InvalidDigit('z')));
+        let wide = "1".repeat(65);
+        assert_eq!(U256::from_hex(&wide), Err(ParseUintError::Overflow));
+        // 65 digits but leading zero is fine
+        let ok = format!("0{}", "1".repeat(64));
+        assert!(U256::from_hex(&ok).is_ok());
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256::from_hex("0123456789abcdef00000000000000000000000000000000ff00ff00ff00ff00")
+            .unwrap();
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), Some(v));
+        // Short input zero-extends
+        assert_eq!(U256::from_be_bytes(&[0x2a]), Some(U256::from_u64(42)));
+        // Long nonzero prefix rejected
+        let mut long = vec![1u8];
+        long.extend_from_slice(&v.to_be_bytes());
+        assert_eq!(U256::from_be_bytes(&long), None);
+    }
+
+    #[test]
+    fn shifts_match_u128_semantics() {
+        let v = U256::from_u128(0x0123_4567_89ab_cdef_u128);
+        assert_eq!(v.shl(64).shr(64), v);
+        assert_eq!(v.shl(0), v);
+        assert_eq!(v.shr(200), U256::ZERO);
+        assert_eq!(U256::ONE.shl(255).bit(255), true);
+        assert_eq!(U256::ONE.shl(256), U256::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_round_trip(a in u256(), b in u256()) {
+            let (s, carry) = a.overflowing_add(&b);
+            let (back, borrow) = s.overflowing_sub(&b);
+            prop_assert_eq!(back, a);
+            prop_assert_eq!(carry, borrow);
+        }
+
+        #[test]
+        fn add_commutes(a in u256(), b in u256()) {
+            prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+        }
+
+        #[test]
+        fn mul_matches_small_reference(a in any::<u64>(), b in any::<u64>()) {
+            let (lo, hi) = U256::from_u64(a).widening_mul(&U256::from_u64(b));
+            prop_assert_eq!(hi, U256::ZERO);
+            let want = (a as u128) * (b as u128);
+            prop_assert_eq!(lo, U256::from_u128(want));
+        }
+
+        #[test]
+        fn mul_distributes_over_add_mod_2_256(a in u256(), b in u256(), c in u256()) {
+            let left = a.wrapping_mul(&b.wrapping_add(&c));
+            let right = a.wrapping_mul(&b).wrapping_add(&a.wrapping_mul(&c));
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn ordering_agrees_with_subtraction(a in u256(), b in u256()) {
+            let (_, borrow) = a.overflowing_sub(&b);
+            prop_assert_eq!(borrow, a < b);
+        }
+
+        #[test]
+        fn bits_bound(a in u256()) {
+            let n = a.bits();
+            prop_assert!(n <= 256);
+            if n > 0 {
+                prop_assert!(a.bit(n - 1));
+                prop_assert!(!a.bit(n));
+            }
+        }
+
+        #[test]
+        fn shl_then_shr_identity_for_small_values(v in any::<u64>(), k in 0usize..192) {
+            let x = U256::from_u64(v);
+            prop_assert_eq!(x.shl(k).shr(k), x);
+        }
+    }
+}

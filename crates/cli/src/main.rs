@@ -1,0 +1,154 @@
+//! `seccloud` — a file-based demo CLI for the SecCloud protocol.
+//!
+//! ```text
+//! seccloud setup   --dir state --seed my-system
+//! seccloud sign    --dir state --owner alice --verifiers cs,da --in data.bin --out blocks.bin [--block-size 4096]
+//! seccloud store   --dir state --server cs --owner alice --bundle blocks.bin
+//! seccloud verify  --dir state --server cs --owner alice --verifier da
+//! seccloud audit   --dir state --server cs --owner alice --verifier da --function sum [--group 4] [--t 8] [--seed challenge]
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seccloud_cli::{CliError, Workspace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        print_usage();
+        return Err(CliError::Usage("missing command".into()));
+    };
+    let opts = parse_opts(rest)?;
+    let dir = PathBuf::from(opt(&opts, "dir")?);
+
+    match command.as_str() {
+        "setup" => {
+            let ws = Workspace::setup(&dir, opt(&opts, "seed")?)?;
+            let _ = ws;
+            println!("initialized state dir {}", dir.display());
+        }
+        "sign" => {
+            let ws = Workspace::open(&dir)?;
+            let verifiers: Vec<&str> = opt(&opts, "verifiers")?.split(',').collect();
+            let block_size = opt_or(&opts, "block-size", "4096").parse().map_err(|_| {
+                CliError::Usage("--block-size must be an integer".into())
+            })?;
+            let n = ws.sign_file(
+                opt(&opts, "owner")?,
+                &verifiers,
+                &PathBuf::from(opt(&opts, "in")?),
+                &PathBuf::from(opt(&opts, "out")?),
+                block_size,
+            )?;
+            println!("signed {n} blocks for verifiers {verifiers:?}");
+        }
+        "store" => {
+            let ws = Workspace::open(&dir)?;
+            let (accepted, rejected) = ws.store(
+                opt(&opts, "server")?,
+                opt(&opts, "owner")?,
+                &PathBuf::from(opt(&opts, "bundle")?),
+            )?;
+            println!("stored {accepted} blocks ({rejected} rejected)");
+            if rejected > 0 {
+                return Err(CliError::BadBlock(format!(
+                    "{rejected} blocks failed authentication"
+                )));
+            }
+        }
+        "verify" => {
+            let ws = Workspace::open(&dir)?;
+            let (checked, failed) = ws.verify_storage(
+                opt(&opts, "server")?,
+                opt(&opts, "owner")?,
+                opt(&opts, "verifier")?,
+            )?;
+            println!("checked {checked} blocks, {} failed", failed.len());
+            if !failed.is_empty() {
+                return Err(CliError::BadBlock(format!(
+                    "positions {failed:?} failed verification"
+                )));
+            }
+        }
+        "audit" => {
+            let ws = Workspace::open(&dir)?;
+            let group = opt_or(&opts, "group", "4")
+                .parse()
+                .map_err(|_| CliError::Usage("--group must be an integer".into()))?;
+            let t = opt_or(&opts, "t", "8")
+                .parse()
+                .map_err(|_| CliError::Usage("--t must be an integer".into()))?;
+            let (checked, valid) = ws.audit_computation(
+                opt(&opts, "server")?,
+                opt(&opts, "owner")?,
+                opt(&opts, "verifier")?,
+                opt(&opts, "function")?,
+                group,
+                t,
+                opt_or(&opts, "seed", "audit-challenge"),
+            )?;
+            println!(
+                "audited {checked} sampled sub-tasks: {}",
+                if valid { "VALID" } else { "INVALID" }
+            );
+            if !valid {
+                return Err(CliError::BadBlock("audit failed".into()));
+            }
+        }
+        other => {
+            print_usage();
+            return Err(CliError::Usage(format!("unknown command {other:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("expected --option, got {key:?}")));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+        opts.insert(name.to_owned(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn opt<'a>(opts: &'a HashMap<String, String>, name: &str) -> Result<&'a str, CliError> {
+    opts.get(name)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(format!("missing required --{name}")))
+}
+
+fn opt_or<'a>(opts: &'a HashMap<String, String>, name: &str, default: &'a str) -> &'a str {
+    opts.get(name).map_or(default, String::as_str)
+}
+
+fn print_usage() {
+    eprintln!(
+        "seccloud — SecCloud protocol demo CLI\n\
+         \n\
+         commands:\n\
+         \x20 setup  --dir <d> --seed <s>\n\
+         \x20 sign   --dir <d> --owner <id> --verifiers <a,b> --in <file> --out <bundle> [--block-size N]\n\
+         \x20 store  --dir <d> --server <id> --owner <id> --bundle <bundle>\n\
+         \x20 verify --dir <d> --server <id> --owner <id> --verifier <id>\n\
+         \x20 audit  --dir <d> --server <id> --owner <id> --verifier <id> --function <f> [--group N] [--t N] [--seed s]"
+    );
+}

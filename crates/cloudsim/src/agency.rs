@@ -1,0 +1,377 @@
+//! The Designated Agency — the auditor acting on behalf of cloud users
+//! (paper Sections III-B and V-D).
+
+use seccloud_core::computation::{verify_response, AuditChallenge, AuditOutcome};
+use seccloud_core::warrant::Warrant;
+use seccloud_core::{CloudUser, Sio, VerifierCredential};
+use seccloud_hash::HmacDrbg;
+use seccloud_ibs::VerifierPublic;
+
+use crate::server::{CloudServer, JobHandle, ServerError};
+
+/// The result of one delegated audit round.
+#[derive(Clone, Debug)]
+pub struct AuditVerdict {
+    /// The challenge that was issued.
+    pub challenge: AuditChallenge,
+    /// Algorithm 1's detailed outcome.
+    pub outcome: AuditOutcome,
+    /// Whether cheating was detected (`retValue = invalid`).
+    pub detected: bool,
+}
+
+/// The result of one sampled storage audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageAuditVerdict {
+    /// The positions that were challenged.
+    pub sampled: Vec<u64>,
+    /// Challenged positions the server could not produce (deletion).
+    pub missing: Vec<u64>,
+    /// Challenged positions whose block failed authentication
+    /// (corruption or wrong-position relabelling).
+    pub invalid: Vec<u64>,
+}
+
+impl StorageAuditVerdict {
+    /// Whether every sampled block was present and authentic.
+    pub fn is_healthy(&self) -> bool {
+        self.missing.is_empty() && self.invalid.is_empty()
+    }
+}
+
+/// The designated agency: holds its verifier credential and a DRBG for
+/// challenge sampling, and drives the full audit protocol against servers.
+///
+/// "DA is expected to have enough computational and storage capability to
+/// perform the auditing operations" (paper Section III-B).
+pub struct DesignatedAgency {
+    cred: VerifierCredential,
+    drbg: HmacDrbg,
+}
+
+impl std::fmt::Debug for DesignatedAgency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignatedAgency")
+            .field("identity", &self.identity())
+            .finish()
+    }
+}
+
+impl DesignatedAgency {
+    /// Registers the agency with the SIO.
+    pub fn new(sio: &Sio, identity: &str, seed: &[u8]) -> Self {
+        Self {
+            cred: sio.register_verifier(identity),
+            drbg: HmacDrbg::new(seed),
+        }
+    }
+
+    /// The agency's identity.
+    pub fn identity(&self) -> &str {
+        self.cred.identity()
+    }
+
+    /// The public verification identity users designate signatures to.
+    pub fn public(&self) -> &VerifierPublic {
+        self.cred.public()
+    }
+
+    /// The credential (for direct protocol calls in tests/benches).
+    pub fn credential(&self) -> &VerifierCredential {
+        &self.cred
+    }
+
+    /// Draws a fresh sampling challenge from the agency's DRBG.
+    pub fn sample_challenge(&mut self, n: usize, t: usize) -> AuditChallenge {
+        AuditChallenge::sample(&mut self.drbg, n, t)
+    }
+
+    /// Sampled **storage** audit (Protocol II with probabilistic sampling):
+    /// draws `t` of the owner's `n` block positions, retrieves each from
+    /// the server and verifies its designated signature (eq. 5).
+    ///
+    /// Per the paper's SSC analysis, a server keeping only an `SSC`
+    /// fraction of the data intact escapes with probability `SSC^t`
+    /// (eq. 12 with negligible forgery).
+    pub fn storage_audit(
+        &mut self,
+        server: &CloudServer,
+        owner: &CloudUser,
+        n_blocks: u64,
+        sample_size: usize,
+    ) -> StorageAuditVerdict {
+        let t = (sample_size as u64).min(n_blocks);
+        let positions = self.drbg.sample_distinct(n_blocks, t);
+        let mut missing = Vec::new();
+        let mut invalid = Vec::new();
+        for &pos in &positions {
+            match server.retrieve(owner.identity(), pos) {
+                None => missing.push(pos),
+                Some(block) => {
+                    if block.block().index() != pos
+                        || !block.verify(self.cred.key(), owner.public())
+                    {
+                        invalid.push(pos);
+                    }
+                }
+            }
+        }
+        StorageAuditVerdict {
+            sampled: positions,
+            missing,
+            invalid,
+        }
+    }
+
+    /// Runs one full delegated audit round against `server` for the job in
+    /// `handle`:
+    ///
+    /// 1. the owner issues a warrant delegating to this agency,
+    /// 2. the agency samples `t` sub-tasks and challenges the server,
+    /// 3. the server validates the warrant and responds,
+    /// 4. the agency runs Algorithm 1 on the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side rejections (bad warrant, unknown job).
+    pub fn audit(
+        &mut self,
+        server: &CloudServer,
+        handle: &JobHandle,
+        owner: &CloudUser,
+        sample_size: usize,
+        now: u64,
+    ) -> Result<AuditVerdict, ServerError> {
+        let warrant = Warrant::issue(
+            owner,
+            self.identity(),
+            now + 1_000,
+            handle.request.digest(),
+            &[server.public(), self.cred.public()],
+        );
+        self.audit_with_warrant(server, handle, owner, &warrant, sample_size, now)
+    }
+
+    /// Like [`DesignatedAgency::audit`] but with a caller-supplied warrant
+    /// (to exercise expiry and delegation failures).
+    pub fn audit_with_warrant(
+        &mut self,
+        server: &CloudServer,
+        handle: &JobHandle,
+        owner: &CloudUser,
+        warrant: &Warrant,
+        sample_size: usize,
+        now: u64,
+    ) -> Result<AuditVerdict, ServerError> {
+        let n = handle.request.len();
+        let t = sample_size.min(n);
+        let challenge = AuditChallenge::sample(&mut self.drbg, n, t);
+        let response = server.handle_audit(
+            handle.job_id,
+            &challenge,
+            warrant,
+            owner.public(),
+            self.identity(),
+            now,
+        )?;
+        let outcome = verify_response(
+            self.cred.key(),
+            owner.public(),
+            server.signer_public(),
+            &handle.request,
+            &challenge,
+            &handle.commitment,
+            &response,
+        );
+        let detected = !outcome.is_valid();
+        Ok(AuditVerdict {
+            challenge,
+            outcome,
+            detected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use seccloud_core::computation::{ComputationRequest, ComputeFunction, RequestItem};
+    use seccloud_core::storage::DataBlock;
+    use seccloud_core::warrant::WarrantError;
+
+    fn world(behavior: Behavior) -> (Sio, CloudUser, CloudServer, DesignatedAgency, JobHandle) {
+        let sio = Sio::new(b"agency-tests");
+        let user = sio.register("alice");
+        let mut server = CloudServer::new(&sio, "cs-01", behavior, b"srv");
+        let da = DesignatedAgency::new(&sio, "da", b"agency");
+        let blocks: Vec<DataBlock> = (0..16)
+            .map(|i| DataBlock::from_values(i, &[i * 3, i * 3 + 1]))
+            .collect();
+        let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+        server.store(&user, signed);
+        let request = ComputationRequest::new(
+            (0..8u64)
+                .map(|i| RequestItem {
+                    function: ComputeFunction::Sum,
+                    positions: vec![2 * i, 2 * i + 1],
+                })
+                .collect(),
+        );
+        let handle = server
+            .handle_computation(&"alice".to_string(), &request, da.public())
+            .unwrap();
+        (sio, user, server, da, handle)
+    }
+
+    #[test]
+    fn honest_server_passes_audit() {
+        let (_, user, server, mut da, handle) = world(Behavior::Honest);
+        let verdict = da.audit(&server, &handle, &user, 4, 0).unwrap();
+        assert!(!verdict.detected, "{verdict:?}");
+        assert_eq!(verdict.challenge.len(), 4);
+        assert!(verdict.outcome.root_sig_ok);
+    }
+
+    #[test]
+    fn always_lying_server_is_always_caught() {
+        let (_, user, server, mut da, handle) = world(Behavior::ComputationCheater {
+            csc: 0.0,
+            guess_range: None,
+        });
+        let verdict = da.audit(&server, &handle, &user, 1, 0).unwrap();
+        assert!(verdict.detected, "one sample suffices against CSC=0, R=∞");
+    }
+
+    #[test]
+    fn partial_cheater_detection_is_probabilistic() {
+        // CSC = 0.5 over 8 items: a 1-sample audit sometimes misses,
+        // a full-challenge audit always detects (with overwhelming prob).
+        let (_, user, server, mut da, handle) = world(Behavior::ComputationCheater {
+            csc: 0.5,
+            guess_range: None,
+        });
+        let full = da.audit(&server, &handle, &user, 8, 0).unwrap();
+        assert!(full.detected, "full audit of a 50% cheater");
+        // The number of failing items should be near half.
+        let fails = full.outcome.failures.len();
+        assert!((1..8).contains(&fails), "got {fails} failures");
+    }
+
+    #[test]
+    fn expired_warrant_is_rejected_by_the_server() {
+        let (_, user, server, mut da, handle) = world(Behavior::Honest);
+        let warrant = Warrant::issue(
+            &user,
+            da.identity(),
+            10, // expires at t=10
+            handle.request.digest(),
+            &[server.public(), da.public()],
+        );
+        let err = da
+            .audit_with_warrant(&server, &handle, &user, &warrant, 2, 50)
+            .unwrap_err();
+        assert_eq!(err, ServerError::Warrant(WarrantError::Expired));
+        // And the same warrant works before expiry.
+        assert!(da
+            .audit_with_warrant(&server, &handle, &user, &warrant, 2, 5)
+            .is_ok());
+    }
+
+    #[test]
+    fn warrant_bound_to_other_request_is_rejected() {
+        let (_, user, server, mut da, handle) = world(Behavior::Honest);
+        let warrant = Warrant::issue(
+            &user,
+            da.identity(),
+            1_000,
+            [9u8; 32],
+            &[server.public(), da.public()],
+        );
+        let err = da
+            .audit_with_warrant(&server, &handle, &user, &warrant, 2, 0)
+            .unwrap_err();
+        assert_eq!(err, ServerError::Warrant(WarrantError::WrongRequest));
+    }
+
+    #[test]
+    fn storage_audit_passes_honest_server() {
+        let (_, user, server, mut da, _) = world(Behavior::Honest);
+        let verdict = da.storage_audit(&server, &user, 16, 8);
+        assert_eq!(verdict.sampled.len(), 8);
+        assert!(verdict.is_healthy(), "{verdict:?}");
+    }
+
+    #[test]
+    fn storage_audit_catches_deleting_and_corrupting_servers() {
+        use crate::behavior::StorageAttack;
+        for attack in [StorageAttack::Delete, StorageAttack::Corrupt, StorageAttack::WrongPosition] {
+            let sio = Sio::new(b"storage-audit-cheat");
+            let user = sio.register("alice");
+            let mut server = CloudServer::new(
+                &sio,
+                "cs",
+                Behavior::StorageCheater { ssc: 0.0, attack },
+                b"s",
+            );
+            let mut da = DesignatedAgency::new(&sio, "da", b"a");
+            let blocks: Vec<DataBlock> = (0..16)
+                .map(|i| DataBlock::from_values(i, &[i]))
+                .collect();
+            server.store(&user, user.sign_blocks(&blocks, &[server.public(), da.public()]));
+            let verdict = da.storage_audit(&server, &user, 16, 16);
+            assert!(!verdict.is_healthy(), "attack {attack:?} must be caught");
+            match attack {
+                StorageAttack::Delete => assert_eq!(verdict.missing.len(), 16),
+                StorageAttack::Corrupt => assert_eq!(verdict.invalid.len(), 16),
+                // WrongPosition shifts every block by one slot: position 0
+                // becomes missing, the shifted ones fail authentication.
+                StorageAttack::WrongPosition => {
+                    assert!(!verdict.missing.is_empty() || !verdict.invalid.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_audit_escape_rate_tracks_ssc_formula() {
+        // SSC = 0.5 deleter audited with t = 4: escape prob 0.5⁴ ≈ 6%.
+        // Sign once; per trial only the server's deletion dice and the
+        // DA's sampling vary (ingest re-verification is skipped by reusing
+        // the same upload set — deletions happen at ingest).
+        let sio = Sio::new(b"ssc-rate");
+        let user = sio.register("alice");
+        let mut da = DesignatedAgency::new(&sio, "da", b"ssc-da");
+        let proto_server = CloudServer::new(&sio, "cs", Behavior::Honest, b"proto");
+        let blocks: Vec<DataBlock> = (0..16).map(|i| DataBlock::from_values(i, &[i])).collect();
+        let signed = user.sign_blocks(&blocks, &[proto_server.public(), da.public()]);
+
+        let mut escapes = 0;
+        let trials = 24;
+        for trial in 0u32..trials {
+            let mut server = CloudServer::new(
+                &sio,
+                "cs",
+                Behavior::StorageCheater {
+                    ssc: 0.5,
+                    attack: crate::behavior::StorageAttack::Delete,
+                },
+                &trial.to_be_bytes(),
+            );
+            server.store(&user, signed.clone());
+            if da.storage_audit(&server, &user, 16, 4).is_healthy() {
+                escapes += 1;
+            }
+        }
+        let rate = f64::from(escapes) / f64::from(trials);
+        assert!(rate < 0.35, "escape rate {rate} should be near 0.5⁴ ≈ 0.06");
+    }
+
+    #[test]
+    fn sample_size_is_clamped_to_request_len() {
+        let (_, user, server, mut da, handle) = world(Behavior::Honest);
+        let verdict = da.audit(&server, &handle, &user, 100, 0).unwrap();
+        assert_eq!(verdict.challenge.len(), 8);
+        assert!(!verdict.detected);
+    }
+}

@@ -1,0 +1,295 @@
+//! Concurrent audit handling (paper Section VI: "the designated verifiers
+//! can concurrently handle multiple sessions from different users'
+//! verifying requests").
+//!
+//! Two parallel drivers:
+//!
+//! * [`DesignatedAgency::audit_many`] — audits many jobs (across servers
+//!   and owners) on a thread pool: challenges and warrants are derived
+//!   serially (cheap, needs the DA's DRBG), then the pairing-heavy
+//!   response verification fans out over crossbeam scoped threads.
+//! * [`parallel_batch_fold`] — folds a large signature batch into
+//!   per-thread [`BatchVerifier`]s and merges them, exploiting the
+//!   aggregate's associativity; the final check is still one pairing.
+
+use parking_lot::Mutex;
+use seccloud_core::computation::verify_response;
+use seccloud_core::warrant::Warrant;
+use seccloud_core::CloudUser;
+use seccloud_ibs::{BatchItem, BatchVerifier, VerifierKey};
+
+use crate::agency::{AuditVerdict, DesignatedAgency};
+use crate::server::{CloudServer, JobHandle, ServerError};
+
+/// One audit work item: which server, which job, which owner.
+pub struct AuditJob<'a> {
+    /// The server to challenge.
+    pub server: &'a CloudServer,
+    /// The job (request + commitment) under audit.
+    pub handle: &'a JobHandle,
+    /// The data owner delegating the audit.
+    pub owner: &'a CloudUser,
+}
+
+impl DesignatedAgency {
+    /// Audits every job concurrently on up to `threads` workers, returning
+    /// verdicts in input order.
+    ///
+    /// # Errors
+    ///
+    /// Per-job server errors are returned in the corresponding slot.
+    pub fn audit_many(
+        &mut self,
+        jobs: &[AuditJob<'_>],
+        sample_size: usize,
+        now: u64,
+        threads: usize,
+    ) -> Vec<Result<AuditVerdict, ServerError>> {
+        // Phase 1 (serial): draw challenges from the DA's DRBG and let each
+        // owner issue its warrant.
+        let prepared: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let n = job.handle.request.len();
+                let t = sample_size.min(n);
+                let challenge = self.sample_challenge(n, t);
+                let warrant = Warrant::issue(
+                    job.owner,
+                    self.identity(),
+                    now + 1_000,
+                    job.handle.request.digest(),
+                    &[job.server.public(), self.public()],
+                );
+                (challenge, warrant)
+            })
+            .collect();
+
+        // Phase 2 (parallel): request responses and run Algorithm 1.
+        let results: Vec<Mutex<Option<Result<AuditVerdict, ServerError>>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = threads.clamp(1, jobs.len().max(1));
+        let da_key = self.credential().key();
+        let da_identity = self.identity().to_owned();
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let (challenge, warrant) = &prepared[i];
+                    let result = job
+                        .server
+                        .handle_audit(
+                            job.handle.job_id,
+                            challenge,
+                            warrant,
+                            job.owner.public(),
+                            &da_identity,
+                            now,
+                        )
+                        .map(|response| {
+                            let outcome = verify_response(
+                                da_key,
+                                job.owner.public(),
+                                job.server.signer_public(),
+                                &job.handle.request,
+                                challenge,
+                                &job.handle.commitment,
+                                &response,
+                            );
+                            let detected = !outcome.is_valid();
+                            AuditVerdict {
+                                challenge: challenge.clone(),
+                                outcome,
+                                detected,
+                            }
+                        });
+                    *results[i].lock() = Some(result);
+                });
+            }
+        })
+        .expect("audit workers do not panic");
+
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// Folds `items` into `threads` partial aggregates concurrently, merges
+/// them, and runs the single-pairing batch check.
+pub fn parallel_batch_fold(
+    items: &[BatchItem],
+    verifier: &VerifierKey,
+    threads: usize,
+) -> bool {
+    if items.is_empty() {
+        return BatchVerifier::new().verify(verifier);
+    }
+    let workers = threads.clamp(1, items.len());
+    let partials: Vec<Mutex<BatchVerifier>> =
+        (0..workers).map(|_| Mutex::new(BatchVerifier::new())).collect();
+
+    crossbeam::scope(|scope| {
+        for (w, chunk) in items.chunks(items.len().div_ceil(workers)).enumerate() {
+            let slot = &partials[w];
+            scope.spawn(move |_| {
+                let mut local = BatchVerifier::new();
+                for item in chunk {
+                    local.push_item(item);
+                }
+                *slot.lock() = local;
+            });
+        }
+    })
+    .expect("fold workers do not panic");
+
+    let mut combined = BatchVerifier::new();
+    for partial in &partials {
+        combined.merge(&partial.lock());
+    }
+    debug_assert_eq!(combined.len(), items.len());
+    combined.verify(verifier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use seccloud_core::computation::{ComputationRequest, ComputeFunction, RequestItem};
+    use seccloud_core::storage::DataBlock;
+    use seccloud_core::Sio;
+    use seccloud_ibs::{designate, sign, MasterKey};
+
+    fn request(n: u64) -> ComputationRequest {
+        ComputationRequest::new(
+            (0..n)
+                .map(|i| RequestItem {
+                    function: ComputeFunction::Sum,
+                    positions: vec![i],
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn audit_many_matches_serial_audits() {
+        let sio = Sio::new(b"concurrent-tests");
+        let mut da = DesignatedAgency::new(&sio, "da", b"agency");
+        let users: Vec<_> = (0..3).map(|i| sio.register(&format!("user-{i}"))).collect();
+        let mut servers: Vec<_> = (0..3)
+            .map(|i| {
+                let behavior = if i == 1 {
+                    Behavior::ComputationCheater {
+                        csc: 0.0,
+                        guess_range: None,
+                    }
+                } else {
+                    Behavior::Honest
+                };
+                CloudServer::new(&sio, &format!("cs-{i}"), behavior, b"s")
+            })
+            .collect();
+
+        let mut handles = Vec::new();
+        for (user, server) in users.iter().zip(servers.iter_mut()) {
+            let blocks: Vec<DataBlock> = (0..6u64)
+                .map(|i| DataBlock::from_values(i, &[i, i * 2]))
+                .collect();
+            let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+            server.store(user, signed);
+            handles.push(
+                server
+                    .handle_computation(&user.identity().to_string(), &request(6), da.public())
+                    .unwrap(),
+            );
+        }
+
+        let jobs: Vec<AuditJob<'_>> = users
+            .iter()
+            .zip(servers.iter())
+            .zip(handles.iter())
+            .map(|((owner, server), handle)| AuditJob {
+                server,
+                handle,
+                owner,
+            })
+            .collect();
+        let verdicts = da.audit_many(&jobs, 6, 0, 4);
+        assert_eq!(verdicts.len(), 3);
+        assert!(!verdicts[0].as_ref().unwrap().detected, "honest server 0");
+        assert!(verdicts[1].as_ref().unwrap().detected, "cheating server 1");
+        assert!(!verdicts[2].as_ref().unwrap().detected, "honest server 2");
+    }
+
+    #[test]
+    fn audit_many_single_thread_degenerates_gracefully() {
+        let sio = Sio::new(b"concurrent-single");
+        let mut da = DesignatedAgency::new(&sio, "da", b"agency");
+        let user = sio.register("alice");
+        let mut server = CloudServer::new(&sio, "cs", Behavior::Honest, b"s");
+        let blocks: Vec<DataBlock> = (0..4u64)
+            .map(|i| DataBlock::from_values(i, &[i]))
+            .collect();
+        server.store(&user, user.sign_blocks(&blocks, &[server.public(), da.public()]));
+        let handle = server
+            .handle_computation(&user.identity().to_string(), &request(4), da.public())
+            .unwrap();
+        let jobs = [AuditJob {
+            server: &server,
+            handle: &handle,
+            owner: &user,
+        }];
+        for threads in [1, 8, 100] {
+            let verdicts = da.audit_many(&jobs, 2, 0, threads);
+            assert!(!verdicts[0].as_ref().unwrap().detected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_fold_agrees_with_sequential() {
+        let m = MasterKey::from_seed(b"parfold");
+        let server = m.extract_verifier("cs");
+        let items: Vec<BatchItem> = (0..17)
+            .map(|i| {
+                let user = m.extract_user(&format!("u{}", i % 5));
+                let msg = format!("m{i}").into_bytes();
+                let sig = designate(&sign(&user, &msg, b"n"), server.public());
+                BatchItem {
+                    signer: user.public().clone(),
+                    message: msg,
+                    signature: sig,
+                }
+            })
+            .collect();
+        for threads in [1, 2, 4, 17, 64] {
+            assert!(parallel_batch_fold(&items, &server, threads), "threads={threads}");
+        }
+        // One poisoned item fails the parallel fold too.
+        let mut bad = items.clone();
+        bad[9].message = b"tampered".to_vec();
+        for threads in [1, 4] {
+            assert!(!parallel_batch_fold(&bad, &server, threads));
+        }
+    }
+
+    #[test]
+    fn parallel_batch_fold_empty_and_tiny() {
+        let m = MasterKey::from_seed(b"parfold-edge");
+        let server = m.extract_verifier("cs");
+        assert!(parallel_batch_fold(&[], &server, 4), "empty batch is valid");
+        let user = m.extract_user("solo");
+        let sig = designate(&sign(&user, b"m", b"n"), server.public());
+        let one = [BatchItem {
+            signer: user.public().clone(),
+            message: b"m".to_vec(),
+            signature: sig,
+        }];
+        assert!(parallel_batch_fold(&one, &server, 16));
+    }
+}

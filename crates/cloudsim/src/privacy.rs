@@ -1,0 +1,197 @@
+//! The privacy-cheating (illegal information selling) experiment
+//! (paper Sections III-B and VII-B).
+//!
+//! A compromised server tries to sell a user's data to a buyer. To be worth
+//! paying for, the data must come with proof of authenticity — but the
+//! designated signatures it holds (1) cannot be verified by the buyer and
+//! (2) could have been fabricated by any designated verifier, so they prove
+//! nothing. This module packages that argument as a runnable experiment.
+
+use seccloud_core::storage::SignedBlock;
+use seccloud_core::{CloudUser, Sio};
+use seccloud_hash::HmacDrbg;
+use seccloud_ibs::{simulate, UserPublic, VerifierKey, VerifierPublic};
+
+use crate::server::CloudServer;
+
+/// The findings of one leak experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeakFindings {
+    /// Number of blocks the server exfiltrated.
+    pub leaked_blocks: usize,
+    /// Whether the designated verifier itself could authenticate the loot
+    /// (it can — it is designated).
+    pub designee_can_verify: bool,
+    /// Whether the buyer (with only public data) could authenticate any
+    /// leaked block. Must be `false` for privacy preservation.
+    pub buyer_can_verify: bool,
+    /// Whether the buyer could distinguish the loot from signatures the
+    /// seller could have fabricated with its own key. Must be `false`.
+    pub loot_distinguishable_from_forgery: bool,
+}
+
+impl LeakFindings {
+    /// Definition 2 holds: nothing a third party can check leaked.
+    pub fn privacy_preserved(&self) -> bool {
+        !self.buyer_can_verify && !self.loot_distinguishable_from_forgery
+    }
+}
+
+/// What a non-designated buyer can attempt with a leaked block: pair the
+/// components against *public* identities only. Returns `true` if any such
+/// check authenticates the block (it never should).
+pub fn buyer_attempts_verification(
+    block: &SignedBlock,
+    owner: &UserPublic,
+    known_verifiers: &[&VerifierPublic],
+) -> bool {
+    known_verifiers.iter().any(|v| {
+        block
+            .designation_for(v.identity())
+            .is_some_and(|sig| sig.third_party_check_is_useless(v, owner, &block.block().signed_message()))
+    })
+}
+
+/// Checks whether a leaked designated signature carries any mark
+/// distinguishing it from a verifier-side forgery: we fabricate a signature
+/// on the same block with [`simulate`] and confirm both verify identically
+/// under the designee's key — i.e. the *distribution* of valid signatures is
+/// reachable by the verifier, so possession proves nothing.
+pub fn loot_is_distinguishable(
+    block: &SignedBlock,
+    owner: &UserPublic,
+    designee: &VerifierKey,
+    drbg: &mut HmacDrbg,
+) -> bool {
+    let Some(real) = block.designation_for(designee.identity()) else {
+        return false;
+    };
+    let msg = block.block().signed_message();
+    let fake = simulate(designee, owner, &msg, drbg);
+    let real_ok = real.verify(designee, owner, &msg);
+    let fake_ok = fake.verify(designee, owner, &msg);
+    // Distinguishable only if the forgery fails where the real one passes.
+    real_ok && !fake_ok
+}
+
+/// Runs the full illegal-selling scenario against a [`CloudServer`] that
+/// was configured as a [`crate::behavior::Behavior::PrivacyLeaker`]:
+/// collects its exfiltrated blocks and evaluates what the designee and an
+/// outside buyer can do with them.
+pub fn run_leak_experiment(
+    sio: &Sio,
+    server: &CloudServer,
+    owner: &CloudUser,
+    designee: &VerifierKey,
+) -> LeakFindings {
+    let mut drbg = HmacDrbg::new(b"leak-experiment");
+    let leaked: Vec<&SignedBlock> = server
+        .leaked_blocks()
+        .iter()
+        .filter(|(o, _)| o == owner.identity())
+        .map(|(_, b)| b)
+        .collect();
+
+    let known_verifiers: Vec<VerifierPublic> = leaked
+        .iter()
+        .flat_map(|b| b.designated_verifiers())
+        .map(VerifierPublic::from_identity)
+        .collect();
+    let verifier_refs: Vec<&VerifierPublic> = known_verifiers.iter().collect();
+
+    let designee_can_verify = leaked
+        .iter()
+        .all(|b| b.verify(designee, owner.public()));
+    let buyer_can_verify = leaked
+        .iter()
+        .any(|b| buyer_attempts_verification(b, owner.public(), &verifier_refs));
+    let loot_distinguishable_from_forgery = leaked
+        .iter()
+        .any(|b| loot_is_distinguishable(b, owner.public(), designee, &mut drbg));
+
+    // The SIO reference documents that even re-registration does not help
+    // the buyer: identities are public, secrets are not.
+    let _ = sio;
+
+    LeakFindings {
+        leaked_blocks: leaked.len(),
+        designee_can_verify,
+        buyer_can_verify,
+        loot_distinguishable_from_forgery,
+    }
+}
+
+impl CloudServer {
+    /// The blocks this server has exfiltrated (empty unless it is a
+    /// privacy leaker).
+    pub fn leaked_blocks(&self) -> &[(String, SignedBlock)] {
+        &self.leaked
+    }
+}
+
+/// Contrast case: if the user had uploaded *publicly verifiable* raw IBS
+/// signatures instead of designated ones, the buyer could authenticate the
+/// loot — quantifying exactly what the designated transform buys.
+pub fn counterfactual_public_signature_leak(
+    sio: &Sio,
+    owner: &CloudUser,
+    data: &[u8],
+) -> bool {
+    let raw = seccloud_ibs::sign(owner.key(), data, b"counterfactual");
+    // Buyer verifies against public parameters alone:
+    raw.verify_public(sio.params(), owner.public(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use seccloud_core::storage::DataBlock;
+
+    #[test]
+    fn leaked_designated_blocks_are_worthless_to_buyers() {
+        let sio = Sio::new(b"privacy-tests");
+        let user = sio.register("alice");
+        let mut server = CloudServer::new(&sio, "cs-01", Behavior::PrivacyLeaker, b"srv");
+        let da = sio.register_verifier("da");
+        let blocks: Vec<DataBlock> = (0..5)
+            .map(|i| DataBlock::from_values(i, &[i * 7]))
+            .collect();
+        let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+        server.store(&user, signed);
+
+        let findings = run_leak_experiment(&sio, &server, &user, da.key());
+        assert_eq!(findings.leaked_blocks, 5);
+        assert!(findings.designee_can_verify, "the DA itself can verify");
+        assert!(!findings.buyer_can_verify, "the buyer cannot");
+        assert!(
+            !findings.loot_distinguishable_from_forgery,
+            "loot ≡ forgeable"
+        );
+        assert!(findings.privacy_preserved());
+    }
+
+    #[test]
+    fn counterfactual_public_signature_would_leak() {
+        let sio = Sio::new(b"counterfactual");
+        let user = sio.register("alice");
+        assert!(
+            counterfactual_public_signature_leak(&sio, &user, b"secret record"),
+            "raw IBS is publicly verifiable — designation is what protects"
+        );
+    }
+
+    #[test]
+    fn honest_server_leaks_nothing() {
+        let sio = Sio::new(b"no-leak");
+        let user = sio.register("alice");
+        let mut server = CloudServer::new(&sio, "cs-01", Behavior::Honest, b"srv");
+        let da = sio.register_verifier("da");
+        let blocks = vec![DataBlock::from_values(0, &[1])];
+        let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+        server.store(&user, signed);
+        let findings = run_leak_experiment(&sio, &server, &user, da.key());
+        assert_eq!(findings.leaked_blocks, 0);
+        assert!(findings.privacy_preserved());
+    }
+}

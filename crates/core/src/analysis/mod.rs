@@ -1,0 +1,19 @@
+//! The paper's quantitative analysis (Section VII).
+//!
+//! * [`sampling`] — uncheatability: the cheat-success probabilities of
+//!   eq. 10/12/14 and the required sample size behind Fig. 4.
+//! * [`pool`] — epoch-model detection: how fast a rotating b-of-n
+//!   Byzantine adversary is exposed (Section III-B).
+//! * [`costmodel`] — the total-cost model of eq. 17 with Theorem 3's
+//!   closed-form optimal sample size, plus the verification-cost curves of
+//!   Fig. 5 and Table II.
+
+pub mod costmodel;
+pub mod pool;
+pub mod sampling;
+
+pub use costmodel::{CostParams, SchemeCosts, VerificationCostModel};
+pub use pool::{epoch_detection_probability, epochs_until_detection};
+pub use sampling::{
+    cheat_probability, fcs_probability, pcs_probability, required_sample_size, CheatParams,
+};

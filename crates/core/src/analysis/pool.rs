@@ -1,0 +1,155 @@
+//! Detection analysis for the epoch-based Byzantine pool model
+//! (paper Section III-B: "our adversary controls at most b servers for any
+//! given epoch").
+//!
+//! Combines the per-audit detection probability from [`super::sampling`]
+//! with the pool geometry: if each corrupted server's slice audit catches it
+//! with probability `d`, how likely is the DA to expose at least one of the
+//! `b` corrupted servers per epoch, and how many epochs until the whole
+//! rotating adversary has been caught at least once?
+
+/// Probability that auditing every server in one epoch detects **at least
+/// one** of the `b` corrupted servers, when each corrupted server is caught
+/// independently with probability `per_server_detection`.
+///
+/// `1 − (1 − d)^b` — the complement of every cheater escaping.
+///
+/// # Panics
+///
+/// Panics if `per_server_detection ∉ [0, 1]`.
+pub fn epoch_detection_probability(b: usize, per_server_detection: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&per_server_detection),
+        "probability out of range"
+    );
+    1.0 - (1.0 - per_server_detection).powi(b as i32)
+}
+
+/// Probability that **every** corrupted server is exposed within one epoch:
+/// `d^b`.
+///
+/// # Panics
+///
+/// Panics if `per_server_detection ∉ [0, 1]`.
+pub fn epoch_full_exposure_probability(b: usize, per_server_detection: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&per_server_detection),
+        "probability out of range"
+    );
+    per_server_detection.powi(b as i32)
+}
+
+/// The smallest number of epochs `e` after which the probability of having
+/// detected corruption in *every* epoch's adversary set reaches
+/// `confidence`: solves `(1 − (1−d)^b)^e ≥ confidence`… conservatively, the
+/// chance that *some* epoch slipped through entirely is
+/// `1 − (1 − miss)^e` with `miss = (1−d)^b`; we return the smallest `e`
+/// with `1 − miss·e ≥ confidence` under the union bound, falling back to
+/// the exact geometric computation.
+///
+/// Returns `None` when detection is impossible (`d = 0` with `b > 0`) or
+/// `confidence` is not in `(0, 1)`.
+pub fn epochs_until_detection(
+    b: usize,
+    per_server_detection: f64,
+    confidence: f64,
+) -> Option<u32> {
+    if !(0.0..1.0).contains(&confidence) || confidence <= 0.0 {
+        return None;
+    }
+    if b == 0 {
+        return Some(0); // nothing to detect
+    }
+    let per_epoch = epoch_detection_probability(b, per_server_detection);
+    if per_epoch <= 0.0 {
+        return None;
+    }
+    // P[first detection within e epochs] = 1 − (1 − per_epoch)^e
+    let miss = 1.0 - per_epoch;
+    if miss == 0.0 {
+        return Some(1);
+    }
+    let e = ((1.0 - confidence).ln() / miss.ln()).ceil();
+    Some(e.max(1.0) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::sampling::{cheat_probability, CheatParams};
+
+    #[test]
+    fn epoch_detection_reference_values() {
+        // One cheater caught with d = 0.5 → 0.5; three cheaters → 1 − 0.5³.
+        assert!((epoch_detection_probability(1, 0.5) - 0.5).abs() < 1e-12);
+        assert!((epoch_detection_probability(3, 0.5) - 0.875).abs() < 1e-12);
+        assert_eq!(epoch_detection_probability(0, 0.9), 0.0);
+        assert_eq!(epoch_detection_probability(5, 0.0), 0.0);
+        assert_eq!(epoch_detection_probability(5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn full_exposure_is_stricter_than_any_detection() {
+        for b in 1..6 {
+            for d in [0.1, 0.5, 0.9] {
+                assert!(
+                    epoch_full_exposure_probability(b, d)
+                        <= epoch_detection_probability(b, d) + 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_until_detection_monotonicity() {
+        // Higher confidence or weaker per-server detection needs more epochs.
+        let e1 = epochs_until_detection(2, 0.5, 0.9).unwrap();
+        let e2 = epochs_until_detection(2, 0.5, 0.999).unwrap();
+        assert!(e2 >= e1);
+        let e3 = epochs_until_detection(2, 0.1, 0.9).unwrap();
+        assert!(e3 >= e1);
+        // Certain detection: one epoch.
+        assert_eq!(epochs_until_detection(2, 1.0, 0.999), Some(1));
+        // Nothing to detect: zero epochs.
+        assert_eq!(epochs_until_detection(0, 0.5, 0.9), Some(0));
+        // Impossible detection.
+        assert_eq!(epochs_until_detection(2, 0.0, 0.9), None);
+        assert_eq!(epochs_until_detection(2, 0.5, 1.5), None);
+    }
+
+    #[test]
+    fn composes_with_the_sampling_analysis() {
+        // A compute-only CSC = 0.5, R = 2 cheater audited with t = 8 per
+        // slice escapes the FCS channel with q = (0.75)⁸ ≈ 0.1; with b = 2
+        // such servers the epoch detection probability is 1 − q² ≈ 0.99.
+        let params = CheatParams::new(0.5, 0.5).with_range(2.0);
+        let q = crate::analysis::sampling::fcs_probability(&params, 8);
+        let _ = cheat_probability(&params, 8); // full union-bound variant
+        let d = 1.0 - q;
+        let per_epoch = epoch_detection_probability(2, d);
+        assert!(per_epoch > 0.98, "per-epoch {per_epoch}");
+        let epochs = epochs_until_detection(2, d, 0.9999).unwrap();
+        assert!((2..=3).contains(&epochs), "epochs {epochs}");
+    }
+
+    #[test]
+    fn geometric_formula_matches_simulation() {
+        // Monte-Carlo the geometric distribution directly.
+        let (b, d, confidence) = (2usize, 0.4, 0.95);
+        let e = epochs_until_detection(b, d, confidence).unwrap();
+        let per_epoch = epoch_detection_probability(b, d);
+        let mut drbg = seccloud_hash::HmacDrbg::new(b"geometric");
+        let trials = 20_000;
+        let mut detected_within_e = 0;
+        for _ in 0..trials {
+            for _epoch in 0..e {
+                if drbg.next_f64() < per_epoch {
+                    detected_within_e += 1;
+                    break;
+                }
+            }
+        }
+        let rate = detected_within_e as f64 / trials as f64;
+        assert!(rate >= confidence - 0.02, "rate {rate} at e = {e}");
+    }
+}

@@ -1,0 +1,141 @@
+//! The System Initialization Operator and registered principals
+//! (paper Section V-A).
+
+use seccloud_ibs::{MasterKey, SystemParams, UserKey, UserPublic, VerifierKey, VerifierPublic};
+
+/// The System Initialization Operator: holds the master secret `s`, issues
+/// identity keys to cloud users and verifiers.
+///
+/// "In reality, the government or a trusted third party could play the role
+/// of SIO" (paper footnote 1); registration is an offline step.
+#[derive(Clone, Debug)]
+pub struct Sio {
+    master: MasterKey,
+}
+
+impl Sio {
+    /// Sets up the system deterministically from seed bytes.
+    pub fn new(seed: &[u8]) -> Self {
+        Self {
+            master: MasterKey::from_seed(seed),
+        }
+    }
+
+    /// The published system parameters.
+    pub fn params(&self) -> &SystemParams {
+        self.master.params()
+    }
+
+    /// Registers a cloud user: extracts `sk_ID = s·H1(ID)` (paper eq. 4).
+    pub fn register(&self, identity: &str) -> CloudUser {
+        CloudUser {
+            key: self.master.extract_user(identity),
+        }
+    }
+
+    /// Registers a verifier principal (cloud server or designated agency).
+    ///
+    /// Verifiers receive **two** keys: a `G2` verification identity (so
+    /// users can designate signatures to them) and a `G1` signing identity
+    /// under the same name (so cloud servers can sign commitment roots).
+    pub fn register_verifier(&self, identity: &str) -> VerifierCredential {
+        VerifierCredential {
+            key: self.master.extract_verifier(identity),
+            signer: self.master.extract_user(identity),
+        }
+    }
+}
+
+/// A registered cloud user holding its extracted identity key.
+#[derive(Clone, Debug)]
+pub struct CloudUser {
+    pub(crate) key: UserKey,
+}
+
+impl CloudUser {
+    /// The identity string.
+    pub fn identity(&self) -> &str {
+        self.key.identity()
+    }
+
+    /// The public identity data `(ID, Q_ID)`.
+    pub fn public(&self) -> &UserPublic {
+        self.key.public()
+    }
+
+    /// The underlying signing key.
+    pub fn key(&self) -> &UserKey {
+        &self.key
+    }
+}
+
+/// A registered verifier (cloud server or DA) holding a `G2` verification
+/// key and a `G1` signing key under the same identity.
+#[derive(Clone, Debug)]
+pub struct VerifierCredential {
+    key: VerifierKey,
+    signer: UserKey,
+}
+
+impl VerifierCredential {
+    /// The identity string.
+    pub fn identity(&self) -> &str {
+        self.key.identity()
+    }
+
+    /// The public verification identity `(ID, Q_V)`.
+    pub fn public(&self) -> &VerifierPublic {
+        self.key.public()
+    }
+
+    /// The verification key (held secret by the verifier).
+    pub fn key(&self) -> &VerifierKey {
+        &self.key
+    }
+
+    /// The signing key used for commitment roots.
+    pub fn signer(&self) -> &UserKey {
+        &self.signer
+    }
+
+    /// The public signing identity (what others use to check root
+    /// signatures from this principal).
+    pub fn signer_public(&self) -> &UserPublic {
+        self.signer.public()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_deterministic_per_seed() {
+        let s1 = Sio::new(b"seed");
+        let s2 = Sio::new(b"seed");
+        assert_eq!(s1.params(), s2.params());
+        assert_eq!(
+            s1.register("alice").public(),
+            s2.register("alice").public()
+        );
+        let s3 = Sio::new(b"different");
+        assert_ne!(s1.params(), s3.params());
+    }
+
+    #[test]
+    fn verifier_has_consistent_dual_identity() {
+        let sio = Sio::new(b"dual");
+        let cs = sio.register_verifier("cs-01");
+        assert_eq!(cs.identity(), "cs-01");
+        assert_eq!(cs.signer().identity(), "cs-01");
+        assert_eq!(cs.public().identity(), cs.signer_public().identity());
+    }
+
+    #[test]
+    fn identities_are_distinct_principals() {
+        let sio = Sio::new(b"distinct");
+        let a = sio.register("alice");
+        let b = sio.register("bob");
+        assert_ne!(a.public(), b.public());
+    }
+}

@@ -1,0 +1,357 @@
+//! Protocol II — secure cloud storage (paper Section V-B).
+//!
+//! For each data block `mᵢ` the user produces an identity-based signature
+//! `(Uᵢ, Vᵢ)`, then *replaces* `Vᵢ` with designated proofs
+//! `Σᵢ = ê(Vᵢ, Q_CS)` / `Σ'ᵢ = ê(Vᵢ, Q_DA)` and uploads
+//! `{mᵢ, Uᵢ, Σᵢ, Σ'ᵢ}`. Only the cloud server and the designated agency can
+//! later authenticate the blocks (eq. 5); third parties — e.g. a data buyer
+//! in the illegal-selling model — learn nothing.
+
+use seccloud_hash::{HmacDrbg, Sha256};
+use seccloud_ibs::{
+    designate, sign, BatchVerifier, DesignatedSignature, UserPublic, VerifierKey, VerifierPublic,
+};
+
+use crate::sio::CloudUser;
+
+/// One data block `mᵢ` with its position index.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DataBlock {
+    index: u64,
+    data: Vec<u8>,
+}
+
+impl DataBlock {
+    /// Creates a block at `index` holding `data`.
+    pub fn new(index: u64, data: Vec<u8>) -> Self {
+        Self { index, data }
+    }
+
+    /// The block's position index (the paper's `pᵢ`).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The raw block bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The bytes that are actually signed: position-bound so a server
+    /// cannot satisfy a challenge on position `p` with the block stored at
+    /// a different position (the paper's storage-cheating case 2).
+    pub fn signed_message(&self) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(8 + self.data.len());
+        msg.extend_from_slice(&self.index.to_be_bytes());
+        msg.extend_from_slice(&self.data);
+        msg
+    }
+
+    /// A short content digest (used by simulators for bookkeeping).
+    pub fn digest(&self) -> [u8; 32] {
+        Sha256::digest(&self.signed_message())
+    }
+
+    /// Interprets the block as a sequence of big-endian `u64` readings —
+    /// the numeric view the computation protocol operates on. Trailing
+    /// bytes that do not fill a full word are ignored.
+    pub fn values(&self) -> Vec<u64> {
+        self.data
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+
+    /// Builds a block from numeric readings.
+    pub fn from_values(index: u64, values: &[u64]) -> Self {
+        let mut data = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            data.extend_from_slice(&v.to_be_bytes());
+        }
+        Self::new(index, data)
+    }
+}
+
+/// A block together with the designated authentication data uploaded to the
+/// cloud: `{mᵢ, Uᵢ, Σᵢ, Σ'ᵢ, …}` keyed by verifier identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedBlock {
+    block: DataBlock,
+    /// Designated signature per verifier identity (CS, DA, …).
+    designations: Vec<(String, DesignatedSignature)>,
+}
+
+impl SignedBlock {
+    /// The underlying block.
+    pub fn block(&self) -> &DataBlock {
+        &self.block
+    }
+
+    /// The designated signature for a given verifier identity, if present.
+    pub fn designation_for(&self, verifier_identity: &str) -> Option<&DesignatedSignature> {
+        self.designations
+            .iter()
+            .find(|(id, _)| id == verifier_identity)
+            .map(|(_, sig)| sig)
+    }
+
+    /// Identities this block can be verified by.
+    pub fn designated_verifiers(&self) -> impl Iterator<Item = &str> {
+        self.designations.iter().map(|(id, _)| id.as_str())
+    }
+
+    /// All `(verifier identity, designated signature)` pairs — the wire
+    /// representation of the upload.
+    pub fn designations(&self) -> impl Iterator<Item = (&str, &DesignatedSignature)> {
+        self.designations.iter().map(|(id, s)| (id.as_str(), s))
+    }
+
+    /// Rebuilds a signed block from serialized parts; authenticity is
+    /// established by [`SignedBlock::verify`], not construction.
+    pub fn from_parts(
+        block: DataBlock,
+        designations: Vec<(String, DesignatedSignature)>,
+    ) -> Self {
+        Self {
+            block,
+            designations,
+        }
+    }
+
+    /// Verifies the block with a designated verifier's key (paper eq. 5):
+    /// `Σᵢ = ê(Uᵢ + H2(Uᵢ‖mᵢ)·Q_ID, sk_V)`.
+    pub fn verify(&self, verifier: &VerifierKey, owner: &UserPublic) -> bool {
+        let Some(sig) = self.designation_for(verifier.identity()) else {
+            return false;
+        };
+        sig.verify(verifier, owner, &self.block.signed_message())
+    }
+
+    /// Replaces the stored block content (test/simulation hook for the
+    /// storage-cheating adversary).
+    #[doc(hidden)]
+    pub fn tamper_data(&mut self, data: Vec<u8>) {
+        self.block.data = data;
+    }
+
+    /// Re-labels the block position (wrong-position cheating hook).
+    #[doc(hidden)]
+    pub fn tamper_index(&mut self, index: u64) {
+        self.block.index = index;
+    }
+}
+
+impl CloudUser {
+    /// Signs a batch of blocks for upload, designating each signature to
+    /// every verifier in `verifiers` (typically `[Q_CS, Q_DA]`).
+    ///
+    /// After this call the user can delete the local copies (paper: "sends
+    /// the data and corresponding signature pairs {D, Φ} to the cloud
+    /// server and deletes them from local storage").
+    pub fn sign_blocks(
+        &self,
+        blocks: &[DataBlock],
+        verifiers: &[&VerifierPublic],
+    ) -> Vec<SignedBlock> {
+        let mut drbg = HmacDrbg::new(
+            &[
+                self.identity().as_bytes(),
+                b"/storage-signing",
+            ]
+            .concat(),
+        );
+        blocks
+            .iter()
+            .map(|b| {
+                let raw = seccloud_ibs::sign_with_rng(
+                    self.key(),
+                    &b.signed_message(),
+                    &mut drbg,
+                );
+                let designations = verifiers
+                    .iter()
+                    .map(|v| (v.identity().to_owned(), designate(&raw, v)))
+                    .collect();
+                SignedBlock {
+                    block: b.clone(),
+                    designations,
+                }
+            })
+            .collect()
+    }
+
+    /// Signs a single block with an explicit nonce (deterministic; used by
+    /// tests and the simulator).
+    pub fn sign_block(
+        &self,
+        block: &DataBlock,
+        verifiers: &[&VerifierPublic],
+        nonce: &[u8],
+    ) -> SignedBlock {
+        let raw = sign(self.key(), &block.signed_message(), nonce);
+        SignedBlock {
+            block: block.clone(),
+            designations: verifiers
+                .iter()
+                .map(|v| (v.identity().to_owned(), designate(&raw, v)))
+                .collect(),
+        }
+    }
+}
+
+/// Result of a storage audit over a sampled set of blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageAuditReport {
+    /// Indices (into the sampled set) that failed verification.
+    pub failed: Vec<usize>,
+    /// Number of blocks checked.
+    pub checked: usize,
+}
+
+impl StorageAuditReport {
+    /// Whether every sampled block verified.
+    pub fn is_valid(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Audits a set of retrieved blocks individually (one pairing each).
+pub fn audit_blocks(
+    verifier: &VerifierKey,
+    owner: &UserPublic,
+    blocks: &[SignedBlock],
+) -> StorageAuditReport {
+    let failed = blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.verify(verifier, owner))
+        .map(|(i, _)| i)
+        .collect();
+    StorageAuditReport {
+        failed,
+        checked: blocks.len(),
+    }
+}
+
+/// Audits a set of retrieved blocks with one batch pairing (Section VI).
+///
+/// Returns `true` when the whole batch verifies; on failure fall back to
+/// [`audit_blocks`] to locate the offenders.
+pub fn audit_blocks_batched(
+    verifier: &VerifierKey,
+    owner: &UserPublic,
+    blocks: &[SignedBlock],
+) -> bool {
+    let mut batch = BatchVerifier::new();
+    for b in blocks {
+        let Some(sig) = b.designation_for(verifier.identity()) else {
+            return false;
+        };
+        batch.push(owner.clone(), b.block().signed_message(), sig.clone());
+    }
+    batch.verify(verifier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sio::Sio;
+
+    fn setup() -> (Sio, CloudUser, crate::sio::VerifierCredential, crate::sio::VerifierCredential) {
+        let sio = Sio::new(b"storage-tests");
+        let user = sio.register("alice");
+        let cs = sio.register_verifier("cs-01");
+        let da = sio.register_verifier("da");
+        (sio, user, cs, da)
+    }
+
+    fn blocks(n: u64) -> Vec<DataBlock> {
+        (0..n)
+            .map(|i| DataBlock::from_values(i, &[i * 10, i * 10 + 1, i * 10 + 2]))
+            .collect()
+    }
+
+    #[test]
+    fn signed_blocks_verify_for_both_designees() {
+        let (_, user, cs, da) = setup();
+        let signed = user.sign_blocks(&blocks(5), &[cs.public(), da.public()]);
+        for b in &signed {
+            assert!(b.verify(cs.key(), user.public()));
+            assert!(b.verify(da.key(), user.public()));
+            assert_eq!(b.designated_verifiers().count(), 2);
+        }
+    }
+
+    #[test]
+    fn non_designated_verifier_cannot_authenticate() {
+        let (sio, user, cs, _) = setup();
+        let signed = user.sign_blocks(&blocks(2), &[cs.public()]);
+        let eve = sio.register_verifier("eve-corp");
+        assert!(!signed[0].verify(eve.key(), user.public()));
+        assert!(signed[0].designation_for("eve-corp").is_none());
+    }
+
+    #[test]
+    fn tampered_data_is_detected() {
+        let (_, user, cs, da) = setup();
+        let mut signed = user.sign_blocks(&blocks(3), &[cs.public(), da.public()]);
+        signed[1].tamper_data(b"modified by byzantine server".to_vec());
+        assert!(!signed[1].verify(cs.key(), user.public()));
+        let report = audit_blocks(cs.key(), user.public(), &signed);
+        assert_eq!(report.failed, vec![1]);
+        assert!(!report.is_valid());
+        assert!(!audit_blocks_batched(da.key(), user.public(), &signed));
+    }
+
+    #[test]
+    fn wrong_position_is_detected() {
+        // The paper's storage-cheating case: serving data from position j
+        // when position i was requested.
+        let (_, user, cs, _) = setup();
+        let mut signed = user.sign_blocks(&blocks(3), &[cs.public()]);
+        signed[0].tamper_index(7);
+        assert!(!signed[0].verify(cs.key(), user.public()));
+    }
+
+    #[test]
+    fn batched_audit_agrees_with_individual() {
+        let (_, user, cs, _) = setup();
+        let signed = user.sign_blocks(&blocks(10), &[cs.public()]);
+        assert!(audit_blocks(cs.key(), user.public(), &signed).is_valid());
+        assert!(audit_blocks_batched(cs.key(), user.public(), &signed));
+    }
+
+    #[test]
+    fn wrong_owner_rejected() {
+        let (sio, user, cs, _) = setup();
+        let signed = user.sign_blocks(&blocks(2), &[cs.public()]);
+        let bob = sio.register("bob");
+        assert!(!signed[0].verify(cs.key(), bob.public()));
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let b = DataBlock::from_values(3, &[1, u64::MAX, 42]);
+        assert_eq!(b.values(), vec![1, u64::MAX, 42]);
+        assert_eq!(b.index(), 3);
+        // Non-multiple-of-8 data drops the tail.
+        let odd = DataBlock::new(0, vec![0, 0, 0, 0, 0, 0, 0, 9, 1, 2]);
+        assert_eq!(odd.values(), vec![9]);
+    }
+
+    #[test]
+    fn signed_message_binds_position() {
+        let b1 = DataBlock::new(1, vec![0xaa]);
+        let b2 = DataBlock::new(2, vec![0xaa]);
+        assert_ne!(b1.signed_message(), b2.signed_message());
+        assert_ne!(b1.digest(), b2.digest());
+    }
+
+    #[test]
+    fn empty_block_set_is_trivially_valid() {
+        let (_, user, cs, _) = setup();
+        let report = audit_blocks(cs.key(), user.public(), &[]);
+        assert!(report.is_valid());
+        assert!(audit_blocks_batched(cs.key(), user.public(), &[]));
+    }
+}

@@ -1,0 +1,93 @@
+//! Cryptographic hashing for the SecCloud reproduction.
+//!
+//! Everything is implemented from scratch:
+//!
+//! * [`Sha256`] — FIPS 180-4 SHA-256 (verified against NIST vectors).
+//! * [`hmac_sha256`] — RFC 2104 HMAC over SHA-256.
+//! * [`HmacDrbg`] — a deterministic random bit generator in the style of
+//!   NIST SP 800-90A HMAC_DRBG, used wherever the protocol needs
+//!   reproducible randomness (nonces, audit challenges, simulations).
+//!
+//! The paper's three hash functions `H : {0,1}* → Z_q`,
+//! `H1 : {0,1}* → G1` and `H2 : {0,1}* → Z_q*` are built on these
+//! primitives: the `Z_q` maps live here as [`hash_to_int_bytes`] (wide
+//! reduction happens in the field layer), and `H1` lives in
+//! `seccloud-pairing` as hash-to-curve.
+//!
+//! # Examples
+//!
+//! ```
+//! use seccloud_hash::Sha256;
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     hex(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//! # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drbg;
+mod hmac;
+mod sha256;
+
+pub use drbg::HmacDrbg;
+pub use hmac::hmac_sha256;
+pub use sha256::{Digest, Sha256};
+
+/// Produces `n` bytes of domain-separated hash output by counter-mode
+/// expansion: `SHA256(len(domain) ‖ domain ‖ ctr_be ‖ msg)` for
+/// `ctr = 0, 1, …`.
+///
+/// This is the "wide output" building block behind the paper's `H` and `H2`
+/// (hash-to-`Z_q`): producing more than 256 bits and reducing mod `q` keeps
+/// the output distribution within 2⁻¹²⁸ of uniform.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_hash::hash_to_int_bytes;
+/// let a = hash_to_int_bytes(b"H2", b"message", 48);
+/// let b = hash_to_int_bytes(b"H2", b"message", 48);
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 48);
+/// assert_ne!(a, hash_to_int_bytes(b"H", b"message", 48));
+/// ```
+pub fn hash_to_int_bytes(domain: &[u8], msg: &[u8], n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n);
+    let mut ctr: u32 = 0;
+    while out.len() < n {
+        let mut h = Sha256::new();
+        h.update(&(domain.len() as u64).to_be_bytes());
+        h.update(domain);
+        h.update(&ctr.to_be_bytes());
+        h.update(msg);
+        out.extend_from_slice(&h.finalize());
+        ctr += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_prefix_consistent() {
+        let long = hash_to_int_bytes(b"d", b"m", 100);
+        let short = hash_to_int_bytes(b"d", b"m", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    fn domain_separation_is_not_length_malleable() {
+        // ("ab", "c") must differ from ("a", "bc") thanks to the length
+        // prefix on the domain.
+        assert_ne!(
+            hash_to_int_bytes(b"ab", b"c", 32),
+            hash_to_int_bytes(b"a", b"bc", 32)
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Batch verification of designated signatures (paper Section VI).
+//!
+//! Given `ℓ` designated signatures `{(Uᵢⱼ, Σᵢⱼ)}` from `k` users, the
+//! verifier aggregates
+//!
+//! ```text
+//! Σ_A = Πᵢⱼ Σᵢⱼ                      (GT multiplications)
+//! U_A = Σᵢⱼ (Uᵢⱼ + H2(Uᵢⱼ‖mᵢⱼ)·Q_IDᵢ)  (G1 additions)
+//! ```
+//!
+//! and accepts iff `ê(U_A, sk_V) = Σ_A` (eq. 8), whose correctness is the
+//! paper's eq. 9. Individual verification costs one pairing per signature;
+//! the batch costs one pairing total — the source of the constant-vs-linear
+//! gap in Fig. 5 and Table II.
+
+use seccloud_pairing::{pairing, Fr, G1, Gt};
+
+use crate::keys::{UserPublic, VerifierKey};
+use crate::sign::{challenge_hash, DesignatedSignature};
+
+/// One signature in a batch: the signer, the message, and the designated
+/// signature to fold in.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// The signer's public identity data.
+    pub signer: UserPublic,
+    /// The signed message bytes.
+    pub message: Vec<u8>,
+    /// The designated signature `(U, Σ)`.
+    pub signature: DesignatedSignature,
+}
+
+/// An incremental batch verifier ("the signature combination can be
+/// performed incrementally", Section VI).
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_ibs::{designate, sign, BatchVerifier, MasterKey};
+///
+/// let sio = MasterKey::from_seed(b"batch-doc");
+/// let server = sio.extract_verifier("cs");
+/// let mut batch = BatchVerifier::new();
+/// for (who, msg) in [("alice", b"m1".as_slice()), ("bob", b"m2")] {
+///     let user = sio.extract_user(who);
+///     let sig = designate(&sign(&user, msg, b"n"), server.public());
+///     batch.push(user.public().clone(), msg.to_vec(), sig);
+/// }
+/// assert!(batch.verify(&server));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BatchVerifier {
+    /// Running `U_A` accumulator.
+    u_acc: Option<G1>,
+    /// Running `Σ_A` accumulator.
+    sigma_acc: Option<Gt>,
+    /// Number of folded signatures.
+    len: usize,
+}
+
+impl BatchVerifier {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of signatures folded in so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Folds one signature into the running aggregate (cheap: one `G1`
+    /// scalar-mul + addition and one `GT` multiplication — no pairing).
+    pub fn push(&mut self, signer: UserPublic, message: Vec<u8>, signature: DesignatedSignature) {
+        self.push_item(&BatchItem {
+            signer,
+            message,
+            signature,
+        });
+    }
+
+    /// Folds a [`BatchItem`] by reference.
+    pub fn push_item(&mut self, item: &BatchItem) {
+        let h: Fr = challenge_hash(item.signature.u(), &item.message);
+        let term = item.signature.u().add(&item.signer.q().mul_fr(&h));
+        self.u_acc = Some(match &self.u_acc {
+            Some(acc) => acc.add(&term),
+            None => term,
+        });
+        self.sigma_acc = Some(match &self.sigma_acc {
+            Some(acc) => acc.mul(item.signature.sigma()),
+            None => *item.signature.sigma(),
+        });
+        self.len += 1;
+    }
+
+    /// Runs the single-pairing batch check `ê(U_A, sk_V) = Σ_A`.
+    ///
+    /// An empty batch verifies trivially (`1 = 1`).
+    pub fn verify(&self, verifier: &VerifierKey) -> bool {
+        match (&self.u_acc, &self.sigma_acc) {
+            (Some(u), Some(sigma)) => {
+                pairing(&u.to_affine(), &verifier.sk().to_affine()) == *sigma
+            }
+            _ => true,
+        }
+    }
+
+    /// Merges another batch into this one (useful when sub-batches are
+    /// aggregated concurrently and combined at the end).
+    pub fn merge(&mut self, other: &BatchVerifier) {
+        if let Some(u) = &other.u_acc {
+            self.u_acc = Some(match &self.u_acc {
+                Some(acc) => acc.add(u),
+                None => *u,
+            });
+        }
+        if let Some(s) = &other.sigma_acc {
+            self.sigma_acc = Some(match &self.sigma_acc {
+                Some(acc) => acc.mul(s),
+                None => *s,
+            });
+        }
+        self.len += other.len;
+    }
+}
+
+/// Verifies a slice of batch items one by one (the `2ℓ`-pairing baseline the
+/// paper compares against; here each check is one pairing since `Σ` is
+/// precomputed). Returns the index of the first invalid item, or `None` when
+/// all verify.
+pub fn verify_individually(items: &[BatchItem], verifier: &VerifierKey) -> Option<usize> {
+    items.iter().position(|item| {
+        !item
+            .signature
+            .verify(verifier, &item.signer, &item.message)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::MasterKey;
+    use crate::sign::{designate, sign};
+
+    fn make_items(n: usize, users: usize, seed: &str) -> (MasterKey, VerifierKey, Vec<BatchItem>) {
+        let m = MasterKey::from_seed(seed.as_bytes());
+        let v = m.extract_verifier("cs-batch");
+        let items = (0..n)
+            .map(|i| {
+                let user = m.extract_user(&format!("user-{}", i % users));
+                let msg = format!("block-{i}").into_bytes();
+                let sig = designate(&sign(&user, &msg, b"n"), v.public());
+                BatchItem {
+                    signer: user.public().clone(),
+                    message: msg,
+                    signature: sig,
+                }
+            })
+            .collect();
+        (m, v, items)
+    }
+
+    #[test]
+    fn batch_accepts_valid_multi_user_set() {
+        let (_, v, items) = make_items(12, 4, "batch-ok");
+        let mut b = BatchVerifier::new();
+        for item in &items {
+            b.push_item(item);
+        }
+        assert_eq!(b.len(), 12);
+        assert!(b.verify(&v));
+        assert_eq!(verify_individually(&items, &v), None);
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_valid() {
+        let m = MasterKey::from_seed(b"empty");
+        let v = m.extract_verifier("cs");
+        assert!(BatchVerifier::new().verify(&v));
+        assert!(BatchVerifier::new().is_empty());
+    }
+
+    #[test]
+    fn single_item_batch_equals_individual() {
+        let (_, v, items) = make_items(1, 1, "single");
+        let mut b = BatchVerifier::new();
+        b.push_item(&items[0]);
+        assert!(b.verify(&v));
+    }
+
+    #[test]
+    fn one_bad_signature_poisons_the_batch() {
+        let (_, v, mut items) = make_items(8, 3, "poison");
+        // Corrupt item 5's message after signing.
+        items[5].message = b"tampered".to_vec();
+        let mut b = BatchVerifier::new();
+        for item in &items {
+            b.push_item(item);
+        }
+        assert!(!b.verify(&v));
+        assert_eq!(verify_individually(&items, &v), Some(5));
+    }
+
+    #[test]
+    fn wrong_verifier_rejects_batch() {
+        let (m, _, items) = make_items(4, 2, "wrongv");
+        let other = m.extract_verifier("someone-else");
+        let mut b = BatchVerifier::new();
+        for item in &items {
+            b.push_item(item);
+        }
+        assert!(!b.verify(&other));
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let (_, v, items) = make_items(10, 5, "merge");
+        let mut whole = BatchVerifier::new();
+        for item in &items {
+            whole.push_item(item);
+        }
+        let mut left = BatchVerifier::new();
+        let mut right = BatchVerifier::new();
+        for item in &items[..4] {
+            left.push_item(item);
+        }
+        for item in &items[4..] {
+            right.push_item(item);
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), whole.len());
+        assert_eq!(left.verify(&v), whole.verify(&v));
+        assert!(left.verify(&v));
+    }
+
+    #[test]
+    fn forged_sigma_cannot_pass_even_if_u_adjusted() {
+        // An adversary who scales Σ must break the pairing relation.
+        let (_, v, mut items) = make_items(3, 1, "forge");
+        let bad = items[0].signature.sigma().mul(items[1].signature.sigma());
+        items[0].signature =
+            crate::sign::DesignatedSignature::from_parts(*items[0].signature.u(), bad);
+        let mut b = BatchVerifier::new();
+        for item in &items {
+            b.push_item(item);
+        }
+        assert!(!b.verify(&v));
+    }
+
+    #[test]
+    fn swapped_signatures_between_messages_fail() {
+        // Valid signatures attached to the wrong messages must not slip
+        // through the aggregate (they cancel only with negligible prob).
+        let (_, v, mut items) = make_items(2, 2, "swap");
+        let s0 = items[0].signature.clone();
+        items[0].signature = items[1].signature.clone();
+        items[1].signature = s0;
+        let mut b = BatchVerifier::new();
+        for item in &items {
+            b.push_item(item);
+        }
+        assert!(!b.verify(&v));
+    }
+
+    #[test]
+    fn batch_is_order_independent() {
+        let (_, v, items) = make_items(6, 3, "order");
+        let mut fwd = BatchVerifier::new();
+        let mut rev = BatchVerifier::new();
+        for item in &items {
+            fwd.push_item(item);
+        }
+        for item in items.iter().rev() {
+            rev.push_item(item);
+        }
+        assert!(fwd.verify(&v) && rev.verify(&v));
+    }
+
+    #[test]
+    fn identity_scaled_sigma_rejected() {
+        // Multiplying Σ by a nontrivial GT element must break verification.
+        let (_, v, mut items) = make_items(1, 1, "scale");
+        let tweak = pairing(
+            &G1::generator().to_affine(),
+            &v.public().q().to_affine(),
+        );
+        let bad = items[0].signature.sigma().mul(&tweak);
+        items[0].signature =
+            crate::sign::DesignatedSignature::from_parts(*items[0].signature.u(), bad);
+        let mut b = BatchVerifier::new();
+        b.push_item(&items[0]);
+        assert!(!b.verify(&v));
+        let _ = Fr::zero().is_zero(); // keep FieldElement import exercised
+    }
+}

@@ -1,0 +1,304 @@
+//! System initialization and identity key extraction (paper Section V-A).
+
+use seccloud_hash::HmacDrbg;
+use seccloud_pairing::{hash_to_g1, hash_to_g2, Fr, G1, G2};
+
+/// Public system parameters published by the SIO after setup.
+///
+/// `params = (G1, G2, q, ê, P, P_pub, H, H1, H2)` in the paper; the groups,
+/// pairing and hash functions are fixed by this workspace, so only the
+/// master public keys vary per deployment. Both `s·P₁` and `s·P₂` are
+/// published: the former is used by the ECDSA-style comparisons, the latter
+/// by public verification of the *undesignated* signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SystemParams {
+    p_pub_g1: G1,
+    p_pub_g2: G2,
+}
+
+impl SystemParams {
+    /// The master public key `s·P₁ ∈ G1`.
+    pub fn p_pub_g1(&self) -> &G1 {
+        &self.p_pub_g1
+    }
+
+    /// The master public key `s·P₂ ∈ G2`.
+    pub fn p_pub_g2(&self) -> &G2 {
+        &self.p_pub_g2
+    }
+}
+
+/// The SIO's master secret `s` plus the derived public parameters.
+///
+/// In deployment the SIO is "the government or a trusted third party"
+/// (paper footnote 1); registration is off-line.
+#[derive(Clone)]
+pub struct MasterKey {
+    s: Fr,
+    params: SystemParams,
+}
+
+impl std::fmt::Debug for MasterKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the master secret.
+        f.debug_struct("MasterKey")
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MasterKey {
+    /// Generates a master key deterministically from seed bytes.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg::new(seed);
+        Self::from_drbg(&mut drbg)
+    }
+
+    /// Generates a master key from an existing DRBG stream.
+    pub fn from_drbg(drbg: &mut HmacDrbg) -> Self {
+        let s = Fr::random_nonzero(drbg);
+        Self::from_scalar(s)
+    }
+
+    /// Wraps an explicit master scalar (test hook; prefer
+    /// [`MasterKey::from_seed`]).
+    pub fn from_scalar(s: Fr) -> Self {
+        let params = SystemParams {
+            p_pub_g1: G1::generator().mul_fr(&s),
+            p_pub_g2: G2::generator().mul_fr(&s),
+        };
+        Self { s, params }
+    }
+
+    /// The public system parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Extracts a *user* key: `Q_ID = H1(ID) ∈ G1`, `sk_ID = s·Q_ID`
+    /// (paper eq. 4).
+    pub fn extract_user(&self, identity: &str) -> UserKey {
+        let q = hash_to_g1(identity.as_bytes());
+        UserKey {
+            public: UserPublic {
+                identity: identity.to_owned(),
+                q,
+            },
+            sk: q.mul_fr(&self.s),
+        }
+    }
+
+    /// Extracts a *verifier* key (cloud server or designated agency):
+    /// `Q_V = H1(ID) ∈ G2`, `sk_V = s·Q_V`.
+    pub fn extract_verifier(&self, identity: &str) -> VerifierKey {
+        let q = hash_to_g2(identity.as_bytes());
+        VerifierKey {
+            public: VerifierPublic {
+                identity: identity.to_owned(),
+                q,
+            },
+            sk: q.mul_fr(&self.s),
+        }
+    }
+}
+
+/// A user's public identity data: the identity string and `Q_ID = H1(ID)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserPublic {
+    identity: String,
+    q: G1,
+}
+
+impl UserPublic {
+    /// Recomputes the public data for an identity (anyone can do this —
+    /// that is the point of identity-based cryptography).
+    pub fn from_identity(identity: &str) -> Self {
+        Self {
+            identity: identity.to_owned(),
+            q: hash_to_g1(identity.as_bytes()),
+        }
+    }
+
+    /// The identity string.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// The identity public key `Q_ID ∈ G1`.
+    pub fn q(&self) -> &G1 {
+        &self.q
+    }
+}
+
+/// A user's extracted key pair.
+#[derive(Clone)]
+pub struct UserKey {
+    public: UserPublic,
+    sk: G1,
+}
+
+impl std::fmt::Debug for UserKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserKey")
+            .field("identity", &self.public.identity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl UserKey {
+    /// The public part.
+    pub fn public(&self) -> &UserPublic {
+        &self.public
+    }
+
+    /// The identity string.
+    pub fn identity(&self) -> &str {
+        &self.public.identity
+    }
+
+    /// The secret key `sk_ID = s·Q_ID ∈ G1` (crate-internal).
+    pub(crate) fn sk(&self) -> &G1 {
+        &self.sk
+    }
+}
+
+/// A verifier's public identity data: identity string and `Q_V ∈ G2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifierPublic {
+    identity: String,
+    q: G2,
+}
+
+impl VerifierPublic {
+    /// Recomputes the public data for a verifier identity.
+    pub fn from_identity(identity: &str) -> Self {
+        Self {
+            identity: identity.to_owned(),
+            q: hash_to_g2(identity.as_bytes()),
+        }
+    }
+
+    /// The identity string.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// The identity public key `Q_V ∈ G2`.
+    pub fn q(&self) -> &G2 {
+        &self.q
+    }
+}
+
+/// A verifier's extracted key pair (cloud server / designated agency).
+#[derive(Clone)]
+pub struct VerifierKey {
+    public: VerifierPublic,
+    sk: G2,
+}
+
+impl std::fmt::Debug for VerifierKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifierKey")
+            .field("identity", &self.public.identity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VerifierKey {
+    /// The public part.
+    pub fn public(&self) -> &VerifierPublic {
+        &self.public
+    }
+
+    /// The identity string.
+    pub fn identity(&self) -> &str {
+        &self.public.identity
+    }
+
+    /// The secret key `sk_V = s·Q_V ∈ G2` (crate-internal; exposed to the
+    /// signature module for verification and simulation).
+    pub(crate) fn sk(&self) -> &G2 {
+        &self.sk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seccloud_pairing::pairing;
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let m = MasterKey::from_seed(b"seed");
+        let a1 = m.extract_user("alice");
+        let a2 = m.extract_user("alice");
+        assert_eq!(a1.public(), a2.public());
+        assert_eq!(a1.sk(), a2.sk());
+        assert_ne!(a1.public(), m.extract_user("bob").public());
+    }
+
+    #[test]
+    fn different_seeds_different_master_keys() {
+        let m1 = MasterKey::from_seed(b"seed-1");
+        let m2 = MasterKey::from_seed(b"seed-2");
+        assert_ne!(m1.params(), m2.params());
+    }
+
+    #[test]
+    fn user_public_matches_anyone_recomputing_it() {
+        let m = MasterKey::from_seed(b"seed");
+        let alice = m.extract_user("alice");
+        let recomputed = UserPublic::from_identity("alice");
+        assert_eq!(alice.public(), &recomputed);
+        let server = m.extract_verifier("cs");
+        assert_eq!(server.public(), &VerifierPublic::from_identity("cs"));
+    }
+
+    #[test]
+    fn extracted_keys_satisfy_the_master_relation() {
+        // ê(sk_ID, P₂) = ê(Q_ID, s·P₂) — the defining property of eq. (4).
+        let m = MasterKey::from_seed(b"relation");
+        let u = m.extract_user("alice");
+        let lhs = pairing(
+            &u.sk().to_affine(),
+            &G2::generator().to_affine(),
+        );
+        let rhs = pairing(
+            &u.public().q().to_affine(),
+            &m.params().p_pub_g2().to_affine(),
+        );
+        assert_eq!(lhs, rhs);
+
+        // ê(P₁, sk_V) = ê(s·P₁, Q_V) for verifier keys.
+        let v = m.extract_verifier("da");
+        let lhs = pairing(&G1::generator().to_affine(), &v.sk().to_affine());
+        let rhs = pairing(
+            &m.params().p_pub_g1().to_affine(),
+            &v.public().q().to_affine(),
+        );
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn debug_never_leaks_secrets() {
+        let m = MasterKey::from_seed(b"secret-seed");
+        let u = m.extract_user("u");
+        let v = m.extract_verifier("v");
+        let dbg = format!("{m:?}{u:?}{v:?}");
+        // Secrets would print as hex values of the s / sk fields; ensure the
+        // redacted formatters are in use and the raw values are absent.
+        assert!(dbg.contains(".."), "redaction marker missing: {dbg}");
+        assert!(!dbg.contains("sk:"), "extracted secret printed: {dbg}");
+        let sk_hex = format!("{:?}", u.sk());
+        assert!(!dbg.contains(&sk_hex), "user secret printed");
+    }
+
+    #[test]
+    fn zero_master_scalar_is_rejected_by_construction() {
+        // Fr::random_nonzero never returns zero; from_scalar with an
+        // explicit nonzero scalar keeps P_pub off the identity.
+        let m = MasterKey::from_scalar(Fr::from_u64(1).add(&Fr::from_u64(1)));
+        assert!(!m.params().p_pub_g1().is_identity());
+        assert!(!m.params().p_pub_g2().is_identity());
+    }
+}

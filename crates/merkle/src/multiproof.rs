@@ -1,0 +1,278 @@
+//! Batched Merkle proofs covering several leaves at once.
+
+use std::collections::BTreeMap;
+
+use crate::tree::{leaf_hash, node_hash, MerkleTree, Node};
+
+/// A proof that a *set* of leaves is committed under one root, sharing
+/// interior nodes between the individual paths.
+///
+/// During an audit with sampling size `t`, the cloud server answers the
+/// whole challenge set with one `MultiProof` instead of `t` independent
+/// paths; for adjacent samples this saves most of the response bytes.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_merkle::MerkleTree;
+///
+/// let data: Vec<Vec<u8>> = (0..16u32).map(|i| i.to_be_bytes().to_vec()).collect();
+/// let tree = MerkleTree::from_data(data.iter().map(Vec::as_slice));
+/// let proof = tree.prove_multi(&[2, 3, 9]).unwrap();
+/// let claims: Vec<(usize, &[u8])> = vec![(2, &data[2]), (3, &data[3]), (9, &data[9])];
+/// assert!(proof.verify(&tree.root(), &claims));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiProof {
+    /// Sibling/interior hashes in deterministic replay order.
+    nodes: Vec<Node>,
+    /// Leaf count of the source tree.
+    leaf_count: usize,
+}
+
+impl MultiProof {
+    /// Generates a proof for `indices` (need not be sorted; duplicates are
+    /// collapsed). Returns `None` on an empty list or out-of-range index.
+    pub(crate) fn generate(tree: &MerkleTree, indices: &[usize]) -> Option<Self> {
+        if indices.is_empty() {
+            return None;
+        }
+        let mut known: Vec<usize> = indices.to_vec();
+        known.sort_unstable();
+        known.dedup();
+        if *known.last().expect("nonempty") >= tree.leaf_count() {
+            return None;
+        }
+
+        let mut nodes = Vec::new();
+        for level_idx in 0..tree.height() - 1 {
+            let level = tree.level(level_idx);
+            let width = level.len();
+            let mut next_known = Vec::new();
+            let mut i = 0;
+            while i < known.len() {
+                let pos = known[i];
+                let sib = pos ^ 1;
+                if sib < width {
+                    if i + 1 < known.len() && known[i + 1] == sib {
+                        // Sibling is also a claimed/known node: no extra data.
+                        i += 1;
+                    } else {
+                        nodes.push(level[sib]);
+                    }
+                }
+                next_known.push(pos / 2);
+                i += 1;
+            }
+            known = next_known;
+        }
+        Some(Self {
+            nodes,
+            leaf_count: tree.leaf_count(),
+        })
+    }
+
+    /// Verifies a set of `(index, data)` claims against `root`.
+    ///
+    /// Duplicated indices with conflicting data, unknown indices, or any
+    /// hash mismatch cause rejection.
+    pub fn verify(&self, root: &Node, claims: &[(usize, &[u8])]) -> bool {
+        if claims.is_empty() {
+            return false;
+        }
+        // index → leaf hash, rejecting conflicting duplicates.
+        let mut by_index: BTreeMap<usize, Node> = BTreeMap::new();
+        for (idx, data) in claims {
+            if *idx >= self.leaf_count {
+                return false;
+            }
+            let h = leaf_hash(data);
+            if let Some(prev) = by_index.insert(*idx, h) {
+                if prev != h {
+                    return false;
+                }
+            }
+        }
+
+        let mut known: Vec<(usize, Node)> = by_index.into_iter().collect();
+        let mut width = self.leaf_count;
+        let mut node_iter = self.nodes.iter();
+        while width > 1 {
+            let mut next = Vec::with_capacity(known.len());
+            let mut i = 0;
+            while i < known.len() {
+                let (pos, hash) = known[i];
+                let sib = pos ^ 1;
+                let parent = if sib >= width {
+                    hash // promoted
+                } else if i + 1 < known.len() && known[i + 1].0 == sib {
+                    let (_, sib_hash) = known[i + 1];
+                    i += 1;
+                    node_hash(&hash, &sib_hash)
+                } else {
+                    let Some(sib_hash) = node_iter.next() else {
+                        return false;
+                    };
+                    if sib < pos {
+                        node_hash(sib_hash, &hash)
+                    } else {
+                        node_hash(&hash, sib_hash)
+                    }
+                };
+                next.push((pos / 2, parent));
+                i += 1;
+            }
+            known = next;
+            width = width.div_ceil(2);
+        }
+        node_iter.next().is_none() && known.len() == 1 && known[0].1 == *root
+    }
+
+    /// Number of interior hashes carried.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the proof carries no hashes (all-leaf trees).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Serialized size in bytes (hashes + header), for cost accounting.
+    pub fn byte_len(&self) -> usize {
+        self.nodes.len() * 32 + 8
+    }
+
+    /// The interior hashes in replay order (serialization support).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The source tree's leaf count (serialization support).
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Rebuilds a proof from serialized parts; validity is established by
+    /// [`MultiProof::verify`], not construction.
+    pub fn from_parts(nodes: Vec<Node>, leaf_count: usize) -> Self {
+        Self { nodes, leaf_count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Vec<Vec<u8>>, MerkleTree) {
+        let data: Vec<Vec<u8>> = (0..n).map(|i| format!("y{i}||p{i}").into_bytes()).collect();
+        let tree = MerkleTree::from_data(data.iter().map(Vec::as_slice));
+        (data, tree)
+    }
+
+    #[test]
+    fn verifies_various_index_sets() {
+        for n in [2usize, 3, 5, 8, 13, 16, 31] {
+            let (data, tree) = setup(n);
+            let sets: Vec<Vec<usize>> = vec![
+                vec![0],
+                vec![n - 1],
+                vec![0, n - 1],
+                (0..n).collect(),
+                (0..n).step_by(2).collect(),
+            ];
+            for set in sets {
+                let proof = tree.prove_multi(&set).unwrap();
+                let claims: Vec<(usize, &[u8])> =
+                    set.iter().map(|&i| (i, data[i].as_slice())).collect();
+                assert!(proof.verify(&tree.root(), &claims), "n={n} set={set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_indices_accepted() {
+        let (data, tree) = setup(16);
+        let proof = tree.prove_multi(&[9, 2, 2, 14]).unwrap();
+        let claims: Vec<(usize, &[u8])> = vec![
+            (14, data[14].as_slice()),
+            (2, data[2].as_slice()),
+            (9, data[9].as_slice()),
+        ];
+        assert!(proof.verify(&tree.root(), &claims));
+    }
+
+    #[test]
+    fn rejects_wrong_data() {
+        let (data, tree) = setup(16);
+        let proof = tree.prove_multi(&[3, 7]).unwrap();
+        let claims: Vec<(usize, &[u8])> = vec![(3, data[3].as_slice()), (7, b"forged")];
+        assert!(!proof.verify(&tree.root(), &claims));
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_claims() {
+        let (data, tree) = setup(8);
+        let proof = tree.prove_multi(&[1]).unwrap();
+        let claims: Vec<(usize, &[u8])> = vec![(1, data[1].as_slice()), (1, b"other")];
+        assert!(!proof.verify(&tree.root(), &claims));
+    }
+
+    #[test]
+    fn rejects_subset_and_superset_claims() {
+        // The claim set must match the proof's index set exactly.
+        let (data, tree) = setup(16);
+        let proof = tree.prove_multi(&[3, 7]).unwrap();
+        let subset: Vec<(usize, &[u8])> = vec![(3, data[3].as_slice())];
+        assert!(!proof.verify(&tree.root(), &subset));
+        let superset: Vec<(usize, &[u8])> = vec![
+            (3, data[3].as_slice()),
+            (7, data[7].as_slice()),
+            (9, data[9].as_slice()),
+        ];
+        assert!(!proof.verify(&tree.root(), &superset));
+    }
+
+    #[test]
+    fn rejects_empty_and_out_of_range() {
+        let (data, tree) = setup(8);
+        assert!(tree.prove_multi(&[]).is_none());
+        assert!(tree.prove_multi(&[8]).is_none());
+        let proof = tree.prove_multi(&[0]).unwrap();
+        assert!(!proof.verify(&tree.root(), &[]));
+        assert!(!proof.verify(&tree.root(), &[(12, data[0].as_slice())]));
+    }
+
+    #[test]
+    fn adjacent_samples_share_nodes() {
+        // Proof for {0,1} needs strictly fewer nodes than two single proofs.
+        let (_, tree) = setup(16);
+        let multi = tree.prove_multi(&[0, 1]).unwrap();
+        let single = tree.prove(0).unwrap();
+        assert!(multi.len() < 2 * single.len());
+        // {0,1} share all interior siblings: exactly height-2 nodes.
+        assert_eq!(multi.len(), 3);
+    }
+
+    #[test]
+    fn full_leaf_set_needs_no_nodes() {
+        let (data, tree) = setup(8);
+        let all: Vec<usize> = (0..8).collect();
+        let proof = tree.prove_multi(&all).unwrap();
+        assert!(proof.is_empty());
+        let claims: Vec<(usize, &[u8])> =
+            all.iter().map(|&i| (i, data[i].as_slice())).collect();
+        assert!(proof.verify(&tree.root(), &claims));
+    }
+
+    #[test]
+    fn odd_width_promotion_paths() {
+        // Trees with promoted nodes exercise the `sib >= width` branch.
+        for n in [3usize, 5, 9, 11, 21] {
+            let (data, tree) = setup(n);
+            let proof = tree.prove_multi(&[n - 1]).unwrap();
+            let claims: Vec<(usize, &[u8])> = vec![(n - 1, data[n - 1].as_slice())];
+            assert!(proof.verify(&tree.root(), &claims), "n={n}");
+        }
+    }
+}

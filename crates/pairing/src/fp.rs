@@ -1,0 +1,199 @@
+//! The BN254 base field `Fp`.
+
+use seccloud_bigint::U256;
+
+use crate::mont_field;
+
+mont_field!(
+    Fp,
+    // p = 36x⁴ + 36x³ + 24x² + 6x + 1 for x = 4965661367192848881
+    "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47",
+    "The BN254 base field `F_p` (254-bit prime)."
+);
+
+impl Fp {
+    /// Computes a square root when one exists (`p ≡ 3 mod 4`, so
+    /// `√a = a^((p+1)/4)`), returning the root with even canonical
+    /// representation first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use seccloud_pairing::Fp;
+    /// let a = Fp::from_u64(9);
+    /// let r = a.sqrt().unwrap();
+    /// assert_eq!(r.square(), a);
+    /// assert!(Fp::from_u64(5).sqrt().is_none()); // 5 is a non-residue mod p
+    /// ```
+    pub fn sqrt(&self) -> Option<Self> {
+        // (p + 1) / 4
+        let e = Self::modulus()
+            .wrapping_add(&U256::ONE)
+            .shr(2);
+        let root = self.pow(e.limbs());
+        if root.square() == *self {
+            // Canonical choice: the even root.
+            Some(if root.is_odd() { root.neg() } else { root })
+        } else {
+            None
+        }
+    }
+
+    /// Maps arbitrary bytes to a near-uniform field element using the
+    /// workspace-wide domain-separated expansion.
+    pub fn from_hash(domain: &[u8], msg: &[u8]) -> Self {
+        let wide = seccloud_hash::hash_to_int_bytes(domain, msg, 64);
+        Self::from_bytes_wide(&wide)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fp() -> impl Strategy<Value = Fp> {
+        prop::array::uniform4(any::<u64>())
+            .prop_map(|l| Fp::from_u256(&U256::from_limbs(l)))
+    }
+
+    #[test]
+    fn constants_are_derived_correctly() {
+        // R² must be 2⁵¹² mod p: check via (2²⁵⁶ as element)·(2²⁵⁶) = R²-elem.
+        let two = Fp::from_u64(2);
+        let two_256 = two.pow(&[256, 0, 0, 0]);
+        let two_512 = two.pow(&[512, 0, 0, 0]);
+        assert_eq!(two_256.square(), two_512);
+        // -p⁻¹ · p ≡ -1 mod 2⁶⁴
+        let m0 = Fp::MODULUS[0];
+        assert_eq!(
+            crate::mont::mont_neg_inv(m0).wrapping_mul(m0),
+            u64::MAX // -1 mod 2⁶⁴
+        );
+    }
+
+    #[test]
+    fn one_round_trips() {
+        assert_eq!(Fp::one().to_u256(), U256::ONE);
+        assert_eq!(Fp::zero().to_u256(), U256::ZERO);
+        assert_eq!(Fp::from_u64(12345).to_u256(), U256::from_u64(12345));
+    }
+
+    #[test]
+    fn small_multiplication_reference() {
+        let a = Fp::from_u64(0xffff_ffff);
+        let b = Fp::from_u64(0x1_0000_0001);
+        assert_eq!((a * b).to_u256(), U256::from_u128(0xffff_ffff * 0x1_0000_0001u128));
+    }
+
+    #[test]
+    fn reduction_wraps_the_modulus() {
+        let p = Fp::modulus();
+        assert!(Fp::from_u256(&p).is_zero());
+        let p_plus_5 = p.wrapping_add(&U256::from_u64(5));
+        assert_eq!(Fp::from_u256(&p_plus_5), Fp::from_u64(5));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let a = Fp::from_u64(7);
+        let exp = Fp::modulus().wrapping_sub(&U256::ONE);
+        assert_eq!(a.pow(exp.limbs()), Fp::one());
+    }
+
+    #[test]
+    fn sqrt_of_squares_and_non_residues() {
+        let mut found_none = 0;
+        for v in 1u64..40 {
+            let a = Fp::from_u64(v);
+            match a.sqrt() {
+                Some(r) => {
+                    assert_eq!(r.square(), a);
+                    assert!(!r.is_odd(), "canonical root is even");
+                }
+                None => found_none += 1,
+            }
+        }
+        // About half of the elements are non-residues.
+        assert!(found_none > 5, "expected several non-residues");
+    }
+
+    #[test]
+    fn from_bytes_round_trip() {
+        let a = Fp::from_u64(0xdead_beef_cafe);
+        assert_eq!(Fp::from_be_bytes(&a.to_be_bytes()), Some(a));
+        // Reject non-canonical bytes.
+        let too_big = Fp::modulus().to_be_bytes();
+        let arr: [u8; 32] = too_big.try_into().unwrap();
+        assert_eq!(Fp::from_be_bytes(&arr), None);
+    }
+
+    #[test]
+    fn from_hash_is_deterministic_and_separated() {
+        let a = Fp::from_hash(b"H1", b"alice");
+        assert_eq!(a, Fp::from_hash(b"H1", b"alice"));
+        assert_ne!(a, Fp::from_hash(b"H1", b"bob"));
+        assert_ne!(a, Fp::from_hash(b"H2", b"alice"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn add_assoc_comm(a in fp(), b in fp(), c in fp()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn mul_assoc_comm_distributes(a in fp(), b in fp(), c in fp()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn additive_inverse(a in fp()) {
+            prop_assert!((a + a.neg()).is_zero());
+            prop_assert_eq!(a.neg().neg(), a);
+        }
+
+        #[test]
+        fn multiplicative_inverse(a in fp()) {
+            if let Some(inv) = a.inverse() {
+                prop_assert_eq!(a * inv, Fp::one());
+            } else {
+                prop_assert!(a.is_zero());
+            }
+        }
+
+        #[test]
+        fn square_matches_mul(a in fp()) {
+            prop_assert_eq!(a.square(), a * a);
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in fp(), b in fp()) {
+            prop_assert_eq!(a - b, a + b.neg());
+        }
+
+        #[test]
+        fn mont_round_trip(a in fp()) {
+            prop_assert_eq!(Fp::from_u256(&a.to_u256()), a);
+        }
+
+        #[test]
+        fn pow_adds_exponents(a in fp(), e1 in 0u64..1000, e2 in 0u64..1000) {
+            let lhs = a.pow(&[e1 + e2]);
+            let rhs = a.pow(&[e1]).mul(&a.pow(&[e2]));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn sqrt_round_trip(a in fp()) {
+            let sq = a.square();
+            let r = sq.sqrt().expect("squares have roots");
+            prop_assert!(r == a || r == a.neg());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The sextic-tower middle layer `Fp6 = Fp2[v]/(v³ − ξ)`.
+
+use crate::fp2::Fp2;
+use crate::traits::FieldElement;
+
+/// An element `c0 + c1·v + c2·v²` of `Fp6`, where `v³ = ξ = 9 + u`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Fp6 {
+    /// Coefficient of 1.
+    pub c0: Fp2,
+    /// Coefficient of `v`.
+    pub c1: Fp2,
+    /// Coefficient of `v²`.
+    pub c2: Fp2,
+}
+
+impl Fp6 {
+    /// Creates `c0 + c1·v + c2·v²`.
+    pub const fn new(c0: Fp2, c1: Fp2, c2: Fp2) -> Self {
+        Self { c0, c1, c2 }
+    }
+
+    /// Embeds an `Fp2` element.
+    pub fn from_fp2(v: Fp2) -> Self {
+        Self::new(v, Fp2::zero(), Fp2::zero())
+    }
+
+    /// Multiplies by `v`: `(c0 + c1·v + c2·v²)·v = ξ·c2 + c0·v + c1·v²`.
+    pub fn mul_by_v(&self) -> Self {
+        Self::new(self.c2.mul_by_xi(), self.c0, self.c1)
+    }
+
+    /// Multiplies by an `Fp2` scalar.
+    pub fn scale(&self, k: &Fp2) -> Self {
+        Self::new(self.c0.mul(k), self.c1.mul(k), self.c2.mul(k))
+    }
+}
+
+impl FieldElement for Fp6 {
+    fn zero() -> Self {
+        Self::new(Fp2::zero(), Fp2::zero(), Fp2::zero())
+    }
+
+    fn one() -> Self {
+        Self::new(Fp2::one(), Fp2::zero(), Fp2::zero())
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Self::new(
+            self.c0.add(&rhs.c0),
+            self.c1.add(&rhs.c1),
+            self.c2.add(&rhs.c2),
+        )
+    }
+
+    fn sub(&self, rhs: &Self) -> Self {
+        Self::new(
+            self.c0.sub(&rhs.c0),
+            self.c1.sub(&rhs.c1),
+            self.c2.sub(&rhs.c2),
+        )
+    }
+
+    fn neg(&self) -> Self {
+        Self::new(self.c0.neg(), self.c1.neg(), self.c2.neg())
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        // Schoolbook with v³ = ξ folded in:
+        let a = (self.c0, self.c1, self.c2);
+        let b = (rhs.c0, rhs.c1, rhs.c2);
+        let t00 = a.0.mul(&b.0);
+        let t11 = a.1.mul(&b.1);
+        let t22 = a.2.mul(&b.2);
+        let t01 = a.0.mul(&b.1).add(&a.1.mul(&b.0));
+        let t02 = a.0.mul(&b.2).add(&a.2.mul(&b.0));
+        let t12 = a.1.mul(&b.2).add(&a.2.mul(&b.1));
+        Self::new(
+            t00.add(&t12.mul_by_xi()),
+            t01.add(&t22.mul_by_xi()),
+            t02.add(&t11),
+        )
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // Standard cubic-extension inversion:
+        //   d0 = c0² − ξ·c1·c2
+        //   d1 = ξ·c2² − c0·c1
+        //   d2 = c1² − c0·c2
+        //   t  = c0·d0 + ξ·(c2·d1 + c1·d2)
+        //   inv = (d0, d1, d2) / t
+        let d0 = self.c0.square().sub(&self.c1.mul(&self.c2).mul_by_xi());
+        let d1 = self.c2.square().mul_by_xi().sub(&self.c0.mul(&self.c1));
+        let d2 = self.c1.square().sub(&self.c0.mul(&self.c2));
+        let t = self
+            .c0
+            .mul(&d0)
+            .add(&self.c2.mul(&d1).add(&self.c1.mul(&d2)).mul_by_xi());
+        let t_inv = t.inverse()?;
+        Some(Self::new(d0.mul(&t_inv), d1.mul(&t_inv), d2.mul(&t_inv)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp;
+    use proptest::prelude::*;
+    use seccloud_bigint::U256;
+
+    fn fp2_s() -> impl Strategy<Value = Fp2> {
+        (prop::array::uniform4(any::<u64>()), prop::array::uniform4(any::<u64>())).prop_map(
+            |(a, b)| {
+                Fp2::new(
+                    Fp::from_u256(&U256::from_limbs(a)),
+                    Fp::from_u256(&U256::from_limbs(b)),
+                )
+            },
+        )
+    }
+
+    fn fp6() -> impl Strategy<Value = Fp6> {
+        (fp2_s(), fp2_s(), fp2_s()).prop_map(|(a, b, c)| Fp6::new(a, b, c))
+    }
+
+    #[test]
+    fn v_cubed_is_xi() {
+        let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+        let v3 = v.mul(&v).mul(&v);
+        assert_eq!(v3, Fp6::from_fp2(Fp2::xi()));
+        // And mul_by_v agrees with multiplication by v.
+        let a = Fp6::new(Fp2::xi(), Fp2::one(), Fp2::from_u64(7));
+        assert_eq!(a.mul_by_v(), a.mul(&v));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn ring_axioms(a in fp6(), b in fp6(), c in fp6()) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+            prop_assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn inverse_law(a in fp6()) {
+            if let Some(inv) = a.inverse() {
+                prop_assert_eq!(a.mul(&inv), Fp6::one());
+            } else {
+                prop_assert!(a.is_zero());
+            }
+        }
+
+        #[test]
+        fn one_is_identity(a in fp6()) {
+            prop_assert_eq!(a.mul(&Fp6::one()), a);
+            prop_assert_eq!(a.add(&Fp6::zero()), a);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The BN254 scalar field `Fr` (the paper's `Z_q`).
+
+
+
+use crate::mont_field;
+
+mont_field!(
+    Fr,
+    // r = 36x⁴ + 36x³ + 18x² + 6x + 1 for x = 4965661367192848881
+    "30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001",
+    "The BN254 scalar field `F_r` — the group order `q` of the paper."
+);
+
+impl Fr {
+    /// The paper's `H : {0,1}* → Z_q` — a domain-separated hash into the
+    /// scalar field, used for Merkle leaves and challenge derivation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use seccloud_pairing::Fr;
+    /// let a = Fr::hash(b"result-42");
+    /// assert_eq!(a, Fr::hash(b"result-42"));
+    /// assert_ne!(a, Fr::hash(b"result-43"));
+    /// ```
+    pub fn hash(msg: &[u8]) -> Self {
+        Self::from_hash(b"seccloud/H", msg)
+    }
+
+    /// The paper's `H2 : {0,1}* → Z_q*` — like [`Fr::hash`] but never zero
+    /// (re-hashes with a counter in the negligible zero case).
+    pub fn hash_nonzero(msg: &[u8]) -> Self {
+        let mut ctr: u32 = 0;
+        loop {
+            let mut input = Vec::with_capacity(msg.len() + 4);
+            input.extend_from_slice(msg);
+            input.extend_from_slice(&ctr.to_be_bytes());
+            let v = Self::from_hash(b"seccloud/H2", &input);
+            if !v.is_zero() {
+                return v;
+            }
+            ctr += 1;
+        }
+    }
+
+    /// Maps arbitrary bytes to a near-uniform scalar with a caller-chosen
+    /// domain tag.
+    pub fn from_hash(domain: &[u8], msg: &[u8]) -> Self {
+        let wide = seccloud_hash::hash_to_int_bytes(domain, msg, 64);
+        Self::from_bytes_wide(&wide)
+    }
+
+    /// Draws a uniform nonzero scalar from a DRBG.
+    pub fn random_nonzero(drbg: &mut seccloud_hash::HmacDrbg) -> Self {
+        loop {
+            let wide = drbg.next_bytes(64);
+            let v = Self::from_bytes_wide(&wide);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seccloud_bigint::U256;
+    use proptest::prelude::*;
+
+    fn fr() -> impl Strategy<Value = Fr> {
+        prop::array::uniform4(any::<u64>())
+            .prop_map(|l| Fr::from_u256(&U256::from_limbs(l)))
+    }
+
+    #[test]
+    fn modulus_is_the_bn254_group_order() {
+        // r = p + 1 - t with t = 6x² + 1, x = 4965661367192848881.
+        use seccloud_bigint::ApInt;
+        let x = ApInt::from_u64(4_965_661_367_192_848_881);
+        let six_x2 = &(&x * &x) * &ApInt::from_u64(6);
+        let p = ApInt::from_uint(&crate::Fp::modulus());
+        let r = ApInt::from_uint(&Fr::modulus());
+        // p - r = t - 1 = 6x²
+        assert_eq!(p.checked_sub(&r).unwrap(), six_x2);
+    }
+
+    #[test]
+    fn hash_nonzero_is_never_zero() {
+        for i in 0..50u32 {
+            assert!(!Fr::hash_nonzero(&i.to_be_bytes()).is_zero());
+        }
+    }
+
+    #[test]
+    fn random_nonzero_is_deterministic_per_seed() {
+        let mut d1 = seccloud_hash::HmacDrbg::new(b"seed");
+        let mut d2 = seccloud_hash::HmacDrbg::new(b"seed");
+        assert_eq!(Fr::random_nonzero(&mut d1), Fr::random_nonzero(&mut d2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn field_axioms(a in fr(), b in fr(), c in fr()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert!((a - a).is_zero());
+        }
+
+        #[test]
+        fn inverse_law(a in fr()) {
+            if let Some(inv) = a.inverse() {
+                prop_assert_eq!(a * inv, Fr::one());
+            } else {
+                prop_assert!(a.is_zero());
+            }
+        }
+    }
+}

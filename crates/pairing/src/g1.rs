@@ -1,0 +1,196 @@
+//! The group `G1 = E(Fp)` with `E : y² = x³ + 3`.
+
+use crate::ec::{Affine, CurveParams, Point};
+use crate::fp::Fp;
+use crate::fr::Fr;
+
+
+/// Curve parameters for `G1`.
+#[derive(Clone, Copy, Debug)]
+pub struct G1Params;
+
+impl CurveParams for G1Params {
+    type Base = Fp;
+    const NAME: &'static str = "G1";
+
+    fn coeff_b() -> Fp {
+        Fp::from_u64(3)
+    }
+
+    fn generator() -> (Fp, Fp) {
+        (Fp::from_u64(1), Fp::from_u64(2))
+    }
+}
+
+/// A `G1` point in Jacobian coordinates.
+pub type G1 = Point<G1Params>;
+/// A `G1` point in affine coordinates.
+pub type G1Affine = Affine<G1Params>;
+
+impl G1 {
+    /// Scalar multiplication by an `Fr` scalar.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use seccloud_pairing::{Fr, G1};
+    /// let g = G1::generator();
+    /// let two_g = g.mul_fr(&Fr::from_u64(2));
+    /// assert_eq!(two_g, g.double());
+    /// ```
+    pub fn mul_fr(&self, k: &Fr) -> Self {
+        self.mul_limbs_wnaf(k.to_u256().limbs())
+    }
+}
+
+impl G1Affine {
+    /// Serializes to 32 bytes: the big-endian `x` coordinate with two flag
+    /// bits folded into the (always-zero for BN254) top bits — bit 7 of
+    /// byte 0 marks infinity, bit 6 carries the `y` parity.
+    pub fn to_compressed(&self) -> [u8; 32] {
+        if self.is_identity() {
+            let mut out = [0u8; 32];
+            out[0] = 0x80;
+            return out;
+        }
+        let mut out = self.x().to_be_bytes();
+        if self.y().is_odd() {
+            out[0] |= 0x40;
+        }
+        out
+    }
+
+    /// Deserializes a compressed point, verifying the curve equation.
+    ///
+    /// Returns `None` for malformed encodings (non-canonical `x`, flag
+    /// misuse, or `x` not on the curve). `G1` has cofactor 1, so every
+    /// decoded point automatically has order `r`.
+    pub fn from_compressed(bytes: &[u8; 32]) -> Option<Self> {
+        let infinity = bytes[0] & 0x80 != 0;
+        let y_odd = bytes[0] & 0x40 != 0;
+        let mut x_bytes = *bytes;
+        x_bytes[0] &= 0x3f;
+        if infinity {
+            // Canonical infinity encoding is exactly 0x80 ‖ 0³¹.
+            return (!y_odd && x_bytes.iter().all(|&b| b == 0)).then_some(Self::identity());
+        }
+        let x = Fp::from_be_bytes(&x_bytes)?;
+        let y2 = x.square().mul(&x).add(&Fp::from_u64(3));
+        let y_even = y2.sqrt()?; // canonical even root
+        let y = if y_odd { y_even.neg() } else { y_even };
+        Self::from_xy(x, y)
+    }
+}
+
+/// Hashes arbitrary bytes onto `G1` by try-and-increment (the paper's
+/// `H1 : {0,1}* → G1`, used for identity public keys `Q_ID`).
+///
+/// Deterministic, domain-separated, and always returns a point on the curve;
+/// `G1` has cofactor 1 so every curve point already has order `r`.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_pairing::hash_to_g1;
+/// let q = hash_to_g1(b"alice@example.com");
+/// assert!(q.to_affine().is_on_curve());
+/// assert_ne!(q, hash_to_g1(b"bob@example.com"));
+/// ```
+pub fn hash_to_g1(msg: &[u8]) -> G1 {
+    for ctr in 0u32.. {
+        let mut input = Vec::with_capacity(msg.len() + 4);
+        input.extend_from_slice(msg);
+        input.extend_from_slice(&ctr.to_be_bytes());
+        let x = Fp::from_hash(b"seccloud/H1/g1", &input);
+        let y2 = x.square().mul(&x).add(&Fp::from_u64(3));
+        if let Some(y) = y2.sqrt() {
+            // Deterministic sign choice from the hash input.
+            let sign = seccloud_hash::hash_to_int_bytes(b"seccloud/H1/g1/sign", &input, 1)[0] & 1;
+            let y = if sign == 1 { y.neg() } else { y };
+            let p = G1Affine::from_xy(x, y).expect("constructed on curve");
+            return G1::from(p);
+        }
+    }
+    unreachable!("try-and-increment terminates with overwhelming probability")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seccloud_bigint::U256;
+
+    #[test]
+    fn generator_is_on_curve_and_has_order_r() {
+        let g = G1::generator();
+        assert!(g.to_affine().is_on_curve());
+        let r = Fr::modulus();
+        assert!(g.mul_u256(&r).is_identity());
+        // But not lower order r/small-factor (r is prime, so just ≠ identity
+        // for a couple of scalars).
+        assert!(!g.mul_u256(&U256::from_u64(2)).is_identity());
+        assert!(!g.mul_u256(&r.wrapping_sub(&U256::ONE)).is_identity());
+    }
+
+    #[test]
+    fn group_laws() {
+        let g = G1::generator();
+        let a = g.mul_fr(&Fr::from_u64(5));
+        let b = g.mul_fr(&Fr::from_u64(7));
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b), g.mul_fr(&Fr::from_u64(12)));
+        assert_eq!(a.sub(&a), G1::identity());
+        assert_eq!(a.add(&G1::identity()), a);
+        assert_eq!(g.double(), g.add(&g));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = G1::generator();
+        let k1 = Fr::hash(b"k1");
+        let k2 = Fr::hash(b"k2");
+        // [k1+k2]G = [k1]G + [k2]G
+        assert_eq!(
+            g.mul_fr(&k1.add(&k2)),
+            g.mul_fr(&k1).add(&g.mul_fr(&k2))
+        );
+        // [k1·k2]G = [k1]([k2]G)
+        assert_eq!(g.mul_fr(&k1.mul(&k2)), g.mul_fr(&k2).mul_fr(&k1));
+    }
+
+    #[test]
+    fn affine_round_trip() {
+        let p = G1::generator().mul_fr(&Fr::from_u64(99));
+        let a = p.to_affine();
+        assert_eq!(G1::from(a), p);
+        assert!(a.is_on_curve());
+        // Identity round-trips too.
+        assert!(G1::from(G1Affine::identity()).is_identity());
+    }
+
+    #[test]
+    fn from_xy_rejects_off_curve_points() {
+        assert!(G1Affine::from_xy(Fp::from_u64(1), Fp::from_u64(3)).is_none());
+        assert!(G1Affine::from_xy(Fp::from_u64(1), Fp::from_u64(2)).is_some());
+    }
+
+    #[test]
+    fn hash_to_g1_properties() {
+        let p1 = hash_to_g1(b"identity-a");
+        let p2 = hash_to_g1(b"identity-a");
+        let p3 = hash_to_g1(b"identity-b");
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert!(!p1.is_identity());
+        assert!(p1.to_affine().is_on_curve());
+        // Hashed points are in the r-torsion (cofactor 1).
+        assert!(p1.mul_u256(&Fr::modulus()).is_identity());
+    }
+
+    #[test]
+    fn negation_law() {
+        let p = hash_to_g1(b"neg");
+        assert!(p.add(&p.neg()).is_identity());
+        let a = p.to_affine();
+        assert_eq!(G1::from(a.neg()), p.neg());
+    }
+}

@@ -1,0 +1,400 @@
+//! The Tate pairing `ê : G1 × G2 → GT` with denominator elimination.
+//!
+//! The implementation favours transparency over peak speed: a textbook
+//! Miller loop over the (affine) first argument with line evaluations in
+//! `Fp12`, followed by a Frobenius-assisted final exponentiation. Verticals
+//! are dropped — valid because the untwisted `Q` has its `x`-coordinate in
+//! `Fp6`, which the final exponentiation annihilates.
+
+use seccloud_bigint::U256;
+
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::fp6::Fp6;
+use crate::fp12::Fp12;
+use crate::fr::Fr;
+use crate::g1::G1Affine;
+use crate::g2::G2Affine;
+use crate::params;
+use crate::traits::FieldElement;
+
+/// An element of the pairing target group `GT ⊂ Fp12*` (the `μ_r` subgroup
+/// of `r`-th roots of unity).
+///
+/// `GT` values compare canonically: two `Gt`s are equal iff the pairings
+/// they came from are equal, because final exponentiation maps each coset to
+/// a unique representative.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_pairing::{pairing, Fr, G1, G2};
+/// let p = G1::generator().to_affine();
+/// let q = G2::generator().to_affine();
+/// let e = pairing(&p, &q);
+/// // Bilinearity: e([2]P, Q) = e(P, Q)².
+/// let p2 = G1::generator().double().to_affine();
+/// assert_eq!(pairing(&p2, &q), e.mul(&e));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Gt(Fp12);
+
+impl Gt {
+    /// The identity of `GT`.
+    pub fn one() -> Self {
+        Gt(Fp12::one())
+    }
+
+    /// Whether this is the identity.
+    pub fn is_one(&self) -> bool {
+        self.0 == Fp12::one()
+    }
+
+    /// Group operation (multiplication in `Fp12`).
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Gt(self.0.mul(&rhs.0))
+    }
+
+    /// Group inverse — for unitary `GT` elements this is conjugation, which
+    /// is far cheaper than a field inversion.
+    #[must_use]
+    pub fn invert(&self) -> Self {
+        Gt(self.0.conjugate())
+    }
+
+    /// Exponentiation by an `Fr` scalar.
+    #[must_use]
+    pub fn pow(&self, k: &Fr) -> Self {
+        Gt(self.0.pow_limbs(k.to_u256().limbs()))
+    }
+
+    /// The underlying `Fp12` representative.
+    pub fn as_fp12(&self) -> &Fp12 {
+        &self.0
+    }
+
+    /// Wraps a final-exponentiated value (crate-internal constructor for
+    /// the alternative Miller-loop backends).
+    pub(crate) fn from_unchecked_fp12(v: Fp12) -> Self {
+        Gt(v)
+    }
+
+    /// Deserializes a `GT` element from the 384-byte encoding of
+    /// [`Gt::to_bytes`], checking that every coefficient is canonical.
+    ///
+    /// Subgroup membership is *not* checked (it would cost an `r`-power);
+    /// a non-subgroup value is harmless here because `Gt` is only ever
+    /// compared against freshly computed pairings during verification.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 384 {
+            return None;
+        }
+        let mut coeffs = [Fp::zero(); 12];
+        for (i, chunk) in bytes.chunks_exact(32).enumerate() {
+            coeffs[i] = Fp::from_be_bytes(chunk.try_into().expect("32 bytes"))?;
+        }
+        let fp6 = |c: &[Fp]| {
+            Fp6::new(
+                Fp2::new(c[0], c[1]),
+                Fp2::new(c[2], c[3]),
+                Fp2::new(c[4], c[5]),
+            )
+        };
+        Some(Gt(Fp12::new(fp6(&coeffs[..6]), fp6(&coeffs[6..]))))
+    }
+
+    /// Serializes the canonical representative (384 bytes: the twelve `Fp`
+    /// coefficients, big-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(384);
+        for c6 in [&self.0.c0, &self.0.c1] {
+            for c2 in [&c6.c0, &c6.c1, &c6.c2] {
+                out.extend_from_slice(&c2.c0.to_be_bytes());
+                out.extend_from_slice(&c2.c1.to_be_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// Lifts a twist point `(x', y') ∈ E'(Fp2)` to `E(Fp12)` through the
+/// untwisting isomorphism `ψ(x', y') = (x'·v, y'·v·w)`.
+///
+/// Returns `(x_Q, y_Q)` as full `Fp12` elements; note `x_Q ∈ Fp6`, the fact
+/// that licenses denominator elimination.
+fn untwist(q: &G2Affine) -> (Fp12, Fp12) {
+    let x = Fp12::new(
+        Fp6::new(Fp2::zero(), q.x(), Fp2::zero()),
+        Fp6::zero(),
+    );
+    let y = Fp12::new(
+        Fp6::zero(),
+        Fp6::new(Fp2::zero(), q.y(), Fp2::zero()),
+    );
+    (x, y)
+}
+
+/// Evaluates the line through `a` and `b` (tangent when `a == b`) at the
+/// untwisted point `(x_q, y_q)`, omitting vertical factors.
+///
+/// For a non-vertical line with slope `λ` through `(x₁, y₁)`:
+/// `l(Q) = y_Q − y₁ − λ(x_Q − x₁)`.
+/// For a vertical line (`a = −b`), returns `x_Q − x₁`, an `Fp6` element the
+/// final exponentiation kills; included for robustness at the loop tail.
+struct MillerState {
+    /// Current accumulator point `T` in affine `Fp` coordinates (`None` = ∞).
+    t: Option<(Fp, Fp)>,
+}
+
+impl MillerState {
+    /// Tangent line at `T` evaluated at `Q`; advances `T ← 2T`.
+    fn double_step(&mut self, x_q: &Fp12, y_q: &Fp12) -> Fp12 {
+        let Some((x, y)) = self.t else {
+            return Fp12::one();
+        };
+        if y.is_zero() {
+            // 2T = ∞; vertical tangent.
+            self.t = None;
+            return x_q.sub(&Fp12::from_fp6(Fp6::from_fp2(Fp2::from_fp(x))));
+        }
+        // λ = 3x² / 2y
+        let lambda = x
+            .square()
+            .mul(&Fp::from_u64(3))
+            .mul(&y.double().inverse().expect("y ≠ 0"));
+        let c = y.sub(&lambda.mul(&x)); // line: Y − λX − c
+        let line = y_q
+            .sub(&x_q.scale_fp(&lambda))
+            .sub(&Fp12::from_fp6(Fp6::from_fp2(Fp2::from_fp(c))));
+        // T ← 2T in affine coordinates.
+        let x3 = lambda.square().sub(&x.double());
+        let y3 = lambda.mul(&x.sub(&x3)).sub(&y);
+        self.t = Some((x3, y3));
+        line
+    }
+
+    /// Chord line through `T` and `p` evaluated at `Q`; advances `T ← T + p`.
+    fn add_step(&mut self, p: (Fp, Fp), x_q: &Fp12, y_q: &Fp12) -> Fp12 {
+        let Some((x1, y1)) = self.t else {
+            self.t = Some(p);
+            return Fp12::one();
+        };
+        let (x2, y2) = p;
+        if x1 == x2 {
+            if y1 == y2 {
+                return self.double_step(x_q, y_q);
+            }
+            // T + p = ∞; vertical chord.
+            self.t = None;
+            return x_q.sub(&Fp12::from_fp6(Fp6::from_fp2(Fp2::from_fp(x1))));
+        }
+        let lambda = y2
+            .sub(&y1)
+            .mul(&x2.sub(&x1).inverse().expect("x₂ ≠ x₁"));
+        let c = y1.sub(&lambda.mul(&x1));
+        let line = y_q
+            .sub(&x_q.scale_fp(&lambda))
+            .sub(&Fp12::from_fp6(Fp6::from_fp2(Fp2::from_fp(c))));
+        let x3 = lambda.square().sub(&x1).sub(&x2);
+        let y3 = lambda.mul(&x1.sub(&x3)).sub(&y1);
+        self.t = Some((x3, y3));
+        line
+    }
+}
+
+/// The Miller function `f_{r,P}(ψ(Q))` (no final exponentiation).
+fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
+    let (x_q, y_q) = untwist(q);
+    let p_aff = (p.x(), p.y());
+    let r: U256 = Fr::modulus();
+    let bits = r.bits();
+
+    let mut f = Fp12::one();
+    let mut state = MillerState { t: Some(p_aff) };
+    for i in (0..bits - 1).rev() {
+        f = f.square();
+        let l = state.double_step(&x_q, &y_q);
+        f = f.mul(&l);
+        if r.bit(i) {
+            let l = state.add_step(p_aff, &x_q, &y_q);
+            f = f.mul(&l);
+        }
+    }
+    f
+}
+
+/// The final exponentiation `f ↦ f^((p¹²−1)/r)`.
+///
+/// Easy part via Frobenius (`(p⁶−1)(p²+1)`), hard part by plain
+/// exponentiation with the derived `(p⁴−p²+1)/r`.
+pub fn final_exponentiation(f: &Fp12) -> Fp12 {
+    // f^(p⁶ − 1) = conj(f) · f⁻¹
+    let f = f
+        .conjugate()
+        .mul(&f.inverse().expect("Miller value is nonzero"));
+    // f^(p² + 1) = frob²(f) · f
+    let f = f.frobenius_p2().mul(&f);
+    // Hard part: f is now in the cyclotomic subgroup, so Granger–Scott
+    // squarings apply (see `benches/crypto_ops.rs` for the ablation).
+    f.cyclotomic_pow(params::final_exp_hard_part())
+}
+
+/// Computes the workspace's default reduced pairing `ê(P, Q)` — the optimal
+/// ate pairing (shortest Miller loop); see [`crate::pairing_ate`].
+///
+/// Returns the identity when either input is the point at infinity, matching
+/// the bilinear extension `ê(O, ·) = ê(·, O) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_pairing::{pairing, Fr, G1, G2};
+/// let e = pairing(
+///     &G1::generator().to_affine(),
+///     &G2::generator().to_affine(),
+/// );
+/// assert!(!e.is_one(), "pairing of generators is non-degenerate");
+/// ```
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
+    crate::ate::pairing_ate(p, q)
+}
+
+/// Computes `∏ᵢ ê(Pᵢ, Qᵢ)` with the default (optimal ate) pairing, sharing
+/// one final exponentiation across all Miller loops.
+pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Gt {
+    crate::ate::multi_pairing_ate(pairs)
+}
+
+/// Computes the reduced **Tate** pairing `ê(P, Q)` — the slower, textbook
+/// backend kept as an independent implementation for cross-checking the
+/// default ate pairing (see `benches/crypto_ops.rs` for the ablation).
+pub fn pairing_tate(p: &G1Affine, q: &G2Affine) -> Gt {
+    if p.is_identity() || q.is_identity() {
+        return Gt::one();
+    }
+    Gt(final_exponentiation(&miller_loop(p, q)))
+}
+
+/// Computes `∏ᵢ ê(Pᵢ, Qᵢ)` with the Tate backend.
+pub fn multi_pairing_tate(pairs: &[(G1Affine, G2Affine)]) -> Gt {
+    let mut acc = Fp12::one();
+    let mut any = false;
+    for (p, q) in pairs {
+        if p.is_identity() || q.is_identity() {
+            continue;
+        }
+        acc = acc.mul(&miller_loop(p, q));
+        any = true;
+    }
+    if !any {
+        return Gt::one();
+    }
+    Gt(final_exponentiation(&acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g1::{hash_to_g1, G1};
+    use crate::g2::{hash_to_g2, G2};
+
+    #[test]
+    fn non_degenerate_on_generators() {
+        let e = pairing(&G1::generator().to_affine(), &G2::generator().to_affine());
+        assert!(!e.is_one());
+        // e has order dividing r: e^r = 1.
+        let r_minus_1 = Fr::zero().sub(&Fr::one());
+        assert_eq!(e.pow(&r_minus_1).mul(&e), Gt::one());
+    }
+
+    #[test]
+    fn bilinear_in_first_argument() {
+        let q = G2::generator().to_affine();
+        let a = Fr::from_u64(5);
+        let pa = G1::generator().mul_fr(&a).to_affine();
+        let e1 = pairing(&pa, &q);
+        let e2 = pairing(&G1::generator().to_affine(), &q).pow(&a);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn bilinear_in_second_argument() {
+        let p = G1::generator().to_affine();
+        let b = Fr::from_u64(11);
+        let qb = G2::generator().mul_fr(&b).to_affine();
+        let e1 = pairing(&p, &qb);
+        let e2 = pairing(&p, &G2::generator().to_affine()).pow(&b);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn full_bilinearity_with_random_points() {
+        let p = hash_to_g1(b"bilinear-p");
+        let q = hash_to_g2(b"bilinear-q");
+        let a = Fr::hash(b"scalar-a");
+        let b = Fr::hash(b"scalar-b");
+        let lhs = pairing(&p.mul_fr(&a).to_affine(), &q.mul_fr(&b).to_affine());
+        let rhs = pairing(&p.to_affine(), &q.to_affine()).pow(&a.mul(&b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_with_identity_is_one() {
+        let p = G1::generator().to_affine();
+        let q = G2::generator().to_affine();
+        assert!(pairing(&crate::g1::G1Affine::identity(), &q).is_one());
+        assert!(pairing(&p, &crate::g2::G2Affine::identity()).is_one());
+    }
+
+    #[test]
+    fn pairing_of_negated_point_is_inverse() {
+        let p = hash_to_g1(b"inv-p");
+        let q = hash_to_g2(b"inv-q");
+        let e = pairing(&p.to_affine(), &q.to_affine());
+        let e_neg = pairing(&p.neg().to_affine(), &q.to_affine());
+        assert_eq!(e.mul(&e_neg), Gt::one());
+        assert_eq!(e_neg, e.invert());
+    }
+
+    #[test]
+    fn multi_pairing_matches_product() {
+        let pairs: Vec<_> = (0..3u32)
+            .map(|i| {
+                let p = hash_to_g1(format!("mp-p-{i}").as_bytes()).to_affine();
+                let q = hash_to_g2(format!("mp-q-{i}").as_bytes()).to_affine();
+                (p, q)
+            })
+            .collect();
+        let product = pairs
+            .iter()
+            .fold(Gt::one(), |acc, (p, q)| acc.mul(&pairing(p, q)));
+        assert_eq!(multi_pairing(&pairs), product);
+    }
+
+    #[test]
+    fn additivity_identity() {
+        // e(P1 + P2, Q) = e(P1, Q) · e(P2, Q)
+        let p1 = hash_to_g1(b"add-1");
+        let p2 = hash_to_g1(b"add-2");
+        let q = hash_to_g2(b"add-q").to_affine();
+        let lhs = pairing(&p1.add(&p2).to_affine(), &q);
+        let rhs = pairing(&p1.to_affine(), &q).mul(&pairing(&p2.to_affine(), &q));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gt_serialization_is_injective_on_samples() {
+        let e1 = pairing(
+            &hash_to_g1(b"ser-1").to_affine(),
+            &hash_to_g2(b"ser-q").to_affine(),
+        );
+        let e2 = pairing(
+            &hash_to_g1(b"ser-2").to_affine(),
+            &hash_to_g2(b"ser-q").to_affine(),
+        );
+        assert_eq!(e1.to_bytes().len(), 384);
+        assert_ne!(e1.to_bytes(), e2.to_bytes());
+        assert_eq!(e1.to_bytes(), e1.to_bytes());
+    }
+}

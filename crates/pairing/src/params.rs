@@ -1,0 +1,133 @@
+//! BN254 curve parameters and runtime-derived constants.
+//!
+//! The only *transcribed* inputs are the BN parameter `x`, the two moduli
+//! (`p`, `r`) and the standard generators; every other constant (trace,
+//! `G2` cofactor, final-exponentiation exponent, Frobenius coefficients) is
+//! derived from them at first use and cross-checked by tests.
+
+use std::sync::OnceLock;
+
+use seccloud_bigint::ApInt;
+
+use crate::fp::Fp;
+use crate::fr::Fr;
+
+/// The BN construction parameter `x = 4965661367192848881`
+/// (so `p = 36x⁴ + 36x³ + 24x² + 6x + 1`, `r = 36x⁴ + 36x³ + 18x² + 6x + 1`,
+/// `t = 6x² + 1`).
+pub const BN_X: u64 = 4_965_661_367_192_848_881;
+
+/// The base-field characteristic `p` as an arbitrary-precision integer.
+pub fn p_apint() -> &'static ApInt {
+    static P: OnceLock<ApInt> = OnceLock::new();
+    P.get_or_init(|| ApInt::from_uint(&Fp::modulus()))
+}
+
+/// The group order `r` as an arbitrary-precision integer.
+pub fn r_apint() -> &'static ApInt {
+    static R: OnceLock<ApInt> = OnceLock::new();
+    R.get_or_init(|| ApInt::from_uint(&Fr::modulus()))
+}
+
+/// The Frobenius trace `t = 6x² + 1`.
+pub fn trace() -> &'static ApInt {
+    static T: OnceLock<ApInt> = OnceLock::new();
+    T.get_or_init(|| {
+        let x = ApInt::from_u64(BN_X);
+        &(&(&x * &x) * &ApInt::from_u64(6)) + &ApInt::one()
+    })
+}
+
+/// The `G2` cofactor `c₂ = p − 1 + t` (so `#E'(Fp2) = c₂ · r`).
+pub fn g2_cofactor() -> &'static ApInt {
+    static C2: OnceLock<ApInt> = OnceLock::new();
+    C2.get_or_init(|| &p_apint().checked_sub(&ApInt::one()).expect("p > 1") + trace())
+}
+
+/// The hard part of the final exponentiation, `(p⁴ − p² + 1)/r`.
+///
+/// The full final exponent factors as
+/// `(p¹² − 1)/r = (p⁶ − 1)(p² + 1) · (p⁴ − p² + 1)/r`; the first two factors
+/// are applied with cheap Frobenius maps and this value is the remaining
+/// genuine exponentiation.
+pub fn final_exp_hard_part() -> &'static ApInt {
+    static E: OnceLock<ApInt> = OnceLock::new();
+    E.get_or_init(|| {
+        let p = p_apint();
+        let p2 = p * p;
+        let p4 = &p2 * &p2;
+        let numerator = &p4.checked_sub(&p2).expect("p⁴ > p²") + &ApInt::one();
+        let (q, rem) = numerator.divrem(r_apint()).expect("r nonzero");
+        assert!(rem.is_zero(), "r must divide p⁴ − p² + 1 for a BN curve");
+        q
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bn_polynomial_identities() {
+        // p and r must satisfy the BN parameterization in terms of x.
+        let x = ApInt::from_u64(BN_X);
+        let x2 = &x * &x;
+        let x3 = &x2 * &x;
+        let x4 = &x3 * &x;
+        let c36x4 = &x4 * &ApInt::from_u64(36);
+        let c36x3 = &x3 * &ApInt::from_u64(36);
+        let c6x = &x * &ApInt::from_u64(6);
+
+        let p_expected = &(&(&c36x4 + &c36x3) + &(&x2 * &ApInt::from_u64(24)))
+            + &(&c6x + &ApInt::one());
+        assert_eq!(&p_expected, p_apint(), "p = 36x⁴+36x³+24x²+6x+1");
+
+        let r_expected = &(&(&c36x4 + &c36x3) + &(&x2 * &ApInt::from_u64(18)))
+            + &(&c6x + &ApInt::one());
+        assert_eq!(&r_expected, r_apint(), "r = 36x⁴+36x³+18x²+6x+1");
+
+        // r = p + 1 − t
+        let r_from_trace = &p_apint()
+            .checked_sub(trace())
+            .expect("p > t")
+            + &ApInt::one();
+        assert_eq!(&r_from_trace, r_apint());
+    }
+
+    #[test]
+    fn moduli_are_prime() {
+        let mut state = 0xabcdef12345678u64;
+        let mut entropy = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        assert!(seccloud_bigint::is_probable_prime(p_apint(), 16, &mut entropy));
+        assert!(seccloud_bigint::is_probable_prime(r_apint(), 16, &mut entropy));
+    }
+
+    #[test]
+    fn final_exponent_reconstructs() {
+        // hard · r = p⁴ − p² + 1
+        let p = p_apint();
+        let p2 = p * p;
+        let p4 = &p2 * &p2;
+        let want = &p4.checked_sub(&p2).unwrap() + &ApInt::one();
+        assert_eq!(&(final_exp_hard_part() * r_apint()), &want);
+    }
+
+    #[test]
+    fn cofactor_magnitude_is_plausible() {
+        // Hasse over Fp2: #E'(Fp2) = c₂·r must be within 2p of p² + 1.
+        let n2 = g2_cofactor() * r_apint();
+        let p = p_apint();
+        let p2_plus_1 = &(p * p) + &ApInt::one();
+        let diff = if n2 > p2_plus_1 {
+            n2.checked_sub(&p2_plus_1).unwrap()
+        } else {
+            p2_plus_1.checked_sub(&n2).unwrap()
+        };
+        assert!(diff < &ApInt::from_u64(2) * p, "Hasse bound over Fp²");
+    }
+}

@@ -1,0 +1,59 @@
+//! The field-element abstraction shared by the tower and curve code.
+
+use core::fmt::Debug;
+
+/// Minimal arithmetic interface implemented by every field in the tower
+/// (`Fp`, `Fr`, `Fp2`, `Fp6`, `Fp12`).
+///
+/// The generic curve and Miller-loop code is written against this trait so
+/// the same Jacobian formulas serve `G1` (over `Fp`) and `G2` (over `Fp2`).
+pub trait FieldElement: Copy + Clone + PartialEq + Eq + Debug + Send + Sync + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Whether this is the additive identity.
+    fn is_zero(&self) -> bool;
+    /// Field addition.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Field subtraction.
+    fn sub(&self, rhs: &Self) -> Self;
+    /// Additive inverse.
+    fn neg(&self) -> Self;
+    /// Field multiplication.
+    fn mul(&self, rhs: &Self) -> Self;
+    /// Squaring (defaults to `self · self`).
+    fn square(&self) -> Self {
+        self.mul(self)
+    }
+    /// Doubling (defaults to `self + self`).
+    fn double(&self) -> Self {
+        self.add(self)
+    }
+    /// Multiplicative inverse; `None` for zero.
+    fn inverse(&self) -> Option<Self>;
+
+    /// Exponentiation by a little-endian limb slice (square-and-multiply).
+    fn pow_limbs(&self, exp: &[u64]) -> Self {
+        let mut acc = Self::one();
+        let mut started = false;
+        for i in (0..exp.len() * 64).rev() {
+            if started {
+                acc = acc.square();
+            }
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                if started {
+                    acc = acc.mul(self);
+                } else {
+                    acc = *self;
+                    started = true;
+                }
+            }
+        }
+        if started {
+            acc
+        } else {
+            Self::one()
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Serialization and scalar-multiplication equivalence tests for the
+//! pairing crate's public API.
+
+use proptest::prelude::*;
+use seccloud_pairing::{
+    hash_to_g1, hash_to_g2, pairing, Fr, G1Affine, G2Affine, Gt, G1, G2,
+};
+
+#[test]
+fn g1_compression_round_trips() {
+    for i in 0..10u32 {
+        let p = hash_to_g1(&i.to_be_bytes()).to_affine();
+        let bytes = p.to_compressed();
+        assert_eq!(G1Affine::from_compressed(&bytes), Some(p), "sample {i}");
+    }
+    // Identity.
+    let inf = G1Affine::identity();
+    assert_eq!(G1Affine::from_compressed(&inf.to_compressed()), Some(inf));
+    // Negation flips exactly the parity bit.
+    let p = hash_to_g1(b"neg").to_affine();
+    let n = p.neg();
+    let (a, b) = (p.to_compressed(), n.to_compressed());
+    assert_eq!(a[1..], b[1..]);
+    assert_eq!(a[0] ^ b[0], 0x40);
+}
+
+#[test]
+fn g1_compression_rejects_garbage() {
+    // x not on the curve (x = 4 gives y² = 67, a non-residue? — find one).
+    let mut rejected = 0;
+    for v in 0u8..20 {
+        let mut bytes = [0u8; 32];
+        bytes[31] = v;
+        if G1Affine::from_compressed(&bytes).is_none() {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "some small x must be off-curve");
+    // Non-canonical infinity (extra bits set).
+    let mut bad_inf = [0u8; 32];
+    bad_inf[0] = 0xc0;
+    assert_eq!(G1Affine::from_compressed(&bad_inf), None);
+    let mut bad_inf2 = [0u8; 32];
+    bad_inf2[0] = 0x80;
+    bad_inf2[31] = 1;
+    assert_eq!(G1Affine::from_compressed(&bad_inf2), None);
+    // Non-canonical x (≥ p).
+    let too_big = [0x3f; 32];
+    assert_eq!(G1Affine::from_compressed(&too_big), None);
+}
+
+#[test]
+fn g2_compression_round_trips_and_subgroup_checks() {
+    for i in 0..5u32 {
+        let q = hash_to_g2(&i.to_be_bytes()).to_affine();
+        let bytes = q.to_compressed();
+        assert_eq!(G2Affine::from_compressed(&bytes), Some(q), "sample {i}");
+    }
+    let inf = G2Affine::identity();
+    assert_eq!(G2Affine::from_compressed(&inf.to_compressed()), Some(inf));
+    // Generator round-trips.
+    let g = G2::generator().to_affine();
+    assert_eq!(G2Affine::from_compressed(&g.to_compressed()), Some(g));
+}
+
+#[test]
+fn g2_compression_rejects_non_subgroup_points() {
+    // Construct a twist point NOT in the r-subgroup (skip cofactor
+    // clearing) and check its encoding is rejected.
+    use seccloud_pairing::{CurveParams, FieldElement, Fp2, G2Params};
+    for ctr in 0u32..30 {
+        let x = Fp2::from_hash(b"raw-twist", &ctr.to_be_bytes());
+        let y2 = x.square().mul(&x).add(&G2Params::coeff_b());
+        if let Some(y) = y2.sqrt() {
+            let raw = G2Affine::from_xy(x, y).expect("on twist");
+            if G2::from(raw).is_torsion_free() {
+                continue; // astronomically unlikely, but skip
+            }
+            let encoded = raw.to_compressed();
+            assert_eq!(
+                G2Affine::from_compressed(&encoded),
+                None,
+                "non-subgroup point must be rejected"
+            );
+            return;
+        }
+    }
+    panic!("no raw twist point found in 30 tries");
+}
+
+#[test]
+fn gt_bytes_round_trip() {
+    let e = pairing(
+        &hash_to_g1(b"gt-ser").to_affine(),
+        &hash_to_g2(b"gt-ser").to_affine(),
+    );
+    let bytes = e.to_bytes();
+    assert_eq!(Gt::from_bytes(&bytes), Some(e));
+    assert_eq!(Gt::from_bytes(&bytes[..100]), None, "wrong length");
+    // Non-canonical coefficient (all-ones block ≥ p).
+    let mut bad = bytes.clone();
+    for b in bad[..32].iter_mut() {
+        *b = 0xff;
+    }
+    assert_eq!(Gt::from_bytes(&bad), None);
+    // Identity round-trips.
+    assert_eq!(Gt::from_bytes(&Gt::one().to_bytes()), Some(Gt::one()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn wnaf_equals_double_and_add_g1(limbs in prop::array::uniform4(any::<u64>())) {
+        let p = hash_to_g1(b"wnaf-base");
+        prop_assert_eq!(p.mul_limbs(&limbs), p.mul_limbs_wnaf(&limbs));
+    }
+
+    #[test]
+    fn wnaf_equals_double_and_add_g2(k in any::<u64>()) {
+        let q = G2::generator();
+        prop_assert_eq!(
+            q.mul_limbs(&[k, 0, k, 1]),
+            q.mul_limbs_wnaf(&[k, 0, k, 1])
+        );
+    }
+
+    #[test]
+    fn wnaf_edge_scalars(shift in 0usize..255) {
+        // Powers of two and neighbours exercise NAF carries.
+        let one = seccloud_bigint::U256::ONE.shl(shift);
+        let p = G1::generator();
+        prop_assert_eq!(p.mul_u256(&one), p.mul_limbs_wnaf(one.limbs()));
+        let minus = one.wrapping_sub(&seccloud_bigint::U256::ONE);
+        prop_assert_eq!(p.mul_u256(&minus), p.mul_limbs_wnaf(minus.limbs()));
+    }
+
+    #[test]
+    fn compression_respects_scalar_structure(k in 1u64..1000) {
+        let p = G1::generator().mul_fr(&Fr::from_u64(k)).to_affine();
+        let round = G1Affine::from_compressed(&p.to_compressed()).unwrap();
+        prop_assert_eq!(round, p);
+    }
+}
+
+#[test]
+fn wnaf_zero_and_identity() {
+    let p = G1::generator();
+    assert!(p.mul_limbs_wnaf(&[0, 0, 0, 0]).is_identity());
+    assert!(G1::identity().mul_limbs_wnaf(&[123]).is_identity());
+    assert_eq!(p.mul_limbs_wnaf(&[1]), p);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn double_scalar_mul_matches_separate(a in any::<u64>(), b in any::<u64>()) {
+        use seccloud_bigint::U256;
+        let p = G1::generator();
+        let q = hash_to_g1(b"shamir-q");
+        let (ua, ub) = (U256::from_u64(a), U256::from_u64(b));
+        let joint = G1::double_scalar_mul(&p, &ua, &q, &ub);
+        let separate = p.mul_u256(&ua).add(&q.mul_u256(&ub));
+        prop_assert_eq!(joint, separate);
+    }
+}
+
+#[test]
+fn double_scalar_mul_edges() {
+    use seccloud_bigint::U256;
+    let p = G1::generator();
+    let q = hash_to_g1(b"shamir-edge");
+    // Zero scalars.
+    assert!(G1::double_scalar_mul(&p, &U256::ZERO, &q, &U256::ZERO).is_identity());
+    assert_eq!(G1::double_scalar_mul(&p, &U256::ONE, &q, &U256::ZERO), p);
+    assert_eq!(G1::double_scalar_mul(&p, &U256::ZERO, &q, &U256::ONE), q);
+    // Same point both slots: [a]P + [b]P = [a+b]P.
+    let a = U256::from_u64(7);
+    let b = U256::from_u64(9);
+    assert_eq!(
+        G1::double_scalar_mul(&p, &a, &p, &b),
+        p.mul_u256(&U256::from_u64(16))
+    );
+    // Full-width scalars.
+    let big = seccloud_pairing::Fr::hash(b"big").to_u256();
+    assert_eq!(
+        G1::double_scalar_mul(&p, &big, &q, &big),
+        p.mul_u256(&big).add(&q.mul_u256(&big))
+    );
+}

@@ -1,0 +1,87 @@
+//! Computation-security scenario (paper's Computation-Cheating Model): an
+//! analytics provider runs MapReduce-style aggregations for a retailer, but
+//! skips half of the sub-tasks to save cycles and returns guesses. The
+//! DA's probabilistic-sampling audit (Algorithm 1) exposes it, with the
+//! sampling size chosen from the paper's Fig. 4 analysis.
+//!
+//! ```text
+//! cargo run --release --example computation_audit
+//! ```
+
+use seccloud::cloudsim::{behavior::Behavior, CloudServer, DesignatedAgency};
+use seccloud::core::analysis::sampling::{cheat_probability, required_sample_size, CheatParams};
+use seccloud::core::computation::{ComputationRequest, ComputeFunction, RequestItem};
+use seccloud::core::storage::DataBlock;
+use seccloud::core::Sio;
+
+fn main() {
+    let sio = Sio::new(b"computation-audit-demo");
+    let retailer = sio.register("analytics@retailer.example");
+    let mut da = DesignatedAgency::new(&sio, "da.audit.example", b"agency");
+
+    // A lazy provider: computes 50% of sub-tasks, guesses the rest from a
+    // range of 2 plausible values (the paper's R = 2 worst case).
+    let mut lazy = CloudServer::new(
+        &sio,
+        "cs-lazy",
+        Behavior::ComputationCheater {
+            csc: 0.5,
+            guess_range: Some(2),
+        },
+        b"lazy",
+    );
+    let mut diligent = CloudServer::new(&sio, "cs-diligent", Behavior::Honest, b"diligent");
+
+    // Upload a year of daily sales blocks to both providers.
+    let sales: Vec<DataBlock> = (0..365u64)
+        .map(|day| DataBlock::from_values(day, &[1000 + day % 50, 990 + day % 70]))
+        .collect();
+    for server in [&mut lazy, &mut diligent] {
+        let signed = retailer.sign_blocks(&sales, &[server.public(), da.public()]);
+        server.store(&retailer, signed);
+    }
+
+    // Weekly aggregation: 52 sub-tasks of 7 days each.
+    let request = ComputationRequest::new(
+        (0..52u64)
+            .map(|week| RequestItem {
+                function: ComputeFunction::Sum,
+                positions: (week * 7..(week + 1) * 7).collect(),
+            })
+            .collect(),
+    );
+
+    // Pick t from the paper's analysis: the Fig. 4 anchor CSC = SSC = 0.5,
+    // R = 2, ε = 1e-4 → t = 33 (conservative for our compute-only cheater).
+    let params = CheatParams::new(0.5, 0.5).with_range(2.0);
+    let t = required_sample_size(&params, 1e-4).expect("detectable cheater") as usize;
+    println!(
+        "Fig. 4 analysis: sampling t = {t} bounds the escape probability at {:.1e}",
+        cheat_probability(&params, t as u32)
+    );
+
+    for (name, server) in [("lazy", &mut lazy), ("diligent", &mut diligent)] {
+        let job = server
+            .handle_computation(&retailer.identity().to_string(), &request, da.public())
+            .expect("data stored");
+        let verdict = da.audit(server, &job, &retailer, t, 0).expect("warranted");
+        println!(
+            "{name:>9}: sampled {} of 52 weeks → {} ({} bad samples)",
+            verdict.challenge.len(),
+            if verdict.detected { "CHEATING DETECTED" } else { "clean" },
+            verdict.outcome.failures.len(),
+        );
+        if name == "lazy" {
+            assert!(verdict.detected, "t = 33 catches a 50% cheater w.h.p.");
+            for (week, failure) in verdict.outcome.failures.iter().take(3) {
+                println!("          e.g. week {week}: {failure:?}");
+            }
+        } else {
+            assert!(!verdict.detected, "honest provider passes");
+        }
+    }
+
+    println!(
+        "\nThe retailer never recomputed the whole year — {t} samples decided it."
+    );
+}

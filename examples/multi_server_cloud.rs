@@ -1,0 +1,105 @@
+//! The full cloud model of paper Section III-A: a CSP splits a batch job
+//! across a pool of servers under an SLA, a Byzantine adversary corrupts up
+//! to `b` servers per epoch, and the DA audits every sub-task commitment —
+//! batch-verifying signatures for efficiency (Section VI).
+//!
+//! ```text
+//! cargo run --release --example multi_server_cloud
+//! ```
+
+use seccloud::cloudsim::{behavior::Behavior, Csp, DesignatedAgency, Sla};
+use seccloud::core::computation::ComputeFunction;
+use seccloud::core::storage::DataBlock;
+use seccloud::core::Sio;
+use seccloud::hash::HmacDrbg;
+
+const SERVERS: usize = 5;
+const BYZANTINE: usize = 2;
+const BLOCKS: u64 = 40;
+
+fn main() {
+    let sio = Sio::new(b"multi-server-demo");
+    let lab = sio.register("genomics@lab.example");
+    let mut da = DesignatedAgency::new(&sio, "da.audit.example", b"agency");
+    let mut csp = Csp::new(
+        &sio,
+        SERVERS,
+        Sla {
+            max_subtasks_per_server: 16,
+            replication: SERVERS, // full replication for scheduling freedom
+            warrant_validity: 500,
+        },
+        b"pool",
+    );
+
+    // Upload: sign once, designated to every server and the DA.
+    let dataset: Vec<DataBlock> = (0..BLOCKS)
+        .map(|i| DataBlock::from_values(i, &[i * 13 % 97, i * 7 % 89, i]))
+        .collect();
+    let mut verifiers: Vec<_> = csp.servers().iter().map(|s| s.public().clone()).collect();
+    verifiers.push(da.public().clone());
+    let refs: Vec<&_> = verifiers.iter().collect();
+    let placements = csp.store(&lab, &lab.sign_blocks(&dataset, &refs));
+    println!("stored {BLOCKS} blocks × {SERVERS} replicas = {placements} placements");
+
+    // A per-block statistics job, split across the pool.
+    let request = Csp::plan_scan(&ComputeFunction::SumSquaredDeviation, BLOCKS, 5);
+    let plan = csp.split_request(&request);
+    println!(
+        "job: {} sub-tasks split into {} slices across {} servers\n",
+        request.len(),
+        plan.len(),
+        SERVERS
+    );
+
+    // The adversary corrupts a fresh subset each epoch.
+    let mut adversary = HmacDrbg::new(b"byzantine-adversary");
+    for epoch in 0..3u64 {
+        csp.advance_epoch(
+            BYZANTINE,
+            Behavior::ComputationCheater {
+                csc: 0.0,
+                guess_range: None,
+            },
+            &mut adversary,
+        );
+        println!("epoch {epoch}: adversary controls servers {:?}", csp.corrupted());
+
+        let executions = csp.execute(&lab, &request, da.public());
+        let mut caught = Vec::new();
+        for exec in &executions {
+            let handle = exec.result.as_ref().expect("fully replicated");
+            let verdict = da
+                .audit(
+                    &csp.servers()[exec.server_index],
+                    handle,
+                    &lab,
+                    handle.request.len(), // full audit of each slice
+                    epoch,
+                )
+                .expect("warranted audit");
+            if verdict.detected {
+                caught.push(exec.server_index);
+            }
+        }
+        caught.sort_unstable();
+        caught.dedup();
+        println!("         audits flagged servers   {caught:?}");
+        assert_eq!(
+            caught,
+            {
+                let mut c = csp.corrupted();
+                c.sort_unstable();
+                c.retain(|i| executions.iter().any(|e| e.server_index == *i));
+                c
+            },
+            "exactly the corrupted servers that received work are flagged"
+        );
+    }
+
+    println!(
+        "\nAcross every epoch the DA flagged exactly the Byzantine subset — \
+         accountability is unambiguous (paper Section I: deciding whether the \
+         provider or the user is responsible)."
+    );
+}

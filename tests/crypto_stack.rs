@@ -1,0 +1,140 @@
+//! Cross-crate cryptographic consistency: the pairing, hash, Merkle and
+//! signature layers composed through the facade crate.
+
+use seccloud::bigint::{ApInt, U256};
+use seccloud::hash::{HmacDrbg, Sha256};
+use seccloud::ibs::{designate, sign, MasterKey};
+use seccloud::merkle::MerkleTree;
+use seccloud::pairing::{hash_to_g1, hash_to_g2, multi_pairing, pairing, Fr, Gt, G1, G2};
+
+#[test]
+fn pairing_bilinearity_exhaustive_small_scalars() {
+    let p = G1::generator().to_affine();
+    let q = G2::generator().to_affine();
+    let base = pairing(&p, &q);
+    for a in 1u64..=4 {
+        for b in 1u64..=4 {
+            let lhs = pairing(
+                &G1::generator().mul_fr(&Fr::from_u64(a)).to_affine(),
+                &G2::generator().mul_fr(&Fr::from_u64(b)).to_affine(),
+            );
+            let rhs = base.pow(&Fr::from_u64(a * b));
+            assert_eq!(lhs, rhs, "e([{a}]P,[{b}]Q) = e(P,Q)^{}", a * b);
+        }
+    }
+}
+
+#[test]
+fn gt_is_an_order_r_group() {
+    let e = pairing(
+        &hash_to_g1(b"gt-order").to_affine(),
+        &hash_to_g2(b"gt-order").to_affine(),
+    );
+    // e^r = 1 via e^(r-1) · e
+    let r_minus_1 = Fr::zero().sub(&Fr::one());
+    assert_eq!(e.pow(&r_minus_1).mul(&e), Gt::one());
+    // and inversion by conjugation matches e^(r-1)
+    assert_eq!(e.invert(), e.pow(&r_minus_1));
+}
+
+#[test]
+fn multi_pairing_is_the_batch_verifiers_backbone() {
+    // e(P1,Q1)·e(P2,Q2)·e(-(P1),Q1)·e(-(P2),Q2) = 1
+    let p1 = hash_to_g1(b"mp1");
+    let p2 = hash_to_g1(b"mp2");
+    let q1 = hash_to_g2(b"mq1");
+    let q2 = hash_to_g2(b"mq2");
+    let result = multi_pairing(&[
+        (p1.to_affine(), q1.to_affine()),
+        (p2.to_affine(), q2.to_affine()),
+        (p1.neg().to_affine(), q1.to_affine()),
+        (p2.neg().to_affine(), q2.to_affine()),
+    ]);
+    assert_eq!(result, Gt::one());
+}
+
+#[test]
+fn fr_hash_is_uniform_enough_for_chi_square_sanity() {
+    // Bucket 2000 hashed scalars into 16 bins by their low nibble; a wildly
+    // skewed hash would fail this loose bound.
+    let mut bins = [0u32; 16];
+    for i in 0..2000u32 {
+        let v = Fr::hash(&i.to_be_bytes());
+        let nibble = (v.to_u256().as_u64() & 0xf) as usize;
+        bins[nibble] += 1;
+    }
+    for (i, &count) in bins.iter().enumerate() {
+        assert!(
+            (75..=175).contains(&count),
+            "bin {i} has {count}, expected ≈125"
+        );
+    }
+}
+
+#[test]
+fn signature_over_merkle_root_binds_the_whole_tree() {
+    // The pattern the computation protocol relies on: signing a Merkle root
+    // authenticates every leaf transitively.
+    let sio = MasterKey::from_seed(b"root-binding");
+    let server = sio.extract_user("cs");
+    let verifier = sio.extract_verifier("da");
+
+    let leaves: Vec<Vec<u8>> = (0..16u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    let tree = MerkleTree::from_data(leaves.iter().map(Vec::as_slice));
+    let signed_root = designate(&sign(&server, &tree.root(), b"n"), verifier.public());
+    assert!(signed_root.verify(&verifier, server.public(), &tree.root()));
+
+    // Any single-leaf change produces a different root, unverifiable under
+    // the old signature.
+    let mut leaves2 = leaves.clone();
+    leaves2[9][0] ^= 1;
+    let tree2 = MerkleTree::from_data(leaves2.iter().map(Vec::as_slice));
+    assert!(!signed_root.verify(&verifier, server.public(), &tree2.root()));
+}
+
+#[test]
+fn curve_order_matches_scalar_field_across_layers() {
+    // r·G = O in both groups, and Fr wraps exactly at r.
+    let r = Fr::modulus();
+    assert!(G1::generator().mul_u256(&r).is_identity());
+    assert!(G2::generator().mul_u256(&r).is_identity());
+    let wrapped = Fr::from_u256(&r.wrapping_add(&U256::from_u64(5)));
+    assert_eq!(wrapped, Fr::from_u64(5));
+}
+
+#[test]
+fn bigint_backs_the_pairing_constants() {
+    // (p¹² − 1) must be divisible by r (the pairing's target group exists).
+    let p = ApInt::from_uint(&seccloud::pairing::Fp::modulus());
+    let r = ApInt::from_uint(&Fr::modulus());
+    let mut p12 = ApInt::one();
+    for _ in 0..12 {
+        p12 = &p12 * &p;
+    }
+    let p12_minus_1 = p12.checked_sub(&ApInt::one()).unwrap();
+    assert!(p12_minus_1.rem(&r).is_zero());
+}
+
+#[test]
+fn drbg_and_sha_interoperate_deterministically() {
+    let mut d = HmacDrbg::new(b"interop");
+    let bytes = d.next_bytes(64);
+    let digest1 = Sha256::digest(&bytes);
+    let mut d2 = HmacDrbg::new(b"interop");
+    let digest2 = Sha256::digest(&d2.next_bytes(64));
+    assert_eq!(digest1, digest2);
+}
+
+#[test]
+fn hash_to_curve_domains_are_disjoint() {
+    // The same identity string hashed as a user vs as a verifier gives
+    // unrelated points (different groups AND different domains).
+    let g1_point = hash_to_g1(b"same-identity");
+    let g1_other = hash_to_g1(b"same-identity-2");
+    assert_ne!(g1_point, g1_other);
+    let q2 = hash_to_g2(b"same-identity");
+    assert!(q2.is_torsion_free());
+    // Pair them — the result must be a valid GT element, not identity.
+    let e = pairing(&g1_point.to_affine(), &q2.to_affine());
+    assert!(!e.is_one());
+}

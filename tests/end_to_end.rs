@@ -1,0 +1,237 @@
+//! Whole-pipeline integration tests: SIO setup → storage upload →
+//! computation commitment → delegated sampling audit, across every
+//! adversary model of the paper's Section III-B.
+
+use seccloud::cloudsim::behavior::{Behavior, StorageAttack};
+use seccloud::cloudsim::{CloudServer, Csp, DesignatedAgency, Sla};
+use seccloud::core::computation::{ComputationRequest, ComputeFunction, RequestItem};
+use seccloud::core::storage::{audit_blocks, DataBlock};
+use seccloud::core::Sio;
+use seccloud::hash::HmacDrbg;
+
+fn dataset(n: u64) -> Vec<DataBlock> {
+    (0..n)
+        .map(|i| DataBlock::from_values(i, &[i, i * i % 101, i + 13]))
+        .collect()
+}
+
+fn weekly_request(blocks: u64, group: u64) -> ComputationRequest {
+    ComputationRequest::new(
+        (0..blocks / group)
+            .map(|g| RequestItem {
+                function: ComputeFunction::Sum,
+                positions: (g * group..(g + 1) * group).collect(),
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn honest_lifecycle_passes_every_check() {
+    let sio = Sio::new(b"e2e-honest");
+    let user = sio.register("alice");
+    let mut server = CloudServer::new(&sio, "cs", Behavior::Honest, b"s");
+    let mut da = DesignatedAgency::new(&sio, "da", b"a");
+
+    let blocks = dataset(24);
+    let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+    assert_eq!(server.store(&user, signed), 24);
+
+    // Storage audit.
+    let retrieved: Vec<_> = (0..24)
+        .filter_map(|p| server.retrieve("alice", p).cloned())
+        .collect();
+    assert!(audit_blocks(da.credential().key(), user.public(), &retrieved).is_valid());
+
+    // Computation audit at several sampling sizes.
+    let request = weekly_request(24, 3);
+    let job = server
+        .handle_computation(&"alice".to_string(), &request, da.public())
+        .unwrap();
+    for t in [1, 4, 8] {
+        let verdict = da.audit(&server, &job, &user, t, 0).unwrap();
+        assert!(!verdict.detected, "t={t}: {:?}", verdict.outcome);
+    }
+}
+
+#[test]
+fn computation_cheater_is_caught_with_full_sampling() {
+    let sio = Sio::new(b"e2e-cheat");
+    let user = sio.register("alice");
+    let mut server = CloudServer::new(
+        &sio,
+        "cs",
+        Behavior::ComputationCheater {
+            csc: 0.5,
+            guess_range: None,
+        },
+        b"s",
+    );
+    let mut da = DesignatedAgency::new(&sio, "da", b"a");
+    let blocks = dataset(32);
+    let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+    server.store(&user, signed);
+    let request = weekly_request(32, 2);
+    let job = server
+        .handle_computation(&"alice".to_string(), &request, da.public())
+        .unwrap();
+    let verdict = da.audit(&server, &job, &user, 16, 0).unwrap();
+    assert!(verdict.detected, "a 50% cheater cannot survive a full audit");
+    // All failures must be result failures — the inputs were genuine.
+    assert!(verdict
+        .outcome
+        .failures
+        .iter()
+        .all(|(_, f)| matches!(f, seccloud::core::computation::AuditFailure::WrongResult { .. })));
+}
+
+#[test]
+fn storage_corruption_fails_the_computation_audit_signature_check() {
+    // A corrupting server computes over data that no longer matches the
+    // user's signatures: Algorithm 1's IsSignatureWrong predicate fires.
+    let sio = Sio::new(b"e2e-corrupt");
+    let user = sio.register("alice");
+    let mut server = CloudServer::new(
+        &sio,
+        "cs",
+        Behavior::StorageCheater {
+            ssc: 0.0,
+            attack: StorageAttack::Corrupt,
+        },
+        b"s",
+    );
+    let mut da = DesignatedAgency::new(&sio, "da", b"a");
+    let blocks = dataset(8);
+    let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+    server.store(&user, signed);
+    let request = weekly_request(8, 2);
+    let job = server
+        .handle_computation(&"alice".to_string(), &request, da.public())
+        .unwrap();
+    let verdict = da.audit(&server, &job, &user, 4, 0).unwrap();
+    assert!(verdict.detected);
+    assert!(verdict
+        .outcome
+        .failures
+        .iter()
+        .all(|(_, f)| matches!(f, seccloud::core::computation::AuditFailure::BadSignature)));
+}
+
+#[test]
+fn wrong_position_storage_is_exposed() {
+    let sio = Sio::new(b"e2e-wrongpos");
+    let user = sio.register("alice");
+    let mut server = CloudServer::new(
+        &sio,
+        "cs",
+        Behavior::StorageCheater {
+            ssc: 0.0,
+            attack: StorageAttack::WrongPosition,
+        },
+        b"s",
+    );
+    let da = sio.register_verifier("da");
+    let blocks = dataset(6);
+    let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+    server.store(&user, signed);
+    // Every retrievable block is filed under a shifted position and fails
+    // its designated signature check there.
+    let mut bad = 0;
+    for p in 0..8u64 {
+        if let Some(b) = server.retrieve("alice", p) {
+            if !b.verify(da.key(), user.public()) {
+                bad += 1;
+            }
+        }
+    }
+    assert!(bad > 0, "relabelled blocks must fail authentication");
+}
+
+#[test]
+fn multi_user_multi_server_pool() {
+    let sio = Sio::new(b"e2e-pool");
+    let mut da = DesignatedAgency::new(&sio, "da", b"a");
+    let mut csp = Csp::new(
+        &sio,
+        3,
+        Sla {
+            replication: 3,
+            ..Sla::default()
+        },
+        b"pool",
+    );
+    let users: Vec<_> = ["alice", "bob", "carol"]
+        .iter()
+        .map(|id| sio.register(id))
+        .collect();
+    let mut verifiers: Vec<_> = csp.servers().iter().map(|s| s.public().clone()).collect();
+    verifiers.push(da.public().clone());
+    let refs: Vec<&_> = verifiers.iter().collect();
+
+    for user in &users {
+        let blocks = dataset(12);
+        csp.store(user, &user.sign_blocks(&blocks, &refs));
+    }
+    let request = Csp::plan_scan(&ComputeFunction::Average, 12, 4);
+    for user in &users {
+        for exec in csp.execute(user, &request, da.public()) {
+            let handle = exec.result.expect("replicated");
+            let verdict = da
+                .audit(&csp.servers()[exec.server_index], &handle, user, 3, 0)
+                .unwrap();
+            assert!(!verdict.detected, "user {}", user.identity());
+        }
+    }
+}
+
+#[test]
+fn epoch_rotation_catches_each_fresh_corruption_set() {
+    let sio = Sio::new(b"e2e-epochs");
+    let user = sio.register("alice");
+    let mut da = DesignatedAgency::new(&sio, "da", b"a");
+    let mut csp = Csp::new(
+        &sio,
+        4,
+        Sla {
+            replication: 4,
+            ..Sla::default()
+        },
+        b"pool",
+    );
+    let mut verifiers: Vec<_> = csp.servers().iter().map(|s| s.public().clone()).collect();
+    verifiers.push(da.public().clone());
+    let refs: Vec<&_> = verifiers.iter().collect();
+    csp.store(&user, &user.sign_blocks(&dataset(16), &refs));
+
+    let request = Csp::plan_scan(&ComputeFunction::Sum, 16, 2);
+    let mut adversary = HmacDrbg::new(b"adv");
+    for epoch in 0..3u64 {
+        csp.advance_epoch(
+            1,
+            Behavior::ComputationCheater {
+                csc: 0.0,
+                guess_range: None,
+            },
+            &mut adversary,
+        );
+        let corrupted = csp.corrupted();
+        for exec in csp.execute(&user, &request, da.public()) {
+            let handle = exec.result.expect("replicated");
+            let verdict = da
+                .audit(
+                    &csp.servers()[exec.server_index],
+                    &handle,
+                    &user,
+                    handle.request.len(),
+                    epoch,
+                )
+                .unwrap();
+            assert_eq!(
+                verdict.detected,
+                corrupted.contains(&exec.server_index),
+                "epoch {epoch}, server {}",
+                exec.server_index
+            );
+        }
+    }
+}
