@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate for the SecCloud workspace.
+#
+# Runs the formatting, lint, and tier-1 test gates exactly as the driver
+# does — no network access required (the workspace has zero external
+# dependencies). Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "CI OK"

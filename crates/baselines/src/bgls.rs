@@ -6,9 +6,7 @@
 //! (vs SecCloud's designated batch at a constant 2).
 
 use seccloud_hash::HmacDrbg;
-use seccloud_pairing::{
-    hash_to_g1, multi_pairing, pairing, Fr, G1, G1Affine, G2, G2Affine, Gt,
-};
+use seccloud_pairing::{hash_to_g1, multi_pairing, pairing, Fr, G1Affine, G2Affine, Gt, G1, G2};
 
 /// A BLS signing key.
 #[derive(Clone)]
@@ -62,7 +60,10 @@ impl BlsKeyPair {
 impl BlsPublicKey {
     /// Verifies `ê(σ, P₂) = ê(H(m), pk)` — two pairings.
     pub fn verify(&self, message: &[u8], sig: &BlsSignature) -> bool {
-        let lhs = pairing(&sig.0.to_affine(), &G2Affine::from(G2::generator().to_affine()));
+        let lhs = pairing(
+            &sig.0.to_affine(),
+            &G2Affine::from(G2::generator().to_affine()),
+        );
         let rhs = pairing(&hash_to_g1(message).to_affine(), &self.pk.to_affine());
         lhs == rhs
     }
@@ -70,10 +71,7 @@ impl BlsPublicKey {
 
 /// Aggregates signatures by summation: `σ_A = Σ σᵢ`.
 pub fn aggregate(sigs: &[BlsSignature]) -> BlsSignature {
-    BlsSignature(
-        sigs.iter()
-            .fold(G1::identity(), |acc, s| acc.add(&s.0)),
-    )
+    BlsSignature(sigs.iter().fold(G1::identity(), |acc, s| acc.add(&s.0)))
 }
 
 /// Verifies an aggregate over `(pk, message)` pairs with `n + 1` pairings
@@ -83,10 +81,7 @@ pub fn aggregate(sigs: &[BlsSignature]) -> BlsSignature {
 /// Distinct-message aggregation only — duplicate messages under different
 /// keys are rejected to rule out the classic rogue-key-style forgery, as in
 /// the original BGLS security model.
-pub fn verify_aggregate(
-    pairs: &[(&BlsPublicKey, &[u8])],
-    aggregate_sig: &BlsSignature,
-) -> bool {
+pub fn verify_aggregate(pairs: &[(&BlsPublicKey, &[u8])], aggregate_sig: &BlsSignature) -> bool {
     if pairs.is_empty() {
         return aggregate_sig.0.is_identity();
     }
@@ -133,11 +128,7 @@ mod tests {
             .map(|i| BlsKeyPair::generate(format!("agg-{i}").as_bytes()))
             .collect();
         let msgs: Vec<Vec<u8>> = (0..5u32).map(|i| format!("msg-{i}").into_bytes()).collect();
-        let sigs: Vec<_> = keys
-            .iter()
-            .zip(&msgs)
-            .map(|(k, m)| k.sign(m))
-            .collect();
+        let sigs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
         let agg = aggregate(&sigs);
         let pairs: Vec<(&BlsPublicKey, &[u8])> = keys
             .iter()

@@ -105,12 +105,7 @@ impl EcdsaPublicKey {
         };
         let u1 = z.mul(&s_inv);
         let u2 = sig.r.mul(&s_inv);
-        let point = G1::double_scalar_mul(
-            &G1::generator(),
-            &u1.to_u256(),
-            &self.q,
-            &u2.to_u256(),
-        );
+        let point = G1::double_scalar_mul(&G1::generator(), &u1.to_u256(), &self.q, &u2.to_u256());
         if point.is_identity() {
             return false;
         }
@@ -158,12 +153,20 @@ mod tests {
     fn zero_components_rejected() {
         let key = EcdsaKeyPair::generate(b"zeros");
         let sig = key.sign(b"m");
-        assert!(!key
-            .public()
-            .verify(b"m", &EcdsaSignature { r: Fr::zero(), s: sig.s }));
-        assert!(!key
-            .public()
-            .verify(b"m", &EcdsaSignature { r: sig.r, s: Fr::zero() }));
+        assert!(!key.public().verify(
+            b"m",
+            &EcdsaSignature {
+                r: Fr::zero(),
+                s: sig.s
+            }
+        ));
+        assert!(!key.public().verify(
+            b"m",
+            &EcdsaSignature {
+                r: sig.r,
+                s: Fr::zero()
+            }
+        ));
     }
 
     #[test]

@@ -1,9 +1,7 @@
-//! Criterion benches behind Fig. 5 / Table II's "ours" rows: batch vs
-//! individual designated verification across batch sizes.
+//! Benches behind Fig. 5 / Table II's "ours" rows: batch vs individual
+//! designated verification across batch sizes, serial vs parallel.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seccloud_bench::Bench;
 use seccloud_ibs::{designate, sign, BatchItem, BatchVerifier, MasterKey};
 
 fn make_items(n: usize) -> (seccloud_ibs::VerifierKey, Vec<BatchItem>) {
@@ -24,42 +22,34 @@ fn make_items(n: usize) -> (seccloud_ibs::VerifierKey, Vec<BatchItem>) {
     (server, items)
 }
 
-fn bench_batch_vs_individual(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batch_verify");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-
+fn bench_batch_vs_individual() {
+    let mut g = Bench::group("batch_verify");
     for &n in &[1usize, 4, 16, 32] {
         let (server, items) = make_items(n);
-        group.bench_with_input(BenchmarkId::new("individual", n), &n, |b, _| {
-            b.iter(|| {
-                assert!(seccloud_ibs::verify_individually(&items, &server).is_none());
-            })
+        g.bench(&format!("individual/{n}"), || {
+            assert!(seccloud_ibs::verify_individually(&items, &server).is_none());
         });
-        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
-            b.iter(|| {
-                let mut batch = BatchVerifier::new();
-                for item in &items {
-                    batch.push_item(item);
-                }
-                assert!(batch.verify(&server));
-            })
+        g.bench(&format!("individual_parallel/{n}"), || {
+            assert!(seccloud_ibs::verify_individually_parallel(&items, &server).is_none());
+        });
+        g.bench(&format!("batch/{n}"), || {
+            let mut batch = BatchVerifier::new();
+            for item in &items {
+                batch.push_item(item);
+            }
+            assert!(batch.verify(&server));
         });
         // Ablation: aggregation (fold) cost alone, without the pairing.
-        group.bench_with_input(BenchmarkId::new("fold_only", n), &n, |b, _| {
-            b.iter(|| {
-                let mut batch = BatchVerifier::new();
-                for item in &items {
-                    batch.push_item(item);
-                }
-                batch.len()
-            })
+        g.bench(&format!("fold_only/{n}"), || {
+            let mut batch = BatchVerifier::new();
+            for item in &items {
+                batch.push_item(item);
+            }
+            batch.len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_batch_vs_individual);
-criterion_main!(benches);
+fn main() {
+    bench_batch_vs_individual();
+}

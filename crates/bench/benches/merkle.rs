@@ -1,56 +1,46 @@
-//! Criterion benches for the Merkle commitment layer (paper eq. 6, Fig. 3)
-//! and the multi-proof-vs-independent-paths ablation from DESIGN.md.
+//! Benches for the Merkle commitment layer (paper eq. 6, Fig. 3), the
+//! multi-proof-vs-independent-paths ablation from DESIGN.md, and the
+//! parallel-vs-serial tree-build ablation.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seccloud_bench::Bench;
 use seccloud_merkle::MerkleTree;
 
 fn data(n: usize) -> Vec<Vec<u8>> {
     (0..n).map(|i| format!("y{i}||p{i}").into_bytes()).collect()
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merkle_build");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_secs(1));
+fn bench_build() {
+    let mut g = Bench::group("merkle_build");
     for &n in &[64usize, 1024, 16_384] {
         let d = data(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| MerkleTree::from_data(d.iter().map(Vec::as_slice)))
+        let serial = g.bench(&format!("serial/{n}"), || {
+            MerkleTree::from_data(d.iter().map(Vec::as_slice))
         });
+        let leaves: Vec<&[u8]> = d.iter().map(Vec::as_slice).collect();
+        let parallel = g.bench(&format!("parallel/{n}"), || {
+            MerkleTree::from_data_parallel(&leaves)
+        });
+        println!("   -> parallel speedup at n={n}: {:.2}x", serial / parallel);
     }
-    group.finish();
 }
 
-fn bench_prove_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merkle_prove_verify");
-    group
-        .sample_size(30)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_secs(1));
+fn bench_prove_verify() {
+    let mut g = Bench::group("merkle_prove_verify");
     let n = 4096;
     let d = data(n);
     let tree = MerkleTree::from_data(d.iter().map(Vec::as_slice));
     let root = tree.root();
     let proof = tree.prove(n / 2).unwrap();
 
-    group.bench_function("prove_single", |b| b.iter(|| tree.prove(n / 2).unwrap()));
-    group.bench_function("verify_single", |b| {
-        b.iter(|| assert!(proof.verify(&root, &d[n / 2], n / 2)))
+    g.bench("prove_single", || tree.prove(n / 2).unwrap());
+    g.bench("verify_single", || {
+        assert!(proof.verify(&root, &d[n / 2], n / 2))
     });
-    group.finish();
 }
 
-fn bench_multiproof_ablation(c: &mut Criterion) {
+fn bench_multiproof_ablation() {
     // DESIGN.md ablation: one multi-proof for t samples vs t single paths.
-    let mut group = c.benchmark_group("merkle_multiproof");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = Bench::group("merkle_multiproof");
     let n = 4096;
     let d = data(n);
     let tree = MerkleTree::from_data(d.iter().map(Vec::as_slice));
@@ -58,26 +48,25 @@ fn bench_multiproof_ablation(c: &mut Criterion) {
 
     for &t in &[8usize, 33] {
         let indices: Vec<usize> = (0..t).map(|i| i * (n / t)).collect();
-        group.bench_with_input(BenchmarkId::new("multi", t), &t, |b, _| {
-            b.iter(|| tree.prove_multi(&indices).unwrap())
+        g.bench(&format!("multi/{t}"), || {
+            tree.prove_multi(&indices).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("singles", t), &t, |b, _| {
-            b.iter(|| {
-                indices
-                    .iter()
-                    .map(|&i| tree.prove(i).unwrap())
-                    .collect::<Vec<_>>()
-            })
+        g.bench(&format!("singles/{t}"), || {
+            indices
+                .iter()
+                .map(|&i| tree.prove(i).unwrap())
+                .collect::<Vec<_>>()
         });
         let multi = tree.prove_multi(&indices).unwrap();
-        let claims: Vec<(usize, &[u8])> =
-            indices.iter().map(|&i| (i, d[i].as_slice())).collect();
-        group.bench_with_input(BenchmarkId::new("verify_multi", t), &t, |b, _| {
-            b.iter(|| assert!(multi.verify(&root, &claims)))
+        let claims: Vec<(usize, &[u8])> = indices.iter().map(|&i| (i, d[i].as_slice())).collect();
+        g.bench(&format!("verify_multi/{t}"), || {
+            assert!(multi.verify(&root, &claims))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_prove_verify, bench_multiproof_ablation);
-criterion_main!(benches);
+fn main() {
+    bench_build();
+    bench_prove_verify();
+    bench_multiproof_ablation();
+}

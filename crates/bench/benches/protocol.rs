@@ -1,14 +1,12 @@
-//! Criterion benches for the end-to-end protocol steps: block signing
-//! (Protocol II), commitment generation (Protocol III) and the sampling
-//! audit (Algorithm 1) at several sampling sizes — including the
-//! batch-vs-individual audit ablation.
+//! Benches for the end-to-end protocol steps: block signing (Protocol II),
+//! commitment generation (Protocol III) and the sampling audit
+//! (Algorithm 1) at several sampling sizes — including the
+//! batch-vs-individual and serial-vs-parallel audit ablations.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seccloud_bench::Bench;
 use seccloud_core::computation::{
-    verify_response, verify_response_batched, AuditChallenge, Commitment, CommitmentSession,
-    ComputationRequest, ComputeFunction, RequestItem,
+    verify_response, verify_response_batched, verify_response_parallel, AuditChallenge, Commitment,
+    CommitmentSession, ComputationRequest, ComputeFunction, RequestItem,
 };
 use seccloud_core::storage::{DataBlock, SignedBlock};
 use seccloud_core::{CloudUser, Sio, VerifierCredential};
@@ -60,79 +58,83 @@ fn commit(w: &World) -> (Commitment, CommitmentSession) {
     .expect("blocks present")
 }
 
-fn bench_sign_blocks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_sign_blocks");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn bench_sign_blocks() {
+    let mut g = Bench::group("protocol_sign_blocks");
     let w = world(8);
-    group.bench_function("sign_8_blocks_2_designees", |b| {
-        b.iter(|| w.user.sign_blocks(&w.blocks, &[w.cs.public(), w.da.public()]))
+    let serial = g.bench("sign_8_blocks_2_designees", || {
+        w.user
+            .sign_blocks(&w.blocks, &[w.cs.public(), w.da.public()])
     });
-    group.finish();
+    let parallel = g.bench("sign_8_blocks_2_designees_parallel", || {
+        w.user
+            .sign_blocks_parallel(&w.blocks, &[w.cs.public(), w.da.public()])
+    });
+    println!("   -> parallel signing speedup: {:.2}x", serial / parallel);
 }
 
-fn bench_commit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_commit");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn bench_commit() {
+    let mut g = Bench::group("protocol_commit");
     for &n in &[16usize, 64] {
         let w = world(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| commit(&w))
-        });
+        g.bench(&format!("commit/{n}"), || commit(&w));
     }
-    group.finish();
 }
 
-fn bench_audit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_audit");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn bench_audit() {
+    let mut g = Bench::group("protocol_audit");
     let w = world(64);
     let (commitment, session) = commit(&w);
     for &t in &[1usize, 8, 15] {
         let mut drbg = HmacDrbg::new(b"challenge");
         let challenge = AuditChallenge::sample(&mut drbg, w.request.len(), t);
         let response = session.respond(&challenge).unwrap();
-        group.bench_with_input(BenchmarkId::new("respond", t), &t, |b, _| {
-            b.iter(|| session.respond(&challenge).unwrap())
+        g.bench(&format!("respond/{t}"), || {
+            session.respond(&challenge).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("verify_individual", t), &t, |b, _| {
-            b.iter(|| {
-                let outcome = verify_response(
-                    w.da.key(),
-                    w.user.public(),
-                    w.cs.signer_public(),
-                    &w.request,
-                    &challenge,
-                    &commitment,
-                    &response,
-                );
-                assert!(outcome.is_valid());
-            })
+        let serial = g.bench(&format!("verify_individual/{t}"), || {
+            let outcome = verify_response(
+                w.da.key(),
+                w.user.public(),
+                w.cs.signer_public(),
+                &w.request,
+                &challenge,
+                &commitment,
+                &response,
+            );
+            assert!(outcome.is_valid());
         });
-        group.bench_with_input(BenchmarkId::new("verify_batched", t), &t, |b, _| {
-            b.iter(|| {
-                assert!(verify_response_batched(
-                    w.da.key(),
-                    w.user.public(),
-                    w.cs.signer_public(),
-                    &w.request,
-                    &challenge,
-                    &commitment,
-                    &response,
-                ));
-            })
+        let parallel = g.bench(&format!("verify_parallel/{t}"), || {
+            let outcome = verify_response_parallel(
+                w.da.key(),
+                w.user.public(),
+                w.cs.signer_public(),
+                &w.request,
+                &challenge,
+                &commitment,
+                &response,
+            );
+            assert!(outcome.is_valid());
+        });
+        println!(
+            "   -> parallel audit speedup at t={t}: {:.2}x",
+            serial / parallel
+        );
+        g.bench(&format!("verify_batched/{t}"), || {
+            assert!(verify_response_batched(
+                w.da.key(),
+                w.user.public(),
+                w.cs.signer_public(),
+                &w.request,
+                &challenge,
+                &commitment,
+                &response,
+            ));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sign_blocks, bench_commit, bench_audit);
-criterion_main!(benches);
+fn main() {
+    bench_sign_blocks();
+    bench_commit();
+    bench_audit();
+}

@@ -1,55 +1,33 @@
-//! Criterion benches for the Table-II comparator schemes: RSA, ECDSA and
-//! BGLS signing/verification (the SecCloud rows live in `batch_verify.rs`).
+//! Benches for the Table-II comparator schemes: RSA, ECDSA and BGLS
+//! signing/verification (the SecCloud rows live in `batch_verify.rs`).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use seccloud_baselines::bgls::{aggregate, verify_aggregate, BlsKeyPair, BlsPublicKey};
 use seccloud_baselines::ecdsa::EcdsaKeyPair;
 use seccloud_baselines::rsa::RsaKeyPair;
+use seccloud_bench::Bench;
 
-fn bench_rsa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rsa_1024");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn bench_rsa() {
+    let mut g = Bench::group("rsa_1024");
     let key = RsaKeyPair::generate(512, b"bench-rsa");
     let sig = key.sign(b"message");
-    group.bench_function("sign", |b| b.iter(|| key.sign(b"message")));
-    group.bench_function("verify", |b| {
-        b.iter(|| assert!(key.public().verify(b"message", &sig)))
-    });
-    group.finish();
+    g.bench("sign", || key.sign(b"message"));
+    g.bench("verify", || assert!(key.public().verify(b"message", &sig)));
 }
 
-fn bench_ecdsa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ecdsa_bn254");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn bench_ecdsa() {
+    let mut g = Bench::group("ecdsa_bn254");
     let key = EcdsaKeyPair::generate(b"bench-ecdsa");
     let sig = key.sign(b"message");
-    group.bench_function("sign", |b| b.iter(|| key.sign(b"message")));
-    group.bench_function("verify", |b| {
-        b.iter(|| assert!(key.public().verify(b"message", &sig)))
-    });
-    group.finish();
+    g.bench("sign", || key.sign(b"message"));
+    g.bench("verify", || assert!(key.public().verify(b"message", &sig)));
 }
 
-fn bench_bgls(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bgls");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn bench_bgls() {
+    let mut g = Bench::group("bgls");
     let key = BlsKeyPair::generate(b"bench-bls");
     let sig = key.sign(b"message");
-    group.bench_function("sign", |b| b.iter(|| key.sign(b"message")));
-    group.bench_function("verify", |b| {
-        b.iter(|| assert!(key.public().verify(b"message", &sig)))
-    });
+    g.bench("sign", || key.sign(b"message"));
+    g.bench("verify", || assert!(key.public().verify(b"message", &sig)));
 
     // Aggregate of 8 distinct-message signatures: (n+1) pairings.
     let keys: Vec<BlsKeyPair> = (0..8)
@@ -63,11 +41,13 @@ fn bench_bgls(c: &mut Criterion) {
         .zip(&msgs)
         .map(|(k, m)| (k.public(), m.as_slice()))
         .collect();
-    group.bench_function("verify_aggregate_8", |b| {
-        b.iter(|| assert!(verify_aggregate(&pairs, &agg)))
+    g.bench("verify_aggregate_8", || {
+        assert!(verify_aggregate(&pairs, &agg))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_rsa, bench_ecdsa, bench_bgls);
-criterion_main!(benches);
+fn main() {
+    bench_rsa();
+    bench_ecdsa();
+    bench_bgls();
+}

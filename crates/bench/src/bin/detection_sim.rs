@@ -19,7 +19,10 @@ fn main() {
 
     println!("## Escape probability vs sampling size t");
     println!("   (CSC = 0.9, SSC = 0.95, R = 2, n = {N}, {TRIALS} trials)\n");
-    println!("{:>4} {:>14} {:>14} {:>10}", "t", "simulated", "analytic", "|Δ|");
+    println!(
+        "{:>4} {:>14} {:>14} {:>10}",
+        "t", "simulated", "analytic", "|Δ|"
+    );
     let params = CheatParams::new(0.9, 0.95).with_range(2.0);
     for (t, sim, analytic) in sweep_t(params, N, &[1, 2, 5, 10, 20, 40, 80], TRIALS, b"sweep-1") {
         println!(
@@ -68,7 +71,11 @@ fn main() {
     // At the paper's required sample sizes the empirical escape rate should
     // be below ~1e-4 (so almost surely 0 escapes in 20k trials).
     for (label, params, t) in [
-        ("R=2,   t=33", CheatParams::new(0.5, 0.5).with_range(2.0), 33),
+        (
+            "R=2,   t=33",
+            CheatParams::new(0.5, 0.5).with_range(2.0),
+            33,
+        ),
         ("R→∞, t=15", CheatParams::new(0.5, 0.5), 15),
     ] {
         let result = run(

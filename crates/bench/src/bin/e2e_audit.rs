@@ -80,7 +80,10 @@ fn main() {
         );
         for exec in &executions {
             let Ok(handle) = exec.result.as_ref() else {
-                println!("  server {}: storage failure (deleted blocks)", exec.server_index);
+                println!(
+                    "  server {}: storage failure (deleted blocks)",
+                    exec.server_index
+                );
                 continue;
             };
             // Audit with the Fig-4 sampling size for CSC = 0.5, R = 2
@@ -98,7 +101,11 @@ fn main() {
             println!(
                 "  server {}: {} ({} samples, {} failures)",
                 exec.server_index,
-                if verdict.detected { "DETECTED" } else { "passed" },
+                if verdict.detected {
+                    "DETECTED"
+                } else {
+                    "passed"
+                },
                 verdict.challenge.len(),
                 verdict.outcome.failures.len(),
             );

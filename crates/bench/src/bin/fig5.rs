@@ -40,7 +40,10 @@ fn main() {
     // (a) Analytic curves, as in the paper's Matlab plot.
     let model = VerificationCostModel::new(costs);
     println!("## Analytic series (ms), k = 1..50\n");
-    println!("{:>4} {:>12} {:>12} {:>12}", "k", "ours", "wang[4,5]", "bgls");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "k", "ours", "wang[4,5]", "bgls"
+    );
     for (k, ours, wang) in model.fig5_series(50) {
         if k % 5 == 0 || k == 1 {
             println!(
@@ -71,9 +74,7 @@ fn main() {
                 }
             })
             .collect();
-        let individual = measure_ms(1, 3, || {
-            seccloud_ibs::verify_individually(&items, &server)
-        });
+        let individual = measure_ms(1, 3, || seccloud_ibs::verify_individually(&items, &server));
         let batch = measure_ms(1, 3, || {
             let mut b = BatchVerifier::new();
             for item in &items {

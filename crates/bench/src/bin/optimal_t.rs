@@ -10,7 +10,9 @@
 //! ```
 
 use seccloud_core::analysis::costmodel::CostParams;
-use seccloud_core::computation::{AuditChallenge, CommitmentSession, ComputationRequest, ComputeFunction, RequestItem};
+use seccloud_core::computation::{
+    AuditChallenge, CommitmentSession, ComputationRequest, ComputeFunction, RequestItem,
+};
 use seccloud_core::storage::DataBlock;
 use seccloud_core::wire::WireMessage;
 use seccloud_core::Sio;
@@ -103,7 +105,8 @@ fn main() {
     );
     let mut per_sample = Vec::new();
     for t in [1usize, 8, 15, 33, 64] {
-        let challenge = AuditChallenge::from_indices((0..t).map(|i| i * (n as usize / t)).collect());
+        let challenge =
+            AuditChallenge::from_indices((0..t).map(|i| i * (n as usize / t)).collect());
         let response = session.respond(&challenge).expect("in range");
         let compact = session.respond_compact(&challenge).expect("in range");
         let size = response.to_wire().len();

@@ -5,6 +5,12 @@ fn main() {
     use seccloud_pairing::*;
     let p = hash_to_g1(b"x").to_affine();
     let q = hash_to_g2(b"y").to_affine();
-    println!("ate (default): {}", fmt_ms(measure_ms(3, 20, || pairing(&p, &q))));
-    println!("tate          : {}", fmt_ms(measure_ms(3, 20, || pairing_tate(&p, &q))));
+    println!(
+        "ate (default): {}",
+        fmt_ms(measure_ms(3, 20, || pairing(&p, &q)))
+    );
+    println!(
+        "tate          : {}",
+        fmt_ms(measure_ms(3, 20, || pairing_tate(&p, &q)))
+    );
 }

@@ -22,13 +22,15 @@ fn main() {
     // Analytic table: per-epoch detection vs b and per-slice sampling t.
     let params = CheatParams::new(0.5, 0.5).with_range(2.0);
     println!("## Analytic: per-epoch detection probability (CSC = 0.5, R = 2)\n");
-    println!("{:>4} {:>6} {:>18} {:>22}", "b", "t", "P[detect/epoch]", "epochs to 99.99%");
+    println!(
+        "{:>4} {:>6} {:>18} {:>22}",
+        "b", "t", "P[detect/epoch]", "epochs to 99.99%"
+    );
     for b in [1usize, 2, 3] {
         for t in [4u32, 8, 16, 33] {
             let d = 1.0 - fcs_probability(&params, t);
             let per_epoch = epoch_detection_probability(b, d);
-            let epochs = epochs_until_detection(b, d, 0.9999)
-                .map_or("-".into(), |e| e.to_string());
+            let epochs = epochs_until_detection(b, d, 0.9999).map_or("-".into(), |e| e.to_string());
             println!("{b:>4} {t:>6} {per_epoch:>18.4} {epochs:>22}");
         }
     }
@@ -80,7 +82,7 @@ fn main() {
                 .audit(&csp.servers()[exec.server_index], &handle, &user, 6, epoch)
                 .expect("warranted");
             assert!(
-                !(verdict.detected && !corrupted.contains(&exec.server_index)),
+                !verdict.detected || corrupted.contains(&exec.server_index),
                 "false positive on honest server"
             );
             if verdict.detected {
@@ -98,5 +100,8 @@ fn main() {
     println!("analytic per-epoch bound : {analytic:.2}");
     println!("\nNo honest server was flagged in any epoch; the measured detection");
     println!("rate sits at or above the analytic per-epoch probability.");
-    assert!(measured >= analytic - 0.25, "simulation consistent with model");
+    assert!(
+        measured >= analytic - 0.25,
+        "simulation consistent with model"
+    );
 }

@@ -28,8 +28,19 @@ fn main() {
     let t_hash_g2 = measure_ms(1, 3, || hash_to_g2(b"hash-bench-input"));
     let t_gt_exp = measure_ms(2, 10, || gt.pow(&k));
 
-    println!("{}", row(&["operation".into(), "symbol".into(), "paper".into(), "measured".into()]));
-    println!("{}", row(&["---".into(), "---".into(), "---".into(), "---".into()]));
+    println!(
+        "{}",
+        row(&[
+            "operation".into(),
+            "symbol".into(),
+            "paper".into(),
+            "measured".into()
+        ])
+    );
+    println!(
+        "{}",
+        row(&["---".into(), "---".into(), "---".into(), "---".into()])
+    );
     println!(
         "{}",
         row(&[
@@ -59,15 +70,30 @@ fn main() {
     );
     println!(
         "{}",
-        row(&["hash-to-G1".into(), "H1".into(), "n/a".into(), fmt_ms(t_hash_g1)])
+        row(&[
+            "hash-to-G1".into(),
+            "H1".into(),
+            "n/a".into(),
+            fmt_ms(t_hash_g1)
+        ])
     );
     println!(
         "{}",
-        row(&["hash-to-G2 (cofactored)".into(), "H1'".into(), "n/a".into(), fmt_ms(t_hash_g2)])
+        row(&[
+            "hash-to-G2 (cofactored)".into(),
+            "H1'".into(),
+            "n/a".into(),
+            fmt_ms(t_hash_g2)
+        ])
     );
     println!(
         "{}",
-        row(&["GT exponentiation".into(), "—".into(), "n/a".into(), fmt_ms(t_gt_exp)])
+        row(&[
+            "GT exponentiation".into(),
+            "—".into(),
+            "n/a".into(),
+            fmt_ms(t_gt_exp)
+        ])
     );
 
     let ratio = t_pair / t_pmul_g1;

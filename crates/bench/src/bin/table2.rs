@@ -111,7 +111,13 @@ fn main() {
     );
     println!(
         "{}",
-        row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()])
+        row(&[
+            "---".into(),
+            "---".into(),
+            "---".into(),
+            "---".into(),
+            "---".into()
+        ])
     );
     println!(
         "{}",

@@ -251,13 +251,13 @@ impl ApInt {
             return Self::zero();
         }
         let mut out = vec![0u64; self.limbs.len() - limb_shift];
-        for i in 0..out.len() {
+        for (i, slot) in out.iter_mut().enumerate() {
             let src = i + limb_shift;
             let mut v = self.limbs[src] >> bit_shift;
             if bit_shift > 0 && src + 1 < self.limbs.len() {
                 v |= self.limbs[src + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *slot = v;
         }
         let mut v = Self { limbs: out };
         v.normalize();
@@ -578,10 +578,10 @@ impl From<u64> for ApInt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::SplitMix64;
 
-    fn apint(max_limbs: usize) -> impl Strategy<Value = ApInt> {
-        prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(|v| ApInt::from_limbs(&v))
+    fn apint(rng: &mut SplitMix64, max_limbs: usize) -> ApInt {
+        ApInt::from_limbs(&rng.limb_vec(max_limbs))
     }
 
     #[test]
@@ -590,10 +590,8 @@ mod tests {
             "21888242871839275222246405745257275088696311157297823662689037894645226208583",
         )
         .unwrap();
-        let h = ApInt::from_hex(
-            "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47",
-        )
-        .unwrap();
+        let h = ApInt::from_hex("30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47")
+            .unwrap();
         assert_eq!(p, h);
         assert_eq!(ApInt::from_dec(&p.to_dec()), Some(p));
     }
@@ -641,70 +639,130 @@ mod tests {
         assert_eq!(ApInt::from_be_bytes(&v.to_be_bytes()), v);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn division_reconstructs(n in apint(8), d in apint(4)) {
-            prop_assume!(!d.is_zero());
+    #[test]
+    fn division_reconstructs() {
+        let mut rng = SplitMix64(0xA001);
+        let mut cases = 0;
+        while cases < 64 {
+            let n = apint(&mut rng, 8);
+            let d = apint(&mut rng, 4);
+            if d.is_zero() {
+                continue;
+            }
+            cases += 1;
             let (q, r) = n.divrem(&d).unwrap();
-            prop_assert!(r < d);
-            prop_assert_eq!(&(&q * &d) + &r, n);
+            assert!(r < d);
+            assert_eq!(&(&q * &d) + &r, n);
         }
+    }
 
-        #[test]
-        fn add_sub_round_trip(a in apint(6), b in apint(6)) {
+    #[test]
+    fn add_sub_round_trip() {
+        let mut rng = SplitMix64(0xA002);
+        for _ in 0..64 {
+            let a = apint(&mut rng, 6);
+            let b = apint(&mut rng, 6);
             let s = &a + &b;
-            prop_assert_eq!(s.checked_sub(&b).unwrap(), a);
+            assert_eq!(s.checked_sub(&b).unwrap(), a);
         }
+    }
 
-        #[test]
-        fn mul_commutes_and_assoc(a in apint(3), b in apint(3), c in apint(3)) {
-            prop_assert_eq!(&a * &b, &b * &a);
-            prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    #[test]
+    fn mul_commutes_and_assoc() {
+        let mut rng = SplitMix64(0xA003);
+        for _ in 0..64 {
+            let a = apint(&mut rng, 3);
+            let b = apint(&mut rng, 3);
+            let c = apint(&mut rng, 3);
+            assert_eq!(&a * &b, &b * &a);
+            assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
         }
+    }
 
-        #[test]
-        fn shl_shr_round_trip(a in apint(4), k in 0usize..200) {
-            prop_assert_eq!(a.shl(k).shr(k), a);
+    #[test]
+    fn shl_shr_round_trip() {
+        let mut rng = SplitMix64(0xA004);
+        for _ in 0..64 {
+            let a = apint(&mut rng, 4);
+            let k = rng.below(200) as usize;
+            assert_eq!(a.shl(k).shr(k), a);
         }
+    }
 
-        #[test]
-        fn shl_is_mul_by_power_of_two(a in apint(4), k in 0usize..100) {
+    #[test]
+    fn shl_is_mul_by_power_of_two() {
+        let mut rng = SplitMix64(0xA005);
+        for _ in 0..64 {
+            let a = apint(&mut rng, 4);
+            let k = rng.below(100) as usize;
             let pow = ApInt::one().shl(k);
-            prop_assert_eq!(a.shl(k), &a * &pow);
+            assert_eq!(a.shl(k), &a * &pow);
         }
+    }
 
-        #[test]
-        fn modpow_mul_law(a in apint(2), e1 in 0u64..64, e2 in 0u64..64, m in apint(2)) {
-            prop_assume!(m.bits() >= 2);
+    #[test]
+    fn modpow_mul_law() {
+        let mut rng = SplitMix64(0xA006);
+        let mut cases = 0;
+        while cases < 64 {
+            let a = apint(&mut rng, 2);
+            let e1 = rng.below(64);
+            let e2 = rng.below(64);
+            let m = apint(&mut rng, 2);
+            if m.bits() < 2 {
+                continue;
+            }
+            cases += 1;
             // a^(e1+e2) = a^e1 * a^e2 (mod m)
             let lhs = a.modpow(&ApInt::from_u64(e1 + e2), &m);
-            let rhs = a.modpow(&ApInt::from_u64(e1), &m)
+            let rhs = a
+                .modpow(&ApInt::from_u64(e1), &m)
                 .modmul(&a.modpow(&ApInt::from_u64(e2), &m), &m);
-            prop_assert_eq!(lhs, rhs);
+            assert_eq!(lhs, rhs);
         }
+    }
 
-        #[test]
-        fn modinv_is_inverse(a in apint(3), m in apint(3)) {
-            prop_assume!(m.bits() >= 2);
+    #[test]
+    fn modinv_is_inverse() {
+        let mut rng = SplitMix64(0xA007);
+        let mut cases = 0;
+        while cases < 64 {
+            let a = apint(&mut rng, 3);
+            let m = apint(&mut rng, 3);
+            if m.bits() < 2 {
+                continue;
+            }
+            cases += 1;
             if let Some(inv) = a.modinv(&m) {
-                prop_assert_eq!(a.modmul(&inv, &m), ApInt::one());
-                prop_assert!(inv < m);
+                assert_eq!(a.modmul(&inv, &m), ApInt::one());
+                assert!(inv < m);
             }
         }
+    }
 
-        #[test]
-        fn gcd_divides_both(a in apint(3), b in apint(3)) {
-            prop_assume!(!a.is_zero() && !b.is_zero());
+    #[test]
+    fn gcd_divides_both() {
+        let mut rng = SplitMix64(0xA008);
+        let mut cases = 0;
+        while cases < 64 {
+            let a = apint(&mut rng, 3);
+            let b = apint(&mut rng, 3);
+            if a.is_zero() || b.is_zero() {
+                continue;
+            }
+            cases += 1;
             let g = a.gcd(&b);
-            prop_assert!(a.rem(&g).is_zero());
-            prop_assert!(b.rem(&g).is_zero());
+            assert!(a.rem(&g).is_zero());
+            assert!(b.rem(&g).is_zero());
         }
+    }
 
-        #[test]
-        fn dec_round_trip(a in apint(3)) {
-            prop_assert_eq!(ApInt::from_dec(&a.to_dec()).unwrap(), a);
+    #[test]
+    fn dec_round_trip() {
+        let mut rng = SplitMix64(0xA009);
+        for _ in 0..64 {
+            let a = apint(&mut rng, 3);
+            assert_eq!(ApInt::from_dec(&a.to_dec()).unwrap(), a);
         }
     }
 }

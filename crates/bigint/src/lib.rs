@@ -34,6 +34,8 @@
 mod apint;
 mod limb;
 mod prime;
+#[cfg(test)]
+pub(crate) mod testrand;
 mod uint;
 
 pub use apint::ApInt;

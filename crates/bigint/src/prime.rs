@@ -4,8 +4,7 @@ use crate::apint::ApInt;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 25] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
 ];
 
 /// Tests whether `n` is probably prime using trial division followed by
@@ -27,11 +26,7 @@ const SMALL_PRIMES: [u64; 25] = [
 /// assert!(is_probable_prime(&m61, 20, &mut entropy));
 /// assert!(!is_probable_prime(&ApInt::from_u64(561), 20, &mut entropy)); // Carmichael
 /// ```
-pub fn is_probable_prime(
-    n: &ApInt,
-    rounds: usize,
-    entropy: &mut impl FnMut() -> u64,
-) -> bool {
+pub fn is_probable_prime(n: &ApInt, rounds: usize, entropy: &mut impl FnMut() -> u64) -> bool {
     if n.bits() <= 6 {
         let v = n.low_u64();
         return SMALL_PRIMES.contains(&v);

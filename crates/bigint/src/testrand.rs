@@ -1,0 +1,32 @@
+//! Deterministic test-only randomness (SplitMix64).
+//!
+//! This crate sits below `seccloud-hash`, so its randomized tests cannot
+//! borrow the workspace DRBG; a SplitMix64 stream keeps them dependency-free
+//! and reproducible (fixed seed per test = same cases every run).
+
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough value in `0..bound` for test-case generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    pub fn limbs<const N: usize>(&mut self) -> [u64; N] {
+        std::array::from_fn(|_| self.next_u64())
+    }
+
+    pub fn limb_vec(&mut self, max_len: usize) -> Vec<u64> {
+        let len = self.below(max_len as u64 + 1) as usize;
+        (0..len).map(|_| self.next_u64()).collect()
+    }
+}

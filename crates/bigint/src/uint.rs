@@ -191,9 +191,9 @@ impl<const N: usize> Uint<N> {
     pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
         let mut out = [0u64; N];
         let mut carry = 0;
-        for i in 0..N {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (l, c) = adc(self.limbs[i], rhs.limbs[i], carry);
-            out[i] = l;
+            *slot = l;
             carry = c;
         }
         (Self { limbs: out }, carry != 0)
@@ -205,9 +205,9 @@ impl<const N: usize> Uint<N> {
     pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
         let mut out = [0u64; N];
         let mut borrow = 0;
-        for i in 0..N {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (l, b) = sbb(self.limbs[i], rhs.limbs[i], borrow);
-            out[i] = l;
+            *slot = l;
             borrow = b;
         }
         (Self { limbs: out }, borrow != 0)
@@ -292,7 +292,7 @@ impl<const N: usize> Uint<N> {
     pub fn shr(&self, k: usize) -> Self {
         let mut out = [0u64; N];
         let (limb_shift, bit_shift) = (k / 64, k % 64);
-        for i in 0..N {
+        for (i, slot) in out.iter_mut().enumerate() {
             let src = i + limb_shift;
             if src >= N {
                 break;
@@ -301,7 +301,7 @@ impl<const N: usize> Uint<N> {
             if bit_shift > 0 && src + 1 < N {
                 v |= self.limbs[src + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *slot = v;
         }
         Self { limbs: out }
     }
@@ -399,18 +399,16 @@ impl<const N: usize> From<u64> for Uint<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::SplitMix64;
 
-    fn u256() -> impl Strategy<Value = U256> {
-        prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+    fn u256(rng: &mut SplitMix64) -> U256 {
+        U256::from_limbs(rng.limbs())
     }
 
     #[test]
     fn hex_round_trip_and_width() {
-        let p = U256::from_hex(
-            "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47",
-        )
-        .unwrap();
+        let p = U256::from_hex("30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47")
+            .unwrap();
         assert_eq!(p.bits(), 254);
         assert_eq!(
             format!("{p:x}"),
@@ -448,59 +446,92 @@ mod tests {
         assert_eq!(v.shl(64).shr(64), v);
         assert_eq!(v.shl(0), v);
         assert_eq!(v.shr(200), U256::ZERO);
-        assert_eq!(U256::ONE.shl(255).bit(255), true);
+        assert!(U256::ONE.shl(255).bit(255));
         assert_eq!(U256::ONE.shl(256), U256::ZERO);
     }
 
-    proptest! {
-        #[test]
-        fn add_sub_round_trip(a in u256(), b in u256()) {
+    #[test]
+    fn add_sub_round_trip() {
+        let mut rng = SplitMix64(0xB001);
+        for _ in 0..256 {
+            let a = u256(&mut rng);
+            let b = u256(&mut rng);
             let (s, carry) = a.overflowing_add(&b);
             let (back, borrow) = s.overflowing_sub(&b);
-            prop_assert_eq!(back, a);
-            prop_assert_eq!(carry, borrow);
+            assert_eq!(back, a);
+            assert_eq!(carry, borrow);
         }
+    }
 
-        #[test]
-        fn add_commutes(a in u256(), b in u256()) {
-            prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    #[test]
+    fn add_commutes() {
+        let mut rng = SplitMix64(0xB002);
+        for _ in 0..256 {
+            let a = u256(&mut rng);
+            let b = u256(&mut rng);
+            assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
         }
+    }
 
-        #[test]
-        fn mul_matches_small_reference(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn mul_matches_small_reference() {
+        let mut rng = SplitMix64(0xB003);
+        for _ in 0..256 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
             let (lo, hi) = U256::from_u64(a).widening_mul(&U256::from_u64(b));
-            prop_assert_eq!(hi, U256::ZERO);
+            assert_eq!(hi, U256::ZERO);
             let want = (a as u128) * (b as u128);
-            prop_assert_eq!(lo, U256::from_u128(want));
+            assert_eq!(lo, U256::from_u128(want));
         }
+    }
 
-        #[test]
-        fn mul_distributes_over_add_mod_2_256(a in u256(), b in u256(), c in u256()) {
+    #[test]
+    fn mul_distributes_over_add_mod_2_256() {
+        let mut rng = SplitMix64(0xB004);
+        for _ in 0..256 {
+            let a = u256(&mut rng);
+            let b = u256(&mut rng);
+            let c = u256(&mut rng);
             let left = a.wrapping_mul(&b.wrapping_add(&c));
             let right = a.wrapping_mul(&b).wrapping_add(&a.wrapping_mul(&c));
-            prop_assert_eq!(left, right);
+            assert_eq!(left, right);
         }
+    }
 
-        #[test]
-        fn ordering_agrees_with_subtraction(a in u256(), b in u256()) {
+    #[test]
+    fn ordering_agrees_with_subtraction() {
+        let mut rng = SplitMix64(0xB005);
+        for _ in 0..256 {
+            let a = u256(&mut rng);
+            let b = u256(&mut rng);
             let (_, borrow) = a.overflowing_sub(&b);
-            prop_assert_eq!(borrow, a < b);
+            assert_eq!(borrow, a < b);
         }
+    }
 
-        #[test]
-        fn bits_bound(a in u256()) {
+    #[test]
+    fn bits_bound() {
+        let mut rng = SplitMix64(0xB006);
+        for _ in 0..256 {
+            let a = u256(&mut rng);
             let n = a.bits();
-            prop_assert!(n <= 256);
+            assert!(n <= 256);
             if n > 0 {
-                prop_assert!(a.bit(n - 1));
-                prop_assert!(!a.bit(n));
+                assert!(a.bit(n - 1));
+                assert!(!a.bit(n));
             }
         }
+    }
 
-        #[test]
-        fn shl_then_shr_identity_for_small_values(v in any::<u64>(), k in 0usize..192) {
+    #[test]
+    fn shl_then_shr_identity_for_small_values() {
+        let mut rng = SplitMix64(0xB007);
+        for _ in 0..256 {
+            let v = rng.next_u64();
+            let k = rng.below(192) as usize;
             let x = U256::from_u64(v);
-            prop_assert_eq!(x.shl(k).shr(k), x);
+            assert_eq!(x.shl(k).shr(k), x);
         }
     }
 }

@@ -162,8 +162,8 @@ impl Workspace {
         fs::create_dir_all(&dir).map_err(io_err(&dir))?;
         let (mut accepted, mut rejected) = (0, 0);
         for _ in 0..n {
-            let block = SignedBlock::decode_body(&mut r)
-                .map_err(|e| CliError::BadBlock(e.to_string()))?;
+            let block =
+                SignedBlock::decode_body(&mut r).map_err(|e| CliError::BadBlock(e.to_string()))?;
             if block.verify(server_key.key(), &owner_pub) {
                 let path = dir.join(format!("{}.blk", block.block().index()));
                 fs::write(&path, block.to_wire()).map_err(io_err(&path))?;
@@ -317,10 +317,8 @@ mod tests {
 
     impl TempDir {
         fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "seccloud-cli-test-{tag}-{}",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir()
+                .join(format!("seccloud-cli-test-{tag}-{}", std::process::id()));
             let _ = fs::remove_dir_all(&path);
             fs::create_dir_all(&path).expect("temp dir");
             Self(path)
@@ -410,10 +408,7 @@ mod tests {
         assert!(parse_function("sum").is_ok());
         assert!(parse_function("avg").is_ok());
         assert!(parse_function("ssd").is_ok());
-        assert!(matches!(
-            parse_function("median"),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(parse_function("median"), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -425,7 +420,8 @@ mod tests {
         let input = tmp_a.0.join("data.bin");
         fs::write(&input, vec![5u8; 64]).unwrap();
         let bundle = tmp_a.0.join("blocks.bin");
-        ws_a.sign_file("alice", &["cs"], &input, &bundle, 32).unwrap();
+        ws_a.sign_file("alice", &["cs"], &input, &bundle, 32)
+            .unwrap();
         // System B's server rejects system A's signatures.
         let (accepted, rejected) = ws_b.store("cs", "alice", &bundle).unwrap();
         assert_eq!((accepted, rejected), (0, 2));

@@ -42,9 +42,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "sign" => {
             let ws = Workspace::open(&dir)?;
             let verifiers: Vec<&str> = opt(&opts, "verifiers")?.split(',').collect();
-            let block_size = opt_or(&opts, "block-size", "4096").parse().map_err(|_| {
-                CliError::Usage("--block-size must be an integer".into())
-            })?;
+            let block_size = opt_or(&opts, "block-size", "4096")
+                .parse()
+                .map_err(|_| CliError::Usage("--block-size must be an integer".into()))?;
             let n = ws.sign_file(
                 opt(&opts, "owner")?,
                 &verifiers,

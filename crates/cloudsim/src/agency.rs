@@ -1,7 +1,7 @@
 //! The Designated Agency — the auditor acting on behalf of cloud users
 //! (paper Sections III-B and V-D).
 
-use seccloud_core::computation::{verify_response, AuditChallenge, AuditOutcome};
+use seccloud_core::computation::{verify_response_parallel, AuditChallenge, AuditOutcome};
 use seccloud_core::warrant::Warrant;
 use seccloud_core::{CloudUser, Sio, VerifierCredential};
 use seccloud_hash::HmacDrbg;
@@ -93,6 +93,9 @@ impl DesignatedAgency {
     /// Per the paper's SSC analysis, a server keeping only an `SSC`
     /// fraction of the data intact escapes with probability `SSC^t`
     /// (eq. 12 with negligible forgery).
+    /// The per-position retrieve-and-verify checks (one pairing each) fan
+    /// out over [`seccloud_parallel::num_threads`] workers; sampling stays
+    /// serial so the challenge stream depends only on the agency's DRBG.
     pub fn storage_audit(
         &mut self,
         server: &CloudServer,
@@ -102,18 +105,33 @@ impl DesignatedAgency {
     ) -> StorageAuditVerdict {
         let t = (sample_size as u64).min(n_blocks);
         let positions = self.drbg.sample_distinct(n_blocks, t);
-        let mut missing = Vec::new();
-        let mut invalid = Vec::new();
-        for &pos in &positions {
+        /// Per-position verdict, ordered like the sampled positions.
+        enum Verdict {
+            Ok,
+            Missing,
+            Invalid,
+        }
+        let verdicts = seccloud_parallel::parallel_map(&positions, |_, &pos| {
             match server.retrieve(owner.identity(), pos) {
-                None => missing.push(pos),
+                None => Verdict::Missing,
                 Some(block) => {
                     if block.block().index() != pos
                         || !block.verify(self.cred.key(), owner.public())
                     {
-                        invalid.push(pos);
+                        Verdict::Invalid
+                    } else {
+                        Verdict::Ok
                     }
                 }
+            }
+        });
+        let mut missing = Vec::new();
+        let mut invalid = Vec::new();
+        for (&pos, verdict) in positions.iter().zip(&verdicts) {
+            match verdict {
+                Verdict::Missing => missing.push(pos),
+                Verdict::Invalid => invalid.push(pos),
+                Verdict::Ok => {}
             }
         }
         StorageAuditVerdict {
@@ -174,7 +192,7 @@ impl DesignatedAgency {
             self.identity(),
             now,
         )?;
-        let outcome = verify_response(
+        let outcome = verify_response_parallel(
             self.cred.key(),
             owner.public(),
             server.signer_public(),
@@ -305,7 +323,11 @@ mod tests {
     #[test]
     fn storage_audit_catches_deleting_and_corrupting_servers() {
         use crate::behavior::StorageAttack;
-        for attack in [StorageAttack::Delete, StorageAttack::Corrupt, StorageAttack::WrongPosition] {
+        for attack in [
+            StorageAttack::Delete,
+            StorageAttack::Corrupt,
+            StorageAttack::WrongPosition,
+        ] {
             let sio = Sio::new(b"storage-audit-cheat");
             let user = sio.register("alice");
             let mut server = CloudServer::new(
@@ -315,10 +337,11 @@ mod tests {
                 b"s",
             );
             let mut da = DesignatedAgency::new(&sio, "da", b"a");
-            let blocks: Vec<DataBlock> = (0..16)
-                .map(|i| DataBlock::from_values(i, &[i]))
-                .collect();
-            server.store(&user, user.sign_blocks(&blocks, &[server.public(), da.public()]));
+            let blocks: Vec<DataBlock> = (0..16).map(|i| DataBlock::from_values(i, &[i])).collect();
+            server.store(
+                &user,
+                user.sign_blocks(&blocks, &[server.public(), da.public()]),
+            );
             let verdict = da.storage_audit(&server, &user, 16, 16);
             assert!(!verdict.is_healthy(), "attack {attack:?} must be caught");
             match attack {

@@ -7,12 +7,12 @@
 //! * [`DesignatedAgency::audit_many`] — audits many jobs (across servers
 //!   and owners) on a thread pool: challenges and warrants are derived
 //!   serially (cheap, needs the DA's DRBG), then the pairing-heavy
-//!   response verification fans out over crossbeam scoped threads.
+//!   response verification fans out over scoped worker threads
+//!   ([`seccloud_parallel`]).
 //! * [`parallel_batch_fold`] — folds a large signature batch into
 //!   per-thread [`BatchVerifier`]s and merges them, exploiting the
 //!   aggregate's associativity; the final check is still one pairing.
 
-use parking_lot::Mutex;
 use seccloud_core::computation::verify_response;
 use seccloud_core::warrant::Warrant;
 use seccloud_core::CloudUser;
@@ -65,93 +65,56 @@ impl DesignatedAgency {
             .collect();
 
         // Phase 2 (parallel): request responses and run Algorithm 1.
-        let results: Vec<Mutex<Option<Result<AuditVerdict, ServerError>>>> =
-            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers = threads.clamp(1, jobs.len().max(1));
         let da_key = self.credential().key();
         let da_identity = self.identity().to_owned();
-
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
+        seccloud_parallel::parallel_map_threads(jobs, threads, |i, job| {
+            let (challenge, warrant) = &prepared[i];
+            job.server
+                .handle_audit(
+                    job.handle.job_id,
+                    challenge,
+                    warrant,
+                    job.owner.public(),
+                    &da_identity,
+                    now,
+                )
+                .map(|response| {
+                    let outcome = verify_response(
+                        da_key,
+                        job.owner.public(),
+                        job.server.signer_public(),
+                        &job.handle.request,
+                        challenge,
+                        &job.handle.commitment,
+                        &response,
+                    );
+                    let detected = !outcome.is_valid();
+                    AuditVerdict {
+                        challenge: challenge.clone(),
+                        outcome,
+                        detected,
                     }
-                    let job = &jobs[i];
-                    let (challenge, warrant) = &prepared[i];
-                    let result = job
-                        .server
-                        .handle_audit(
-                            job.handle.job_id,
-                            challenge,
-                            warrant,
-                            job.owner.public(),
-                            &da_identity,
-                            now,
-                        )
-                        .map(|response| {
-                            let outcome = verify_response(
-                                da_key,
-                                job.owner.public(),
-                                job.server.signer_public(),
-                                &job.handle.request,
-                                challenge,
-                                &job.handle.commitment,
-                                &response,
-                            );
-                            let detected = !outcome.is_valid();
-                            AuditVerdict {
-                                challenge: challenge.clone(),
-                                outcome,
-                                detected,
-                            }
-                        });
-                    *results[i].lock() = Some(result);
-                });
-            }
+                })
         })
-        .expect("audit workers do not panic");
-
-        results
-            .into_iter()
-            .map(|m| m.into_inner().expect("every slot filled"))
-            .collect()
     }
 }
 
 /// Folds `items` into `threads` partial aggregates concurrently, merges
 /// them, and runs the single-pairing batch check.
-pub fn parallel_batch_fold(
-    items: &[BatchItem],
-    verifier: &VerifierKey,
-    threads: usize,
-) -> bool {
+pub fn parallel_batch_fold(items: &[BatchItem], verifier: &VerifierKey, threads: usize) -> bool {
     if items.is_empty() {
         return BatchVerifier::new().verify(verifier);
     }
-    let workers = threads.clamp(1, items.len());
-    let partials: Vec<Mutex<BatchVerifier>> =
-        (0..workers).map(|_| Mutex::new(BatchVerifier::new())).collect();
-
-    crossbeam::scope(|scope| {
-        for (w, chunk) in items.chunks(items.len().div_ceil(workers)).enumerate() {
-            let slot = &partials[w];
-            scope.spawn(move |_| {
-                let mut local = BatchVerifier::new();
-                for item in chunk {
-                    local.push_item(item);
-                }
-                *slot.lock() = local;
-            });
+    let partials = seccloud_parallel::parallel_ranges(items.len(), threads, |range| {
+        let mut local = BatchVerifier::new();
+        for item in &items[range] {
+            local.push_item(item);
         }
-    })
-    .expect("fold workers do not panic");
-
+        local
+    });
     let mut combined = BatchVerifier::new();
     for partial in &partials {
-        combined.merge(&partial.lock());
+        combined.merge(partial);
     }
     debug_assert_eq!(combined.len(), items.len());
     combined.verify(verifier)
@@ -233,10 +196,11 @@ mod tests {
         let mut da = DesignatedAgency::new(&sio, "da", b"agency");
         let user = sio.register("alice");
         let mut server = CloudServer::new(&sio, "cs", Behavior::Honest, b"s");
-        let blocks: Vec<DataBlock> = (0..4u64)
-            .map(|i| DataBlock::from_values(i, &[i]))
-            .collect();
-        server.store(&user, user.sign_blocks(&blocks, &[server.public(), da.public()]));
+        let blocks: Vec<DataBlock> = (0..4u64).map(|i| DataBlock::from_values(i, &[i])).collect();
+        server.store(
+            &user,
+            user.sign_blocks(&blocks, &[server.public(), da.public()]),
+        );
         let handle = server
             .handle_computation(&user.identity().to_string(), &request(4), da.public())
             .unwrap();
@@ -268,7 +232,10 @@ mod tests {
             })
             .collect();
         for threads in [1, 2, 4, 17, 64] {
-            assert!(parallel_batch_fold(&items, &server, threads), "threads={threads}");
+            assert!(
+                parallel_batch_fold(&items, &server, threads),
+                "threads={threads}"
+            );
         }
         // One poisoned item fails the parallel fold too.
         let mut bad = items.clone();

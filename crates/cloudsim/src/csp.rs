@@ -106,7 +106,10 @@ impl Csp {
     ///
     /// Panics if `b` exceeds the pool size.
     pub fn advance_epoch(&mut self, b: usize, behavior: Behavior, drbg: &mut HmacDrbg) {
-        assert!(b <= self.servers.len(), "cannot corrupt more than n servers");
+        assert!(
+            b <= self.servers.len(),
+            "cannot corrupt more than n servers"
+        );
         self.epoch += 1;
         for s in &mut self.servers {
             s.set_behavior(Behavior::Honest);
@@ -146,7 +149,10 @@ impl Csp {
     /// by the SLA) — the MapReduce-style decomposition of Section III-A.
     ///
     /// Returns `(server_index, slice, original item indices)` triples.
-    pub fn split_request(&self, request: &ComputationRequest) -> Vec<(usize, ComputationRequest, Vec<usize>)> {
+    pub fn split_request(
+        &self,
+        request: &ComputationRequest,
+    ) -> Vec<(usize, ComputationRequest, Vec<usize>)> {
         let n = self.servers.len();
         if n == 0 || request.is_empty() {
             return Vec::new();
@@ -163,11 +169,7 @@ impl Csp {
             .map(|(c, items)| {
                 let server = c % n;
                 let indices = (c * chunk..c * chunk + items.len()).collect();
-                (
-                    server,
-                    ComputationRequest::new(items.to_vec()),
-                    indices,
-                )
+                (server, ComputationRequest::new(items.to_vec()), indices)
             })
             .collect()
     }
@@ -177,6 +179,11 @@ impl Csp {
     /// starting from the round-robin default), and collects the
     /// commitments. A slice whose data no server holds is still dispatched
     /// to the default server, which reports the missing block.
+    ///
+    /// Execution is genuinely parallel — "parallelly executed across
+    /// hundreds of Cloud Computing servers" — with each server owned by one
+    /// worker, so per-server state (job ids, behaviour dice) evolves
+    /// exactly as under serial dispatch and the result keeps plan order.
     pub fn execute(
         &mut self,
         owner: &CloudUser,
@@ -185,32 +192,52 @@ impl Csp {
     ) -> Vec<SubTaskExecution> {
         let n = self.servers.len();
         let plan = self.split_request(request);
-        plan.into_iter()
-            .map(|(default_index, slice, item_indices)| {
-                let positions: Vec<u64> = slice
-                    .items
-                    .iter()
-                    .flat_map(|i| i.positions.iter().copied())
-                    .collect();
-                let server_index = (0..n)
-                    .map(|off| (default_index + off) % n)
-                    .find(|&idx| {
-                        positions
-                            .iter()
-                            .all(|&p| self.servers[idx].retrieve(owner.identity(), p).is_some())
-                    })
-                    .unwrap_or(default_index);
-                let result = self.servers[server_index].handle_computation(
-                    &owner.identity().to_string(),
-                    &slice,
-                    auditor,
-                );
-                SubTaskExecution {
-                    server_index,
-                    item_indices,
-                    result,
-                }
-            })
+        // Routing pass (read-only): pick a data-holding server per slice.
+        let mut per_server: Vec<Vec<(usize, ComputationRequest, Vec<usize>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let total = plan.len();
+        for (slot, (default_index, slice, item_indices)) in plan.into_iter().enumerate() {
+            let positions: Vec<u64> = slice
+                .items
+                .iter()
+                .flat_map(|i| i.positions.iter().copied())
+                .collect();
+            let server_index = (0..n)
+                .map(|off| (default_index + off) % n)
+                .find(|&idx| {
+                    positions
+                        .iter()
+                        .all(|&p| self.servers[idx].retrieve(owner.identity(), p).is_some())
+                })
+                .unwrap_or(default_index);
+            per_server[server_index].push((slot, slice, item_indices));
+        }
+        // Dispatch pass: one worker per server, each executing its slices
+        // in plan order against its exclusively-borrowed server.
+        let owner_id = owner.identity().to_string();
+        let grouped = seccloud_parallel::parallel_map_mut(&mut self.servers, |i, server| {
+            per_server[i]
+                .iter()
+                .map(|(slot, slice, item_indices)| {
+                    let result = server.handle_computation(&owner_id, slice, auditor);
+                    (
+                        *slot,
+                        SubTaskExecution {
+                            server_index: i,
+                            item_indices: item_indices.clone(),
+                            result,
+                        },
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        // Restore plan order.
+        let mut out: Vec<Option<SubTaskExecution>> = (0..total).map(|_| None).collect();
+        for (slot, exec) in grouped.into_iter().flatten() {
+            out[slot] = Some(exec);
+        }
+        out.into_iter()
+            .map(|e| e.expect("every slice dispatched"))
             .collect()
     }
 
@@ -269,7 +296,9 @@ mod tests {
         // Each block reachable from at least one server.
         for pos in 0..8u64 {
             assert!(
-                csp.servers().iter().any(|s| s.retrieve("alice", pos).is_some()),
+                csp.servers()
+                    .iter()
+                    .any(|s| s.retrieve("alice", pos).is_some()),
                 "position {pos}"
             );
         }

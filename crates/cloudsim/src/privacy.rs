@@ -46,9 +46,9 @@ pub fn buyer_attempts_verification(
     known_verifiers: &[&VerifierPublic],
 ) -> bool {
     known_verifiers.iter().any(|v| {
-        block
-            .designation_for(v.identity())
-            .is_some_and(|sig| sig.third_party_check_is_useless(v, owner, &block.block().signed_message()))
+        block.designation_for(v.identity()).is_some_and(|sig| {
+            sig.third_party_check_is_useless(v, owner, &block.block().signed_message())
+        })
     })
 }
 
@@ -99,9 +99,7 @@ pub fn run_leak_experiment(
         .collect();
     let verifier_refs: Vec<&VerifierPublic> = known_verifiers.iter().collect();
 
-    let designee_can_verify = leaked
-        .iter()
-        .all(|b| b.verify(designee, owner.public()));
+    let designee_can_verify = leaked.iter().all(|b| b.verify(designee, owner.public()));
     let buyer_can_verify = leaked
         .iter()
         .any(|b| buyer_attempts_verification(b, owner.public(), &verifier_refs));
@@ -132,11 +130,7 @@ impl CloudServer {
 /// Contrast case: if the user had uploaded *publicly verifiable* raw IBS
 /// signatures instead of designated ones, the buyer could authenticate the
 /// loot — quantifying exactly what the designated transform buys.
-pub fn counterfactual_public_signature_leak(
-    sio: &Sio,
-    owner: &CloudUser,
-    data: &[u8],
-) -> bool {
+pub fn counterfactual_public_signature_leak(sio: &Sio, owner: &CloudUser, data: &[u8]) -> bool {
     let raw = seccloud_ibs::sign(owner.key(), data, b"counterfactual");
     // Buyer verifies against public parameters alone:
     raw.verify_public(sio.params(), owner.public(), data)

@@ -103,9 +103,9 @@ impl WireServer {
     ) -> Result<(u64, Vec<u8>), RpcError> {
         let request = ComputationRequest::from_wire(body)?;
         let auditor = seccloud_ibs::VerifierPublic::from_identity(auditor_identity);
-        let handle = self
-            .inner
-            .handle_computation(&owner_identity.to_owned(), &request, &auditor)?;
+        let handle =
+            self.inner
+                .handle_computation(&owner_identity.to_owned(), &request, &auditor)?;
         Ok((handle.job_id, handle.commitment.to_wire()))
     }
 
@@ -127,14 +127,9 @@ impl WireServer {
         let challenge = AuditChallenge::from_wire(challenge_bytes)?;
         let warrant = Warrant::from_wire(warrant_bytes)?;
         let owner = UserPublic::from_identity(owner_identity);
-        let response = self.inner.handle_audit(
-            job_id,
-            &challenge,
-            &warrant,
-            &owner,
-            auditor_identity,
-            now,
-        )?;
+        let response =
+            self.inner
+                .handle_audit(job_id, &challenge, &warrant, &owner, auditor_identity, now)?;
         Ok(response.to_wire())
     }
 
@@ -163,6 +158,7 @@ pub fn encode_store_body(blocks: &[SignedBlock]) -> Vec<u8> {
 /// # Errors
 ///
 /// Any decode failure or server rejection along the way.
+#[allow(clippy::too_many_arguments)] // mirrors the wire-message fields one-to-one
 pub fn audit_over_the_wire(
     da: &mut DesignatedAgency,
     server: &WireServer,
@@ -229,10 +225,7 @@ mod tests {
         let blocks: Vec<DataBlock> = (0..n)
             .map(|i| DataBlock::from_values(i, &[i, i * 5]))
             .collect();
-        let signed = user.sign_blocks(
-            &blocks,
-            &[server.inner().public(), da.public()],
-        );
+        let signed = user.sign_blocks(&blocks, &[server.inner().public(), da.public()]);
         let body = encode_store_body(&signed);
         assert_eq!(
             server.rpc_store(user.identity(), &body).unwrap(),
@@ -261,7 +254,14 @@ mod tests {
             .rpc_compute(user.identity(), da.identity(), &req.to_wire())
             .unwrap();
         let verdict = audit_over_the_wire(
-            &mut da, &server, &user, &req, job_id, &commitment_bytes, 4, 0,
+            &mut da,
+            &server,
+            &user,
+            &req,
+            job_id,
+            &commitment_bytes,
+            4,
+            0,
         )
         .unwrap();
         assert!(!verdict.detected);
@@ -279,7 +279,14 @@ mod tests {
             .rpc_compute(user.identity(), da.identity(), &req.to_wire())
             .unwrap();
         let verdict = audit_over_the_wire(
-            &mut da, &server, &user, &req, job_id, &commitment_bytes, 3, 0,
+            &mut da,
+            &server,
+            &user,
+            &req,
+            job_id,
+            &commitment_bytes,
+            3,
+            0,
         )
         .unwrap();
         assert!(verdict.detected);
@@ -327,17 +334,8 @@ mod tests {
         let (_, commitment_bytes) = server
             .rpc_compute(user.identity(), da.identity(), &req.to_wire())
             .unwrap();
-        let err = audit_over_the_wire(
-            &mut da,
-            &server,
-            &user,
-            &req,
-            999,
-            &commitment_bytes,
-            1,
-            0,
-        )
-        .unwrap_err();
+        let err = audit_over_the_wire(&mut da, &server, &user, &req, 999, &commitment_bytes, 1, 0)
+            .unwrap_err();
         assert_eq!(err, RpcError::Server(ServerError::UnknownJob));
     }
 

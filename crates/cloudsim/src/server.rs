@@ -159,7 +159,8 @@ impl CloudServer {
                 continue;
             }
             if let Behavior::PrivacyLeaker = self.behavior {
-                self.leaked.push((owner.identity().to_owned(), block.clone()));
+                self.leaked
+                    .push((owner.identity().to_owned(), block.clone()));
             }
             if let Behavior::StorageCheater { ssc, attack } = &self.behavior {
                 if self.drbg.next_f64() >= *ssc {
@@ -467,8 +468,7 @@ mod tests {
         let signed = user.sign_blocks(&blocks(3), &[server.public(), da.public()]);
         server.store(&user, signed);
         assert_eq!(server.leaked.len(), 3);
-        let job = server
-            .handle_computation(&"alice".to_string(), &request(), da.public());
+        let job = server.handle_computation(&"alice".to_string(), &request(), da.public());
         // Positions 2..4 partly missing (only 3 blocks) — build a valid req:
         let req = ComputationRequest::new(vec![RequestItem {
             function: ComputeFunction::Sum,

@@ -199,8 +199,14 @@ mod tests {
         assert_eq!(p.optimal_sample_size(0.0), None);
         assert_eq!(p.optimal_sample_size(1.0), None);
         assert_eq!(p.optimal_sample_size(-0.5), None);
-        assert_eq!(CostParams::new(0.0, 1.0, 1000.0).optimal_sample_size(0.5), None);
-        assert_eq!(CostParams::new(1.0, 1.0, 0.0).optimal_sample_size(0.5), None);
+        assert_eq!(
+            CostParams::new(0.0, 1.0, 1000.0).optimal_sample_size(0.5),
+            None
+        );
+        assert_eq!(
+            CostParams::new(1.0, 1.0, 0.0).optimal_sample_size(0.5),
+            None
+        );
     }
 
     #[test]

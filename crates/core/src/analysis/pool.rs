@@ -49,11 +49,7 @@ pub fn epoch_full_exposure_probability(b: usize, per_server_detection: f64) -> f
 ///
 /// Returns `None` when detection is impossible (`d = 0` with `b > 0`) or
 /// `confidence` is not in `(0, 1)`.
-pub fn epochs_until_detection(
-    b: usize,
-    per_server_detection: f64,
-    confidence: f64,
-) -> Option<u32> {
+pub fn epochs_until_detection(b: usize, per_server_detection: f64, confidence: f64) -> Option<u32> {
     if !(0.0..1.0).contains(&confidence) || confidence <= 0.0 {
         return None;
     }

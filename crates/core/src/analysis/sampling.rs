@@ -180,15 +180,9 @@ mod tests {
     #[test]
     fn degenerate_cases() {
         // Fully honest server: no finite t "catches" it.
-        assert_eq!(
-            required_sample_size(&CheatParams::new(1.0, 1.0), EPS),
-            None
-        );
+        assert_eq!(required_sample_size(&CheatParams::new(1.0, 1.0), EPS), None);
         // CSC = 1 alone is already undetectable via FCS.
-        assert_eq!(
-            required_sample_size(&CheatParams::new(1.0, 0.0), EPS),
-            None
-        );
+        assert_eq!(required_sample_size(&CheatParams::new(1.0, 0.0), EPS), None);
         // Fully dishonest with unguessable range: one sample catches both
         // channels with probability 1, but the definition needs the sum
         // under ε, which a single sample achieves (0 + 0 < ε).

@@ -469,7 +469,9 @@ pub fn verify_response_compact(
     response: &CompactAuditResponse,
 ) -> AuditOutcome {
     let root_msg = root_signature_message(&commitment.root, &request.digest());
-    let root_sig_ok = commitment.root_sig.verify(auditor, server_signer, &root_msg);
+    let root_sig_ok = commitment
+        .root_sig
+        .verify(auditor, server_signer, &root_msg);
 
     let mut failures = Vec::new();
     let mut leaves: Vec<(usize, Vec<u8>)> = Vec::with_capacity(challenge.indices.len());
@@ -484,8 +486,7 @@ pub fn verify_response_compact(
     // already failed, the proof cannot match the claim set and the whole
     // path check fails for the missing leaves too.
     if failures.is_empty() {
-        let claims: Vec<(usize, &[u8])> =
-            leaves.iter().map(|(i, l)| (*i, l.as_slice())).collect();
+        let claims: Vec<(usize, &[u8])> = leaves.iter().map(|(i, l)| (*i, l.as_slice())).collect();
         if !response.proof.verify(&commitment.root, &claims) {
             for &index in &challenge.indices {
                 failures.push((index, AuditFailure::BadPath));
@@ -600,11 +601,20 @@ pub fn verify_response(
     response: &AuditResponse,
 ) -> AuditOutcome {
     let root_msg = root_signature_message(&commitment.root, &request.digest());
-    let root_sig_ok = commitment.root_sig.verify(auditor, server_signer, &root_msg);
+    let root_sig_ok = commitment
+        .root_sig
+        .verify(auditor, server_signer, &root_msg);
 
     let mut failures = Vec::new();
     for (slot, &index) in challenge.indices.iter().enumerate() {
-        match check_item(auditor, owner, request, index, response.items.get(slot), commitment) {
+        match check_item(
+            auditor,
+            owner,
+            request,
+            index,
+            response.items.get(slot),
+            commitment,
+        ) {
             Ok(()) => {}
             Err(f) => failures.push((index, f)),
         }
@@ -612,6 +622,44 @@ pub fn verify_response(
     AuditOutcome {
         root_sig_ok,
         failures,
+        checked: challenge.indices.len(),
+    }
+}
+
+/// Parallel variant of [`verify_response`]: the per-item checks (each one
+/// pairing per input block) fan out over
+/// [`seccloud_parallel::num_threads`] workers. Produces exactly the same
+/// [`AuditOutcome`] as the serial version for any worker count — each
+/// item's verdict is independent and results keep challenge order.
+pub fn verify_response_parallel(
+    auditor: &VerifierKey,
+    owner: &UserPublic,
+    server_signer: &UserPublic,
+    request: &ComputationRequest,
+    challenge: &AuditChallenge,
+    commitment: &Commitment,
+    response: &AuditResponse,
+) -> AuditOutcome {
+    let root_msg = root_signature_message(&commitment.root, &request.digest());
+    let root_sig_ok = commitment
+        .root_sig
+        .verify(auditor, server_signer, &root_msg);
+
+    let verdicts = seccloud_parallel::parallel_map(&challenge.indices, |slot, &index| {
+        check_item(
+            auditor,
+            owner,
+            request,
+            index,
+            response.items.get(slot),
+            commitment,
+        )
+        .err()
+        .map(|f| (index, f))
+    });
+    AuditOutcome {
+        root_sig_ok,
+        failures: verdicts.into_iter().flatten().collect(),
         checked: challenge.indices.len(),
     }
 }
@@ -826,6 +874,61 @@ mod tests {
             &commitment,
             &response,
         ));
+    }
+
+    #[test]
+    fn parallel_verification_matches_serial() {
+        let w = world();
+        let (commitment, session) = commit(&w);
+        // Honest case over the full challenge…
+        let challenge = AuditChallenge::from_indices((0..w.request.len()).collect());
+        let response = session.respond(&challenge).unwrap();
+        let serial = verify_response(
+            w.da.key(),
+            w.user.public(),
+            w.cs.signer_public(),
+            &w.request,
+            &challenge,
+            &commitment,
+            &response,
+        );
+        let parallel = verify_response_parallel(
+            w.da.key(),
+            w.user.public(),
+            w.cs.signer_public(),
+            &w.request,
+            &challenge,
+            &commitment,
+            &response,
+        );
+        assert_eq!(serial, parallel);
+        assert!(parallel.is_valid());
+
+        // …and with tampered items, the failure lists must agree exactly.
+        let mut bad = response.clone();
+        bad.items[1].claimed_y = bad.items[1].claimed_y.wrapping_add(1);
+        bad.items[4].inputs[0].tamper_data(b"evil".to_vec());
+        let serial = verify_response(
+            w.da.key(),
+            w.user.public(),
+            w.cs.signer_public(),
+            &w.request,
+            &challenge,
+            &commitment,
+            &bad,
+        );
+        let parallel = verify_response_parallel(
+            w.da.key(),
+            w.user.public(),
+            w.cs.signer_public(),
+            &w.request,
+            &challenge,
+            &commitment,
+            &bad,
+        );
+        assert_eq!(serial, parallel);
+        assert!(!parallel.is_valid());
+        assert_eq!(parallel.failures.len(), 2);
     }
 
     #[test]
@@ -1129,10 +1232,7 @@ mod tests {
             vec![9; w.request.len()],
         );
         let mut swapped = compact.clone();
-        swapped.proof = other
-            .respond_compact(&challenge)
-            .unwrap()
-            .proof;
+        swapped.proof = other.respond_compact(&challenge).unwrap().proof;
         let outcome = verify_response_compact(
             w.da.key(),
             w.user.public(),
@@ -1152,7 +1252,11 @@ mod tests {
     fn compact_response_agrees_with_full_response() {
         let w = world();
         let (commitment, session) = commit(&w);
-        for indices in [vec![0], vec![1, 3], (0..w.request.len()).collect::<Vec<_>>()] {
+        for indices in [
+            vec![0],
+            vec![1, 3],
+            (0..w.request.len()).collect::<Vec<_>>(),
+        ] {
             let challenge = AuditChallenge::from_indices(indices);
             let full = session.respond(&challenge).unwrap();
             let compact = session.respond_compact(&challenge).unwrap();

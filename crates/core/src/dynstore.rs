@@ -355,7 +355,13 @@ mod tests {
         let violations = audit_dynamic(da.key(), user.public(), &ledger, &store);
         assert_eq!(
             violations,
-            vec![(7, DynAuditError::StaleVersion { expected: 1, got: 0 })]
+            vec![(
+                7,
+                DynAuditError::StaleVersion {
+                    expected: 1,
+                    got: 0
+                }
+            )]
         );
     }
 
@@ -395,7 +401,13 @@ mod tests {
         let violations = audit_dynamic(da.key(), user.public(), &ledger, &store);
         assert_eq!(
             violations,
-            vec![(5, DynAuditError::StaleVersion { expected: 1, got: 0 })]
+            vec![(
+                5,
+                DynAuditError::StaleVersion {
+                    expected: 1,
+                    got: 0
+                }
+            )]
         );
     }
 

@@ -114,10 +114,7 @@ mod tests {
         let s1 = Sio::new(b"seed");
         let s2 = Sio::new(b"seed");
         assert_eq!(s1.params(), s2.params());
-        assert_eq!(
-            s1.register("alice").public(),
-            s2.register("alice").public()
-        );
+        assert_eq!(s1.register("alice").public(), s2.register("alice").public());
         let s3 = Sio::new(b"different");
         assert_ne!(s1.params(), s3.params());
     }

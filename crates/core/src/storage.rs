@@ -108,10 +108,7 @@ impl SignedBlock {
 
     /// Rebuilds a signed block from serialized parts; authenticity is
     /// established by [`SignedBlock::verify`], not construction.
-    pub fn from_parts(
-        block: DataBlock,
-        designations: Vec<(String, DesignatedSignature)>,
-    ) -> Self {
+    pub fn from_parts(block: DataBlock, designations: Vec<(String, DesignatedSignature)>) -> Self {
         Self {
             block,
             designations,
@@ -153,21 +150,11 @@ impl CloudUser {
         blocks: &[DataBlock],
         verifiers: &[&VerifierPublic],
     ) -> Vec<SignedBlock> {
-        let mut drbg = HmacDrbg::new(
-            &[
-                self.identity().as_bytes(),
-                b"/storage-signing",
-            ]
-            .concat(),
-        );
+        let mut drbg = HmacDrbg::new(&[self.identity().as_bytes(), b"/storage-signing"].concat());
         blocks
             .iter()
             .map(|b| {
-                let raw = seccloud_ibs::sign_with_rng(
-                    self.key(),
-                    &b.signed_message(),
-                    &mut drbg,
-                );
+                let raw = seccloud_ibs::sign_with_rng(self.key(), &b.signed_message(), &mut drbg);
                 let designations = verifiers
                     .iter()
                     .map(|v| (v.identity().to_owned(), designate(&raw, v)))
@@ -178,6 +165,45 @@ impl CloudUser {
                 }
             })
             .collect()
+    }
+
+    /// Parallel variant of [`CloudUser::sign_blocks`]: the per-block
+    /// sign-then-designate work (one pairing per verifier per block) fans
+    /// out over [`seccloud_parallel::num_threads`] workers.
+    ///
+    /// Each block draws its nonce from an independent DRBG seeded by
+    /// `(identity, block position)`, so the output is deterministic for any
+    /// worker count — but it is a *different* (equally valid) transcript
+    /// than [`CloudUser::sign_blocks`], which threads one DRBG stream
+    /// through the blocks sequentially.
+    pub fn sign_blocks_parallel(
+        &self,
+        blocks: &[DataBlock],
+        verifiers: &[&VerifierPublic],
+    ) -> Vec<SignedBlock> {
+        // Materialize each verifier's prepared pairing key before the
+        // fan-out so workers share the caches.
+        for v in verifiers {
+            let _ = v.q_prepared();
+        }
+        seccloud_parallel::parallel_map(blocks, |i, b| {
+            let mut drbg = HmacDrbg::new(
+                &[
+                    self.identity().as_bytes(),
+                    b"/storage-signing-parallel/",
+                    &(i as u64).to_be_bytes()[..],
+                ]
+                .concat(),
+            );
+            let raw = seccloud_ibs::sign_with_rng(self.key(), &b.signed_message(), &mut drbg);
+            SignedBlock {
+                block: b.clone(),
+                designations: verifiers
+                    .iter()
+                    .map(|v| (v.identity().to_owned(), designate(&raw, v)))
+                    .collect(),
+            }
+        })
     }
 
     /// Signs a single block with an explicit nonce (deterministic; used by
@@ -233,6 +259,26 @@ pub fn audit_blocks(
     }
 }
 
+/// Parallel variant of [`audit_blocks`]: the one-pairing-per-block checks
+/// run on [`seccloud_parallel::num_threads`] workers. Reports the same
+/// failure set as the serial audit for any worker count.
+pub fn audit_blocks_parallel(
+    verifier: &VerifierKey,
+    owner: &UserPublic,
+    blocks: &[SignedBlock],
+) -> StorageAuditReport {
+    let outcomes = seccloud_parallel::parallel_map(blocks, |_, b| b.verify(verifier, owner));
+    StorageAuditReport {
+        failed: outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, ok)| !**ok)
+            .map(|(i, _)| i)
+            .collect(),
+        checked: blocks.len(),
+    }
+}
+
 /// Audits a set of retrieved blocks with one batch pairing (Section VI).
 ///
 /// Returns `true` when the whole batch verifies; on failure fall back to
@@ -257,7 +303,12 @@ mod tests {
     use super::*;
     use crate::sio::Sio;
 
-    fn setup() -> (Sio, CloudUser, crate::sio::VerifierCredential, crate::sio::VerifierCredential) {
+    fn setup() -> (
+        Sio,
+        CloudUser,
+        crate::sio::VerifierCredential,
+        crate::sio::VerifierCredential,
+    ) {
         let sio = Sio::new(b"storage-tests");
         let user = sio.register("alice");
         let cs = sio.register_verifier("cs-01");
@@ -319,6 +370,36 @@ mod tests {
         let signed = user.sign_blocks(&blocks(10), &[cs.public()]);
         assert!(audit_blocks(cs.key(), user.public(), &signed).is_valid());
         assert!(audit_blocks_batched(cs.key(), user.public(), &signed));
+    }
+
+    #[test]
+    fn parallel_signing_verifies_and_is_deterministic() {
+        let (_, user, cs, da) = setup();
+        let bs = blocks(6);
+        let signed = user.sign_blocks_parallel(&bs, &[cs.public(), da.public()]);
+        assert_eq!(signed.len(), 6);
+        for b in &signed {
+            assert!(b.verify(cs.key(), user.public()));
+            assert!(b.verify(da.key(), user.public()));
+        }
+        // Per-block seeding makes repeat runs bit-identical regardless of
+        // worker count.
+        assert_eq!(
+            signed,
+            user.sign_blocks_parallel(&bs, &[cs.public(), da.public()])
+        );
+    }
+
+    #[test]
+    fn parallel_audit_matches_serial_audit() {
+        let (_, user, cs, _) = setup();
+        let mut signed = user.sign_blocks(&blocks(9), &[cs.public()]);
+        signed[2].tamper_data(b"bad".to_vec());
+        signed[7].tamper_index(99);
+        let serial = audit_blocks(cs.key(), user.public(), &signed);
+        let parallel = audit_blocks_parallel(cs.key(), user.public(), &signed);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.failed, vec![2, 7]);
     }
 
     #[test]

@@ -179,7 +179,12 @@ mod tests {
     use super::*;
     use crate::sio::Sio;
 
-    fn setup() -> (Sio, CloudUser, crate::sio::VerifierCredential, crate::sio::VerifierCredential) {
+    fn setup() -> (
+        Sio,
+        CloudUser,
+        crate::sio::VerifierCredential,
+        crate::sio::VerifierCredential,
+    ) {
         let sio = Sio::new(b"warrant-tests");
         let user = sio.register("alice");
         let cs = sio.register_verifier("cs-01");

@@ -229,9 +229,7 @@ fn put_designations(w: &mut Writer, items: Vec<(&str, &DesignatedSignature)>) {
     }
 }
 
-fn take_designations(
-    r: &mut Reader<'_>,
-) -> Result<Vec<(String, DesignatedSignature)>, WireError> {
+fn take_designations(r: &mut Reader<'_>) -> Result<Vec<(String, DesignatedSignature)>, WireError> {
     let n = r.take_len()?;
     let mut out = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
@@ -759,7 +757,10 @@ mod tests {
         }
         let result = SignedBlock::from_wire(&bytes);
         assert!(
-            matches!(result, Err(WireError::BadElement) | Err(WireError::Truncated)),
+            matches!(
+                result,
+                Err(WireError::BadElement) | Err(WireError::Truncated)
+            ),
             "{result:?}"
         );
     }
@@ -812,24 +813,30 @@ mod tests {
 
     mod fuzz {
         use super::super::*;
-        use proptest::prelude::*;
+        use seccloud_hash::HmacDrbg;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(256))]
-
-            // Decoding arbitrary bytes must never panic, only error.
-            #[test]
-            fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Decoding arbitrary bytes must never panic, only error.
+        #[test]
+        fn arbitrary_bytes_never_panic() {
+            let mut d = HmacDrbg::new(b"wire-fuzz");
+            for _ in 0..256 {
+                let len = d.next_below(512) as usize;
+                let bytes = d.next_bytes(len);
                 let _ = DataBlock::from_wire(&bytes);
                 let _ = ComputationRequest::from_wire(&bytes);
                 let _ = AuditChallenge::from_wire(&bytes);
                 let _ = MerklePath::from_wire(&bytes);
                 let _ = ComputeFunction::from_wire(&bytes);
             }
+        }
 
-            // Valid-prefix corruption of a real message must never panic.
-            #[test]
-            fn bit_flipped_messages_never_panic(pos in 0usize..200, bit in 0u8..8) {
+        // Valid-prefix corruption of a real message must never panic.
+        #[test]
+        fn bit_flipped_messages_never_panic() {
+            let mut d = HmacDrbg::new(b"wire-flip");
+            for _ in 0..256 {
+                let pos = d.next_below(200) as usize;
+                let bit = d.next_below(8) as u8;
                 let block = DataBlock::new(3, vec![1, 2, 3, 4, 5, 6, 7, 8]);
                 let mut bytes = block.to_wire();
                 if pos < bytes.len() {

@@ -1,7 +1,9 @@
 //! System initialization and identity key extraction (paper Section V-A).
 
+use std::sync::OnceLock;
+
 use seccloud_hash::HmacDrbg;
-use seccloud_pairing::{hash_to_g1, hash_to_g2, Fr, G1, G2};
+use seccloud_pairing::{hash_to_g1, hash_to_g2, Fr, G2Prepared, G1, G2};
 
 /// Public system parameters published by the SIO after setup.
 ///
@@ -96,8 +98,10 @@ impl MasterKey {
             public: VerifierPublic {
                 identity: identity.to_owned(),
                 q,
+                prepared: OnceLock::new(),
             },
             sk: q.mul_fr(&self.s),
+            prepared_sk: OnceLock::new(),
         }
     }
 }
@@ -163,10 +167,16 @@ impl UserKey {
 }
 
 /// A verifier's public identity data: identity string and `Q_V ∈ G2`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Q_V` is a fixed pairing argument for the verifier's lifetime (every
+/// [`crate::designate`] call pairs against it), so its Miller-loop line
+/// coefficients are computed once on first use and cached.
+#[derive(Clone)]
 pub struct VerifierPublic {
     identity: String,
     q: G2,
+    /// Lazily prepared form of `q` for fixed-argument pairings.
+    prepared: OnceLock<G2Prepared>,
 }
 
 impl VerifierPublic {
@@ -175,6 +185,7 @@ impl VerifierPublic {
         Self {
             identity: identity.to_owned(),
             q: hash_to_g2(identity.as_bytes()),
+            prepared: OnceLock::new(),
         }
     }
 
@@ -187,6 +198,31 @@ impl VerifierPublic {
     pub fn q(&self) -> &G2 {
         &self.q
     }
+
+    /// The prepared form of `Q_V` (computed on first use, then cached).
+    pub fn q_prepared(&self) -> &G2Prepared {
+        self.prepared
+            .get_or_init(|| G2Prepared::from(&self.q.to_affine()))
+    }
+}
+
+// Manual impls: the lazy cache is derived data and must not affect
+// equality or clutter `Debug`.
+impl PartialEq for VerifierPublic {
+    fn eq(&self, other: &Self) -> bool {
+        self.identity == other.identity && self.q == other.q
+    }
+}
+
+impl Eq for VerifierPublic {}
+
+impl std::fmt::Debug for VerifierPublic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifierPublic")
+            .field("identity", &self.identity)
+            .field("q", &self.q)
+            .finish()
+    }
 }
 
 /// A verifier's extracted key pair (cloud server / designated agency).
@@ -194,6 +230,8 @@ impl VerifierPublic {
 pub struct VerifierKey {
     public: VerifierPublic,
     sk: G2,
+    /// Lazily prepared form of `sk` — secret-derived, never printed.
+    prepared_sk: OnceLock<G2Prepared>,
 }
 
 impl std::fmt::Debug for VerifierKey {
@@ -215,10 +253,19 @@ impl VerifierKey {
         &self.public.identity
     }
 
-    /// The secret key `sk_V = s·Q_V ∈ G2` (crate-internal; exposed to the
-    /// signature module for verification and simulation).
+    /// The secret key `sk_V = s·Q_V ∈ G2` (test hook; production paths go
+    /// through the prepared form below).
+    #[cfg(test)]
     pub(crate) fn sk(&self) -> &G2 {
         &self.sk
+    }
+
+    /// The prepared form of `sk_V` (crate-internal). Every designated
+    /// verification pairs against the same `sk_V`, so the Miller-loop line
+    /// coefficients are computed once per key and reused.
+    pub(crate) fn sk_prepared(&self) -> &G2Prepared {
+        self.prepared_sk
+            .get_or_init(|| G2Prepared::from(&self.sk.to_affine()))
     }
 }
 
@@ -259,10 +306,7 @@ mod tests {
         // ê(sk_ID, P₂) = ê(Q_ID, s·P₂) — the defining property of eq. (4).
         let m = MasterKey::from_seed(b"relation");
         let u = m.extract_user("alice");
-        let lhs = pairing(
-            &u.sk().to_affine(),
-            &G2::generator().to_affine(),
-        );
+        let lhs = pairing(&u.sk().to_affine(), &G2::generator().to_affine());
         let rhs = pairing(
             &u.public().q().to_affine(),
             &m.params().p_pub_g2().to_affine(),

@@ -39,6 +39,6 @@ mod batch;
 mod keys;
 mod sign;
 
-pub use batch::{verify_individually, BatchItem, BatchVerifier};
+pub use batch::{verify_individually, verify_individually_parallel, BatchItem, BatchVerifier};
 pub use keys::{MasterKey, SystemParams, UserKey, UserPublic, VerifierKey, VerifierPublic};
 pub use sign::{designate, sign, sign_with_rng, simulate, DesignatedSignature, IbsSignature};

@@ -2,7 +2,7 @@
 //! (paper Sections V-B and VII-B).
 
 use seccloud_hash::HmacDrbg;
-use seccloud_pairing::{pairing, Fr, G1, G2, Gt};
+use seccloud_pairing::{pairing, pairing_prepared, Fr, Gt, G1, G2};
 
 use crate::keys::{SystemParams, UserKey, UserPublic, VerifierKey, VerifierPublic};
 
@@ -76,10 +76,13 @@ impl DesignatedSignature {
 
     /// Designated verification (paper eq. 5 / eq. 7):
     /// `Σ = ê(U + H2(U‖m)·Q_ID, sk_V)`.
+    ///
+    /// Pairs against the verifier's cached [`seccloud_pairing::G2Prepared`]
+    /// key, so repeated verifications skip the twist arithmetic entirely.
     pub fn verify(&self, verifier: &VerifierKey, signer: &UserPublic, message: &[u8]) -> bool {
         let h = challenge_hash(&self.u, message);
         let target = self.u.add(&signer.q().mul_fr(&h));
-        pairing(&target.to_affine(), &verifier.sk().to_affine()) == self.sigma
+        pairing_prepared(&target.to_affine(), verifier.sk_prepared()) == self.sigma
     }
 
     /// What a *non-designated* third party can conclude from the signature:
@@ -96,7 +99,7 @@ impl DesignatedSignature {
         let h = challenge_hash(&self.u, message);
         let target = self.u.add(&signer.q().mul_fr(&h));
         // A third party can compute this value…
-        let guess = pairing(&target.to_affine(), &verifier.q().to_affine());
+        let guess = pairing_prepared(&target.to_affine(), verifier.q_prepared());
         // …but it never equals Σ (unless s = 1): there is no public
         // equation linking Σ to the message.
         guess == self.sigma
@@ -146,7 +149,7 @@ pub fn sign_with_rng(user: &UserKey, message: &[u8], drbg: &mut HmacDrbg) -> Ibs
 pub fn designate(sig: &IbsSignature, verifier: &VerifierPublic) -> DesignatedSignature {
     DesignatedSignature {
         u: sig.u,
-        sigma: pairing(&sig.v.to_affine(), &verifier.q().to_affine()),
+        sigma: pairing_prepared(&sig.v.to_affine(), verifier.q_prepared()),
     }
 }
 
@@ -164,7 +167,7 @@ pub fn simulate(
     let u = signer.q().mul_fr(&r);
     let h = challenge_hash(&u, message);
     let target = u.add(&signer.q().mul_fr(&h));
-    let sigma = pairing(&target.to_affine(), &verifier.sk().to_affine());
+    let sigma = pairing_prepared(&target.to_affine(), verifier.sk_prepared());
     DesignatedSignature { u, sigma }
 }
 

@@ -260,8 +260,7 @@ mod tests {
         let all: Vec<usize> = (0..8).collect();
         let proof = tree.prove_multi(&all).unwrap();
         assert!(proof.is_empty());
-        let claims: Vec<(usize, &[u8])> =
-            all.iter().map(|&i| (i, data[i].as_slice())).collect();
+        let claims: Vec<(usize, &[u8])> = all.iter().map(|&i| (i, data[i].as_slice())).collect();
         assert!(proof.verify(&tree.root(), &claims));
     }
 

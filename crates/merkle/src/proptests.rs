@@ -1,83 +1,106 @@
-//! Property-based tests over random tree shapes, sample sets and
-//! corruption patterns.
+//! Randomized tests over tree shapes, sample sets and corruption
+//! patterns, driven by the workspace DRBG for reproducibility.
 
-use proptest::prelude::*;
+use seccloud_hash::HmacDrbg;
 
 use crate::{MerklePath, MerkleTree};
 
-fn arb_data() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 1..80)
+fn arb_data(d: &mut HmacDrbg) -> Vec<Vec<u8>> {
+    let n = 1 + d.next_below(79) as usize;
+    (0..n)
+        .map(|_| {
+            let len = d.next_below(24) as usize;
+            d.next_bytes(len)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_leaf_proves_and_verifies(data in arb_data(), seed in any::<u64>()) {
+#[test]
+fn every_leaf_proves_and_verifies() {
+    let mut d = HmacDrbg::new(b"merkle-prove");
+    for _ in 0..48 {
+        let data = arb_data(&mut d);
         let tree = MerkleTree::from_data(data.iter().map(Vec::as_slice));
-        let idx = (seed as usize) % data.len();
+        let idx = d.next_below(data.len() as u64) as usize;
         let proof = tree.prove(idx).expect("in range");
-        prop_assert!(proof.verify(&tree.root(), &data[idx], idx));
+        assert!(proof.verify(&tree.root(), &data[idx], idx));
         // And never verifies at a different index with the same data.
         let other = (idx + 1) % data.len();
         if other != idx {
-            prop_assert!(!proof.verify(&tree.root(), &data[idx], other));
+            assert!(!proof.verify(&tree.root(), &data[idx], other));
         }
     }
+}
 
-    #[test]
-    fn multiproof_verifies_for_random_subsets(
-        data in arb_data(),
-        mask in any::<u64>(),
-    ) {
+#[test]
+fn multiproof_verifies_for_random_subsets() {
+    let mut d = HmacDrbg::new(b"merkle-multi");
+    let mut cases = 0;
+    while cases < 48 {
+        let data = arb_data(&mut d);
         let n = data.len();
+        let mask = d.next_u64();
         let indices: Vec<usize> = (0..n).filter(|i| (mask >> (i % 64)) & 1 == 1).collect();
-        prop_assume!(!indices.is_empty());
+        if indices.is_empty() {
+            continue;
+        }
+        cases += 1;
         let tree = MerkleTree::from_data(data.iter().map(Vec::as_slice));
         let proof = tree.prove_multi(&indices).expect("in range");
         let claims: Vec<(usize, &[u8])> =
             indices.iter().map(|&i| (i, data[i].as_slice())).collect();
-        prop_assert!(proof.verify(&tree.root(), &claims));
+        assert!(proof.verify(&tree.root(), &claims));
     }
+}
 
-    #[test]
-    fn any_single_byte_corruption_is_detected(
-        data in arb_data(),
-        victim_seed in any::<u64>(),
-        byte_seed in any::<u64>(),
-    ) {
+#[test]
+fn any_single_byte_corruption_is_detected() {
+    let mut d = HmacDrbg::new(b"merkle-corrupt");
+    for _ in 0..48 {
+        let data = arb_data(&mut d);
         let tree = MerkleTree::from_data(data.iter().map(Vec::as_slice));
-        let idx = (victim_seed as usize) % data.len();
+        let idx = d.next_below(data.len() as u64) as usize;
         let proof = tree.prove(idx).expect("in range");
         let mut corrupted = data[idx].clone();
         if corrupted.is_empty() {
             corrupted.push(1);
         } else {
-            let pos = (byte_seed as usize) % corrupted.len();
-            corrupted[pos] ^= 1 | ((byte_seed >> 8) as u8 & 0xfe);
+            let pos = d.next_below(corrupted.len() as u64) as usize;
+            corrupted[pos] ^= 1 | (d.next_u64() as u8 & 0xfe);
         }
-        prop_assert!(!proof.verify(&tree.root(), &corrupted, idx));
+        assert!(!proof.verify(&tree.root(), &corrupted, idx));
     }
+}
 
-    #[test]
-    fn paths_serialize_through_parts(data in arb_data(), seed in any::<u64>()) {
+#[test]
+fn paths_serialize_through_parts() {
+    let mut d = HmacDrbg::new(b"merkle-parts");
+    for _ in 0..48 {
+        let data = arb_data(&mut d);
         let tree = MerkleTree::from_data(data.iter().map(Vec::as_slice));
-        let idx = (seed as usize) % data.len();
+        let idx = d.next_below(data.len() as u64) as usize;
         let proof = tree.prove(idx).expect("in range");
         let (siblings, leaf_count) = proof.clone().into_parts();
         let rebuilt = MerklePath::from_parts(siblings, leaf_count);
-        prop_assert_eq!(&rebuilt, &proof);
-        prop_assert!(rebuilt.verify(&tree.root(), &data[idx], idx));
+        assert_eq!(&rebuilt, &proof);
+        assert!(rebuilt.verify(&tree.root(), &data[idx], idx));
     }
+}
 
-    #[test]
-    fn roots_are_injective_over_leaf_count(data in arb_data()) {
-        // Dropping the last leaf must change the root (no trivial
-        // extension attacks across sizes).
-        prop_assume!(data.len() >= 2);
+#[test]
+fn roots_are_injective_over_leaf_count() {
+    // Dropping the last leaf must change the root (no trivial
+    // extension attacks across sizes).
+    let mut d = HmacDrbg::new(b"merkle-inject");
+    let mut cases = 0;
+    while cases < 48 {
+        let data = arb_data(&mut d);
+        if data.len() < 2 {
+            continue;
+        }
+        cases += 1;
         let full = MerkleTree::from_data(data.iter().map(Vec::as_slice));
-        let truncated =
-            MerkleTree::from_data(data[..data.len() - 1].iter().map(Vec::as_slice));
-        prop_assert_ne!(full.root(), truncated.root());
+        let truncated = MerkleTree::from_data(data[..data.len() - 1].iter().map(Vec::as_slice));
+        assert_ne!(full.root(), truncated.root());
     }
 }

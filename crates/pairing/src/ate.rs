@@ -20,9 +20,9 @@ use std::sync::OnceLock;
 use seccloud_bigint::ApInt;
 
 use crate::fp::Fp;
+use crate::fp12::Fp12;
 use crate::fp2::Fp2;
 use crate::fp6::Fp6;
-use crate::fp12::Fp12;
 use crate::g1::G1Affine;
 use crate::g2::G2Affine;
 use crate::pairing::{final_exponentiation, Gt};
@@ -30,11 +30,9 @@ use crate::params;
 use crate::traits::FieldElement;
 
 /// The Miller loop length `s = 6x + 2`.
-fn loop_count() -> &'static ApInt {
+pub(crate) fn loop_count() -> &'static ApInt {
     static S: OnceLock<ApInt> = OnceLock::new();
-    S.get_or_init(|| {
-        &(&ApInt::from_u64(params::BN_X) * &ApInt::from_u64(6)) + &ApInt::from_u64(2)
-    })
+    S.get_or_init(|| &(&ApInt::from_u64(params::BN_X) * &ApInt::from_u64(6)) + &ApInt::from_u64(2))
 }
 
 /// `γ₂ = ξ^((p−1)/3)` and `γ₃ = ξ^((p−1)/2)` — the twist-Frobenius
@@ -70,13 +68,13 @@ fn p_minus_one() -> ApInt {
 
 /// The twist Frobenius `π(x, y) = (x̄·γ₂, ȳ·γ₃)` (conjugate = `Fp2`
 /// Frobenius), satisfying `ψ(π_tw(Q)) = π(ψ(Q))` for the untwist `ψ`.
-fn twist_frobenius(q: (Fp2, Fp2)) -> (Fp2, Fp2) {
+pub(crate) fn twist_frobenius(q: (Fp2, Fp2)) -> (Fp2, Fp2) {
     let (g2, g3) = twist_frobenius_coeffs();
     (q.0.conjugate().mul(g2), q.1.conjugate().mul(g3))
 }
 
 /// The squared twist Frobenius `π²(x, y) = (x·ω, −y)`.
-fn twist_frobenius_sq(q: (Fp2, Fp2)) -> (Fp2, Fp2) {
+pub(crate) fn twist_frobenius_sq(q: (Fp2, Fp2)) -> (Fp2, Fp2) {
     (q.0.mul(twist_frobenius_sq_coeff()), q.1.neg())
 }
 
@@ -130,9 +128,7 @@ impl TwistMiller {
             self.t = None;
             return Fp12::one(); // vertical
         }
-        let lambda = y2
-            .sub(&y1)
-            .mul(&x2.sub(&x1).inverse().expect("x₂ ≠ x₁"));
+        let lambda = y2.sub(&y1).mul(&x2.sub(&x1).inverse().expect("x₂ ≠ x₁"));
         let line = line_value(&lambda, &x1, &y1, x_p, y_p);
         let x3 = lambda.square().sub(&x1).sub(&x2);
         let y3 = lambda.mul(&x1.sub(&x3)).sub(&y1);
@@ -256,8 +252,7 @@ mod tests {
         let q_sum = hash_to_g2(b"ate-add-q").add(&q2).to_affine();
         assert_eq!(
             pairing_ate(&p1.to_affine(), &q_sum),
-            pairing_ate(&p1.to_affine(), &q)
-                .mul(&pairing_ate(&p1.to_affine(), &q2.to_affine()))
+            pairing_ate(&p1.to_affine(), &q).mul(&pairing_ate(&p1.to_affine(), &q2.to_affine()))
         );
     }
 

@@ -399,8 +399,7 @@ impl<C: CurveParams> Affine<C> {
     /// Whether the coordinates satisfy `y² = x³ + b` (identity counts as on
     /// the curve).
     pub fn is_on_curve(&self) -> bool {
-        self.infinity
-            || self.y.square() == self.x.square().mul(&self.x).add(&C::coeff_b())
+        self.infinity || self.y.square() == self.x.square().mul(&self.x).add(&C::coeff_b())
     }
 
     /// Point negation.

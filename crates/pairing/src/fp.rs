@@ -27,9 +27,7 @@ impl Fp {
     /// ```
     pub fn sqrt(&self) -> Option<Self> {
         // (p + 1) / 4
-        let e = Self::modulus()
-            .wrapping_add(&U256::ONE)
-            .shr(2);
+        let e = Self::modulus().wrapping_add(&U256::ONE).shr(2);
         let root = self.pow(e.limbs());
         if root.square() == *self {
             // Canonical choice: the even root.
@@ -50,11 +48,10 @@ impl Fp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use seccloud_hash::HmacDrbg;
 
-    fn fp() -> impl Strategy<Value = Fp> {
-        prop::array::uniform4(any::<u64>())
-            .prop_map(|l| Fp::from_u256(&U256::from_limbs(l)))
+    fn fp(d: &mut HmacDrbg) -> Fp {
+        Fp::from_u256(&U256::from_limbs(std::array::from_fn(|_| d.next_u64())))
     }
 
     #[test]
@@ -83,7 +80,10 @@ mod tests {
     fn small_multiplication_reference() {
         let a = Fp::from_u64(0xffff_ffff);
         let b = Fp::from_u64(0x1_0000_0001);
-        assert_eq!((a * b).to_u256(), U256::from_u128(0xffff_ffff * 0x1_0000_0001u128));
+        assert_eq!(
+            (a * b).to_u256(),
+            U256::from_u128(0xffff_ffff * 0x1_0000_0001u128)
+        );
     }
 
     #[test]
@@ -136,64 +136,98 @@ mod tests {
         assert_ne!(a, Fp::from_hash(b"H2", b"alice"));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn add_assoc_comm(a in fp(), b in fp(), c in fp()) {
-            prop_assert_eq!((a + b) + c, a + (b + c));
-            prop_assert_eq!(a + b, b + a);
+    #[test]
+    fn add_assoc_comm() {
+        let mut d = HmacDrbg::new(b"fp-add");
+        for _ in 0..64 {
+            let (a, b, c) = (fp(&mut d), fp(&mut d), fp(&mut d));
+            assert_eq!((a + b) + c, a + (b + c));
+            assert_eq!(a + b, b + a);
         }
+    }
 
-        #[test]
-        fn mul_assoc_comm_distributes(a in fp(), b in fp(), c in fp()) {
-            prop_assert_eq!((a * b) * c, a * (b * c));
-            prop_assert_eq!(a * b, b * a);
-            prop_assert_eq!(a * (b + c), a * b + a * c);
+    #[test]
+    fn mul_assoc_comm_distributes() {
+        let mut d = HmacDrbg::new(b"fp-mul");
+        for _ in 0..64 {
+            let (a, b, c) = (fp(&mut d), fp(&mut d), fp(&mut d));
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * b, b * a);
+            assert_eq!(a * (b + c), a * b + a * c);
         }
+    }
 
-        #[test]
-        fn additive_inverse(a in fp()) {
-            prop_assert!((a + a.neg()).is_zero());
-            prop_assert_eq!(a.neg().neg(), a);
+    #[test]
+    fn additive_inverse() {
+        let mut d = HmacDrbg::new(b"fp-neg");
+        for _ in 0..64 {
+            let a = fp(&mut d);
+            assert!((a + a.neg()).is_zero());
+            assert_eq!(a.neg().neg(), a);
         }
+    }
 
-        #[test]
-        fn multiplicative_inverse(a in fp()) {
+    #[test]
+    fn multiplicative_inverse() {
+        let mut d = HmacDrbg::new(b"fp-inv");
+        for _ in 0..64 {
+            let a = fp(&mut d);
             if let Some(inv) = a.inverse() {
-                prop_assert_eq!(a * inv, Fp::one());
+                assert_eq!(a * inv, Fp::one());
             } else {
-                prop_assert!(a.is_zero());
+                assert!(a.is_zero());
             }
         }
+    }
 
-        #[test]
-        fn square_matches_mul(a in fp()) {
-            prop_assert_eq!(a.square(), a * a);
+    #[test]
+    fn square_matches_mul() {
+        let mut d = HmacDrbg::new(b"fp-sq");
+        for _ in 0..64 {
+            let a = fp(&mut d);
+            assert_eq!(a.square(), a * a);
         }
+    }
 
-        #[test]
-        fn sub_is_add_neg(a in fp(), b in fp()) {
-            prop_assert_eq!(a - b, a + b.neg());
+    #[test]
+    fn sub_is_add_neg() {
+        let mut d = HmacDrbg::new(b"fp-sub");
+        for _ in 0..64 {
+            let (a, b) = (fp(&mut d), fp(&mut d));
+            assert_eq!(a - b, a + b.neg());
         }
+    }
 
-        #[test]
-        fn mont_round_trip(a in fp()) {
-            prop_assert_eq!(Fp::from_u256(&a.to_u256()), a);
+    #[test]
+    fn mont_round_trip() {
+        let mut d = HmacDrbg::new(b"fp-mont");
+        for _ in 0..64 {
+            let a = fp(&mut d);
+            assert_eq!(Fp::from_u256(&a.to_u256()), a);
         }
+    }
 
-        #[test]
-        fn pow_adds_exponents(a in fp(), e1 in 0u64..1000, e2 in 0u64..1000) {
+    #[test]
+    fn pow_adds_exponents() {
+        let mut d = HmacDrbg::new(b"fp-pow");
+        for _ in 0..64 {
+            let a = fp(&mut d);
+            let e1 = d.next_below(1000);
+            let e2 = d.next_below(1000);
             let lhs = a.pow(&[e1 + e2]);
             let rhs = a.pow(&[e1]).mul(&a.pow(&[e2]));
-            prop_assert_eq!(lhs, rhs);
+            assert_eq!(lhs, rhs);
         }
+    }
 
-        #[test]
-        fn sqrt_round_trip(a in fp()) {
+    #[test]
+    fn sqrt_round_trip() {
+        let mut d = HmacDrbg::new(b"fp-sqrt");
+        for _ in 0..64 {
+            let a = fp(&mut d);
             let sq = a.square();
             let r = sq.sqrt().expect("squares have roots");
-            prop_assert!(r == a || r == a.neg());
+            assert!(r == a || r == a.neg());
         }
     }
 }

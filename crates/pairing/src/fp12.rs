@@ -196,28 +196,19 @@ impl FieldElement for Fp12 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use seccloud_bigint::U256;
+    use seccloud_hash::HmacDrbg;
 
-    fn fp2_s() -> impl Strategy<Value = Fp2> {
-        (prop::array::uniform4(any::<u64>()), prop::array::uniform4(any::<u64>())).prop_map(
-            |(a, b)| {
-                Fp2::new(
-                    Fp::from_u256(&U256::from_limbs(a)),
-                    Fp::from_u256(&U256::from_limbs(b)),
-                )
-            },
-        )
+    fn fp2_s(d: &mut HmacDrbg) -> Fp2 {
+        let mut fp = || Fp::from_u256(&U256::from_limbs(std::array::from_fn(|_| d.next_u64())));
+        Fp2::new(fp(), fp())
     }
 
-    fn fp12() -> impl Strategy<Value = Fp12> {
-        (
-            (fp2_s(), fp2_s(), fp2_s()),
-            (fp2_s(), fp2_s(), fp2_s()),
+    fn fp12(d: &mut HmacDrbg) -> Fp12 {
+        Fp12::new(
+            Fp6::new(fp2_s(d), fp2_s(d), fp2_s(d)),
+            Fp6::new(fp2_s(d), fp2_s(d), fp2_s(d)),
         )
-            .prop_map(|((a, b, c), (d, e, f))| {
-                Fp12::new(Fp6::new(a, b, c), Fp6::new(d, e, f))
-            })
     }
 
     #[test]
@@ -239,9 +230,7 @@ mod tests {
         let p2 = &p * &p;
         for i in 0..4u32 {
             let raw = sample(100 + i);
-            let easy = raw
-                .conjugate()
-                .mul(&raw.inverse().expect("nonzero"));
+            let easy = raw.conjugate().mul(&raw.inverse().expect("nonzero"));
             let cyc = easy.frobenius_p2().mul(&easy);
             // Sanity: cyc^(p⁶+1) = 1 ⇔ conj(cyc) = cyc⁻¹.
             assert_eq!(cyc.conjugate(), cyc.inverse().unwrap(), "in subgroup");
@@ -294,32 +283,37 @@ mod tests {
         )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        #[test]
-        fn ring_axioms(a in fp12(), b in fp12(), c in fp12()) {
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-            prop_assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    #[test]
+    fn ring_axioms() {
+        let mut d = HmacDrbg::new(b"fp12-axioms");
+        for _ in 0..12 {
+            let (a, b, c) = (fp12(&mut d), fp12(&mut d), fp12(&mut d));
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
         }
+    }
 
-        #[test]
-        fn square_and_inverse(a in fp12()) {
-            prop_assert_eq!(a.square(), a.mul(&a));
+    #[test]
+    fn square_and_inverse() {
+        let mut d = HmacDrbg::new(b"fp12-sq-inv");
+        for _ in 0..12 {
+            let a = fp12(&mut d);
+            assert_eq!(a.square(), a.mul(&a));
             if let Some(inv) = a.inverse() {
-                prop_assert_eq!(a.mul(&inv), Fp12::one());
+                assert_eq!(a.mul(&inv), Fp12::one());
             } else {
-                prop_assert!(a.is_zero());
+                assert!(a.is_zero());
             }
         }
+    }
 
-        #[test]
-        fn conjugation_is_multiplicative(a in fp12(), b in fp12()) {
-            prop_assert_eq!(
-                a.mul(&b).conjugate(),
-                a.conjugate().mul(&b.conjugate())
-            );
+    #[test]
+    fn conjugation_is_multiplicative() {
+        let mut d = HmacDrbg::new(b"fp12-conj");
+        for _ in 0..12 {
+            let (a, b) = (fp12(&mut d), fp12(&mut d));
+            assert_eq!(a.mul(&b).conjugate(), a.conjugate().mul(&b.conjugate()));
         }
     }
 }

@@ -197,17 +197,14 @@ impl core::ops::Neg for Fp2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use seccloud_hash::HmacDrbg;
 
-    pub(crate) fn fp2() -> impl Strategy<Value = Fp2> {
-        (prop::array::uniform4(any::<u64>()), prop::array::uniform4(any::<u64>())).prop_map(
-            |(a, b)| {
-                Fp2::new(
-                    Fp::from_u256(&U256::from_limbs(a)),
-                    Fp::from_u256(&U256::from_limbs(b)),
-                )
-            },
-        )
+    fn fp_rand(d: &mut HmacDrbg) -> Fp {
+        Fp::from_u256(&U256::from_limbs(std::array::from_fn(|_| d.next_u64())))
+    }
+
+    fn fp2(d: &mut HmacDrbg) -> Fp2 {
+        Fp2::new(fp_rand(d), fp_rand(d))
     }
 
     #[test]
@@ -235,7 +232,11 @@ mod tests {
             for (i, &b) in limbs.iter().enumerate() {
                 le_limbs[i / 8] |= (b as u64) << (8 * (i % 8));
             }
-            assert_ne!(xi.pow_limbs(&le_limbs), Fp2::one(), "ξ^((p²−1)/{divisor}) = 1");
+            assert_ne!(
+                xi.pow_limbs(&le_limbs),
+                Fp2::one(),
+                "ξ^((p²−1)/{divisor}) = 1"
+            );
         }
     }
 
@@ -255,39 +256,55 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn field_axioms(a in fp2(), b in fp2(), c in fp2()) {
-            prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-            prop_assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    #[test]
+    fn field_axioms() {
+        let mut d = HmacDrbg::new(b"fp2-axioms");
+        for _ in 0..48 {
+            let (a, b, c) = (fp2(&mut d), fp2(&mut d), fp2(&mut d));
+            assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
         }
+    }
 
-        #[test]
-        fn square_matches_mul(a in fp2()) {
-            prop_assert_eq!(a.square(), a.mul(&a));
+    #[test]
+    fn square_matches_mul() {
+        let mut d = HmacDrbg::new(b"fp2-sq");
+        for _ in 0..48 {
+            let a = fp2(&mut d);
+            assert_eq!(a.square(), a.mul(&a));
         }
+    }
 
-        #[test]
-        fn inverse_law(a in fp2()) {
+    #[test]
+    fn inverse_law() {
+        let mut d = HmacDrbg::new(b"fp2-inv");
+        for _ in 0..48 {
+            let a = fp2(&mut d);
             if let Some(inv) = a.inverse() {
-                prop_assert_eq!(a.mul(&inv), Fp2::one());
+                assert_eq!(a.mul(&inv), Fp2::one());
             } else {
-                prop_assert!(a.is_zero());
+                assert!(a.is_zero());
             }
         }
+    }
 
-        #[test]
-        fn conjugation_is_multiplicative(a in fp2(), b in fp2()) {
-            prop_assert_eq!(a.mul(&b).conjugate(), a.conjugate().mul(&b.conjugate()));
+    #[test]
+    fn conjugation_is_multiplicative() {
+        let mut d = HmacDrbg::new(b"fp2-conj");
+        for _ in 0..48 {
+            let (a, b) = (fp2(&mut d), fp2(&mut d));
+            assert_eq!(a.mul(&b).conjugate(), a.conjugate().mul(&b.conjugate()));
         }
+    }
 
-        #[test]
-        fn norm_is_multiplicative(a in fp2(), b in fp2()) {
-            prop_assert_eq!(a.mul(&b).norm(), a.norm().mul(&b.norm()));
+    #[test]
+    fn norm_is_multiplicative() {
+        let mut d = HmacDrbg::new(b"fp2-norm");
+        for _ in 0..48 {
+            let (a, b) = (fp2(&mut d), fp2(&mut d));
+            assert_eq!(a.mul(&b).norm(), a.norm().mul(&b.norm()));
         }
     }
 }

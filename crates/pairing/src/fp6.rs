@@ -109,22 +109,16 @@ impl FieldElement for Fp6 {
 mod tests {
     use super::*;
     use crate::fp::Fp;
-    use proptest::prelude::*;
     use seccloud_bigint::U256;
+    use seccloud_hash::HmacDrbg;
 
-    fn fp2_s() -> impl Strategy<Value = Fp2> {
-        (prop::array::uniform4(any::<u64>()), prop::array::uniform4(any::<u64>())).prop_map(
-            |(a, b)| {
-                Fp2::new(
-                    Fp::from_u256(&U256::from_limbs(a)),
-                    Fp::from_u256(&U256::from_limbs(b)),
-                )
-            },
-        )
+    fn fp2_s(d: &mut HmacDrbg) -> Fp2 {
+        let mut fp = || Fp::from_u256(&U256::from_limbs(std::array::from_fn(|_| d.next_u64())));
+        Fp2::new(fp(), fp())
     }
 
-    fn fp6() -> impl Strategy<Value = Fp6> {
-        (fp2_s(), fp2_s(), fp2_s()).prop_map(|(a, b, c)| Fp6::new(a, b, c))
+    fn fp6(d: &mut HmacDrbg) -> Fp6 {
+        Fp6::new(fp2_s(d), fp2_s(d), fp2_s(d))
     }
 
     #[test]
@@ -137,29 +131,37 @@ mod tests {
         assert_eq!(a.mul_by_v(), a.mul(&v));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        #[test]
-        fn ring_axioms(a in fp6(), b in fp6(), c in fp6()) {
-            prop_assert_eq!(a.mul(&b), b.mul(&a));
-            prop_assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    #[test]
+    fn ring_axioms() {
+        let mut d = HmacDrbg::new(b"fp6-axioms");
+        for _ in 0..24 {
+            let (a, b, c) = (fp6(&mut d), fp6(&mut d), fp6(&mut d));
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
         }
+    }
 
-        #[test]
-        fn inverse_law(a in fp6()) {
+    #[test]
+    fn inverse_law() {
+        let mut d = HmacDrbg::new(b"fp6-inv");
+        for _ in 0..24 {
+            let a = fp6(&mut d);
             if let Some(inv) = a.inverse() {
-                prop_assert_eq!(a.mul(&inv), Fp6::one());
+                assert_eq!(a.mul(&inv), Fp6::one());
             } else {
-                prop_assert!(a.is_zero());
+                assert!(a.is_zero());
             }
         }
+    }
 
-        #[test]
-        fn one_is_identity(a in fp6()) {
-            prop_assert_eq!(a.mul(&Fp6::one()), a);
-            prop_assert_eq!(a.add(&Fp6::zero()), a);
+    #[test]
+    fn one_is_identity() {
+        let mut d = HmacDrbg::new(b"fp6-one");
+        for _ in 0..24 {
+            let a = fp6(&mut d);
+            assert_eq!(a.mul(&Fp6::one()), a);
+            assert_eq!(a.add(&Fp6::zero()), a);
         }
     }
 }

@@ -4,7 +4,6 @@ use crate::ec::{Affine, CurveParams, Point};
 use crate::fp::Fp;
 use crate::fr::Fr;
 
-
 /// Curve parameters for `G1`.
 #[derive(Clone, Copy, Debug)]
 pub struct G1Params;
@@ -149,10 +148,7 @@ mod tests {
         let k1 = Fr::hash(b"k1");
         let k2 = Fr::hash(b"k2");
         // [k1+k2]G = [k1]G + [k2]G
-        assert_eq!(
-            g.mul_fr(&k1.add(&k2)),
-            g.mul_fr(&k1).add(&g.mul_fr(&k2))
-        );
+        assert_eq!(g.mul_fr(&k1.add(&k2)), g.mul_fr(&k1).add(&g.mul_fr(&k2)));
         // [k1·k2]G = [k1]([k2]G)
         assert_eq!(g.mul_fr(&k1.mul(&k2)), g.mul_fr(&k2).mul_fr(&k1));
     }

@@ -41,8 +41,12 @@ impl CurveParams for G2Params {
                 )
             };
             let x = Fp2::new(
-                dec("10857046999023057135944570762232829481370756359578518086990519993285655852781"),
-                dec("11559732032986387107991004021392285783925812861821192530917403151452391805634"),
+                dec(
+                    "10857046999023057135944570762232829481370756359578518086990519993285655852781",
+                ),
+                dec(
+                    "11559732032986387107991004021392285783925812861821192530917403151452391805634",
+                ),
             );
             let y = Fp2::new(
                 dec("8495653923123431417604973247489272438418190587263600148770280649306958101930"),
@@ -102,8 +106,7 @@ impl G2Affine {
         payload[0] &= 0x3f;
         payload[32] &= 0x7f;
         if infinity {
-            return (flags == 0 && payload.iter().all(|&b| b == 0))
-                .then_some(Self::identity());
+            return (flags == 0 && payload.iter().all(|&b| b == 0)).then_some(Self::identity());
         }
         let c1 = Fp::from_be_bytes(payload[..32].try_into().expect("32 bytes"))?;
         let c0 = Fp::from_be_bytes(payload[32..].try_into().expect("32 bytes"))?;
@@ -172,7 +175,10 @@ mod tests {
     #[test]
     fn generator_is_on_twist_and_in_subgroup() {
         let g = G2::generator();
-        assert!(g.to_affine().is_on_curve(), "generator satisfies y² = x³ + 3/ξ");
+        assert!(
+            g.to_affine().is_on_curve(),
+            "generator satisfies y² = x³ + 3/ξ"
+        );
         assert!(g.is_torsion_free(), "generator has order r");
         assert!(!g.mul_u256(&U256::from_u64(7)).is_identity());
     }

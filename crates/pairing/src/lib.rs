@@ -39,6 +39,7 @@
 
 mod ate;
 pub mod ec;
+mod fixed_base;
 mod fp;
 mod fp12;
 mod fp2;
@@ -49,9 +50,12 @@ mod g2;
 pub mod mont;
 mod pairing;
 pub mod params;
+mod prepared;
 pub mod traits;
 
+pub use ate::{multi_pairing_ate, pairing_ate};
 pub use ec::{Affine, CurveParams, Point};
+pub use fixed_base::{g1_generator_mul, g2_generator_mul, FixedBaseTable};
 pub use fp::Fp;
 pub use fp12::Fp12;
 pub use fp2::Fp2;
@@ -59,6 +63,8 @@ pub use fp6::Fp6;
 pub use fr::Fr;
 pub use g1::{hash_to_g1, G1Affine, G1Params, G1};
 pub use g2::{hash_to_g2, G2Affine, G2Params, G2};
-pub use ate::{multi_pairing_ate, pairing_ate};
-pub use pairing::{final_exponentiation, multi_pairing, multi_pairing_tate, pairing, pairing_tate, Gt};
+pub use pairing::{
+    final_exponentiation, multi_pairing, multi_pairing_tate, pairing, pairing_tate, Gt,
+};
+pub use prepared::{multi_miller_loop, pairing_prepared, G2Prepared};
 pub use traits::FieldElement;

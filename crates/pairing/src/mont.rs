@@ -65,7 +65,9 @@ pub const fn mont_r2(m: [u64; 4]) -> [u64; 4] {
         let mut borrow = 0u128;
         let mut i = 0;
         while i < 4 {
-            let t = (a[i] as u128).wrapping_sub(b[i] as u128).wrapping_sub(borrow);
+            let t = (a[i] as u128)
+                .wrapping_sub(b[i] as u128)
+                .wrapping_sub(borrow);
             out[i] = t as u64;
             borrow = (t >> 64) & 1;
             i += 1;
@@ -160,10 +162,10 @@ macro_rules! mont_field {
             /// Panics if `bytes.len() != 64`.
             pub fn from_bytes_wide(bytes: &[u8]) -> Self {
                 assert_eq!(bytes.len(), 64, "wide reduction expects 64 bytes");
-                let hi = ::seccloud_bigint::U256::from_be_bytes(&bytes[..32])
-                    .expect("32 bytes fit");
-                let lo = ::seccloud_bigint::U256::from_be_bytes(&bytes[32..])
-                    .expect("32 bytes fit");
+                let hi =
+                    ::seccloud_bigint::U256::from_be_bytes(&bytes[..32]).expect("32 bytes fit");
+                let lo =
+                    ::seccloud_bigint::U256::from_be_bytes(&bytes[32..]).expect("32 bytes fit");
                 // hi·2²⁵⁶ + lo = hi·R + lo; the Montgomery form of hi·R is
                 // montmul(hi·R, R²)·R⁻¹… simpler: lift both and use the field:
                 // result = from(hi) · 2²⁵⁶_as_element + from(lo), where the
@@ -277,8 +279,7 @@ macro_rules! mont_field {
                 if self.is_zero() {
                     return None;
                 }
-                let exp = Self::modulus()
-                    .wrapping_sub(&::seccloud_bigint::U256::from_u64(2));
+                let exp = Self::modulus().wrapping_sub(&::seccloud_bigint::U256::from_u64(2));
                 Some(self.pow(exp.limbs()))
             }
 

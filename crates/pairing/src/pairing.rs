@@ -9,9 +9,9 @@
 use seccloud_bigint::U256;
 
 use crate::fp::Fp;
+use crate::fp12::Fp12;
 use crate::fp2::Fp2;
 use crate::fp6::Fp6;
-use crate::fp12::Fp12;
 use crate::fr::Fr;
 use crate::g1::G1Affine;
 use crate::g2::G2Affine;
@@ -124,14 +124,8 @@ impl Gt {
 /// Returns `(x_Q, y_Q)` as full `Fp12` elements; note `x_Q ∈ Fp6`, the fact
 /// that licenses denominator elimination.
 fn untwist(q: &G2Affine) -> (Fp12, Fp12) {
-    let x = Fp12::new(
-        Fp6::new(Fp2::zero(), q.x(), Fp2::zero()),
-        Fp6::zero(),
-    );
-    let y = Fp12::new(
-        Fp6::zero(),
-        Fp6::new(Fp2::zero(), q.y(), Fp2::zero()),
-    );
+    let x = Fp12::new(Fp6::new(Fp2::zero(), q.x(), Fp2::zero()), Fp6::zero());
+    let y = Fp12::new(Fp6::zero(), Fp6::new(Fp2::zero(), q.y(), Fp2::zero()));
     (x, y)
 }
 
@@ -189,9 +183,7 @@ impl MillerState {
             self.t = None;
             return x_q.sub(&Fp12::from_fp6(Fp6::from_fp2(Fp2::from_fp(x1))));
         }
-        let lambda = y2
-            .sub(&y1)
-            .mul(&x2.sub(&x1).inverse().expect("x₂ ≠ x₁"));
+        let lambda = y2.sub(&y1).mul(&x2.sub(&x1).inverse().expect("x₂ ≠ x₁"));
         let c = y1.sub(&lambda.mul(&x1));
         let line = y_q
             .sub(&x_q.scale_fp(&lambda))

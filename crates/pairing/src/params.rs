@@ -78,19 +78,16 @@ mod tests {
         let c36x3 = &x3 * &ApInt::from_u64(36);
         let c6x = &x * &ApInt::from_u64(6);
 
-        let p_expected = &(&(&c36x4 + &c36x3) + &(&x2 * &ApInt::from_u64(24)))
-            + &(&c6x + &ApInt::one());
+        let p_expected =
+            &(&(&c36x4 + &c36x3) + &(&x2 * &ApInt::from_u64(24))) + &(&c6x + &ApInt::one());
         assert_eq!(&p_expected, p_apint(), "p = 36x⁴+36x³+24x²+6x+1");
 
-        let r_expected = &(&(&c36x4 + &c36x3) + &(&x2 * &ApInt::from_u64(18)))
-            + &(&c6x + &ApInt::one());
+        let r_expected =
+            &(&(&c36x4 + &c36x3) + &(&x2 * &ApInt::from_u64(18))) + &(&c6x + &ApInt::one());
         assert_eq!(&r_expected, r_apint(), "r = 36x⁴+36x³+18x²+6x+1");
 
         // r = p + 1 − t
-        let r_from_trace = &p_apint()
-            .checked_sub(trace())
-            .expect("p > t")
-            + &ApInt::one();
+        let r_from_trace = &p_apint().checked_sub(trace()).expect("p > t") + &ApInt::one();
         assert_eq!(&r_from_trace, r_apint());
     }
 
@@ -103,8 +100,16 @@ mod tests {
             state ^= state << 17;
             state
         };
-        assert!(seccloud_bigint::is_probable_prime(p_apint(), 16, &mut entropy));
-        assert!(seccloud_bigint::is_probable_prime(r_apint(), 16, &mut entropy));
+        assert!(seccloud_bigint::is_probable_prime(
+            p_apint(),
+            16,
+            &mut entropy
+        ));
+        assert!(seccloud_bigint::is_probable_prime(
+            r_apint(),
+            16,
+            &mut entropy
+        ));
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Serialization and scalar-multiplication equivalence tests for the
 //! pairing crate's public API.
 
-use proptest::prelude::*;
-use seccloud_pairing::{
-    hash_to_g1, hash_to_g2, pairing, Fr, G1Affine, G2Affine, Gt, G1, G2,
-};
+use seccloud_hash::HmacDrbg;
+use seccloud_pairing::{hash_to_g1, hash_to_g2, pairing, Fr, G1Affine, G2Affine, Gt, G1, G2};
 
 #[test]
 fn g1_compression_round_trips() {
@@ -107,39 +105,48 @@ fn gt_bytes_round_trip() {
     assert_eq!(Gt::from_bytes(&Gt::one().to_bytes()), Some(Gt::one()));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn wnaf_equals_double_and_add_g1(limbs in prop::array::uniform4(any::<u64>())) {
-        let p = hash_to_g1(b"wnaf-base");
-        prop_assert_eq!(p.mul_limbs(&limbs), p.mul_limbs_wnaf(&limbs));
+#[test]
+fn wnaf_equals_double_and_add_g1() {
+    let mut d = HmacDrbg::new(b"ser-wnaf-g1");
+    let p = hash_to_g1(b"wnaf-base");
+    for _ in 0..16 {
+        let limbs: [u64; 4] = std::array::from_fn(|_| d.next_u64());
+        assert_eq!(p.mul_limbs(&limbs), p.mul_limbs_wnaf(&limbs));
     }
+}
 
-    #[test]
-    fn wnaf_equals_double_and_add_g2(k in any::<u64>()) {
-        let q = G2::generator();
-        prop_assert_eq!(
-            q.mul_limbs(&[k, 0, k, 1]),
-            q.mul_limbs_wnaf(&[k, 0, k, 1])
-        );
+#[test]
+fn wnaf_equals_double_and_add_g2() {
+    let mut d = HmacDrbg::new(b"ser-wnaf-g2");
+    let q = G2::generator();
+    for _ in 0..16 {
+        let k = d.next_u64();
+        assert_eq!(q.mul_limbs(&[k, 0, k, 1]), q.mul_limbs_wnaf(&[k, 0, k, 1]));
     }
+}
 
-    #[test]
-    fn wnaf_edge_scalars(shift in 0usize..255) {
+#[test]
+fn wnaf_edge_scalars() {
+    let mut d = HmacDrbg::new(b"ser-wnaf-edge");
+    let p = G1::generator();
+    for _ in 0..16 {
         // Powers of two and neighbours exercise NAF carries.
+        let shift = d.next_below(255) as usize;
         let one = seccloud_bigint::U256::ONE.shl(shift);
-        let p = G1::generator();
-        prop_assert_eq!(p.mul_u256(&one), p.mul_limbs_wnaf(one.limbs()));
+        assert_eq!(p.mul_u256(&one), p.mul_limbs_wnaf(one.limbs()));
         let minus = one.wrapping_sub(&seccloud_bigint::U256::ONE);
-        prop_assert_eq!(p.mul_u256(&minus), p.mul_limbs_wnaf(minus.limbs()));
+        assert_eq!(p.mul_u256(&minus), p.mul_limbs_wnaf(minus.limbs()));
     }
+}
 
-    #[test]
-    fn compression_respects_scalar_structure(k in 1u64..1000) {
+#[test]
+fn compression_respects_scalar_structure() {
+    let mut d = HmacDrbg::new(b"ser-compress");
+    for _ in 0..16 {
+        let k = 1 + d.next_below(999);
         let p = G1::generator().mul_fr(&Fr::from_u64(k)).to_affine();
         let round = G1Affine::from_compressed(&p.to_compressed()).unwrap();
-        prop_assert_eq!(round, p);
+        assert_eq!(round, p);
     }
 }
 
@@ -151,18 +158,17 @@ fn wnaf_zero_and_identity() {
     assert_eq!(p.mul_limbs_wnaf(&[1]), p);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn double_scalar_mul_matches_separate(a in any::<u64>(), b in any::<u64>()) {
-        use seccloud_bigint::U256;
-        let p = G1::generator();
-        let q = hash_to_g1(b"shamir-q");
-        let (ua, ub) = (U256::from_u64(a), U256::from_u64(b));
+#[test]
+fn double_scalar_mul_matches_separate() {
+    use seccloud_bigint::U256;
+    let mut d = HmacDrbg::new(b"ser-shamir");
+    let p = G1::generator();
+    let q = hash_to_g1(b"shamir-q");
+    for _ in 0..12 {
+        let (ua, ub) = (U256::from_u64(d.next_u64()), U256::from_u64(d.next_u64()));
         let joint = G1::double_scalar_mul(&p, &ua, &q, &ub);
         let separate = p.mul_u256(&ua).add(&q.mul_u256(&ub));
-        prop_assert_eq!(joint, separate);
+        assert_eq!(joint, separate);
     }
 }
 

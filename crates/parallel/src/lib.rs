@@ -1,0 +1,220 @@
+//! Dependency-free data parallelism for the SecCloud workspace.
+//!
+//! The pairing-heavy hot paths (per-block designated-signature transforms,
+//! audit response verification, Merkle tree construction, Monte Carlo
+//! detection sweeps) are embarrassingly parallel, but the build must stay
+//! offline-capable — no rayon, no crossbeam. This crate supplies the one
+//! primitive those paths need: a chunked, order-preserving parallel map on
+//! `std::thread::scope`.
+//!
+//! ## Threading model
+//!
+//! * The worker count defaults to [`std::thread::available_parallelism`]
+//!   and can be pinned with the `SECCLOUD_THREADS` environment variable
+//!   (`SECCLOUD_THREADS=1` forces serial execution; useful for profiling
+//!   and for bit-for-bit A/B tests against the serial paths).
+//! * Output order always equals input order regardless of worker count —
+//!   every item's result lands in its input slot, so parallel and serial
+//!   execution are observationally identical for pure per-item closures.
+//! * Workers receive contiguous chunks; per-item closures also get the
+//!   item's *global* index, which callers use to derive independent,
+//!   deterministic DRBG streams per item (fork-by-index), keeping results
+//!   reproducible under any `SECCLOUD_THREADS` setting.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = seccloud_parallel::parallel_map(&[1u64, 2, 3, 4], |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The configured worker count: `SECCLOUD_THREADS` if set to a positive
+/// integer, otherwise the machine's available parallelism (at least 1).
+pub fn num_threads() -> usize {
+    match std::env::var("SECCLOUD_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `f` over `items` on up to [`num_threads`] scoped workers,
+/// preserving input order. The closure receives `(global_index, item)`.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_map_threads(items, num_threads(), f)
+}
+
+/// Like [`parallel_map`] with an explicit worker count (clamped to
+/// `1..=items.len()`). `threads == 1` runs serially on the calling thread.
+pub fn parallel_map_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (w, (in_chunk, out_chunk)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = w * chunk;
+                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Like [`parallel_map`], but each worker gets *mutable* access to its
+/// items — the primitive for dispatching work onto a pool of stateful
+/// targets (e.g. one simulated cloud server per slot), each owned by
+/// exactly one worker for the duration of the call.
+pub fn parallel_map_mut<T, U, F>(items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads().clamp(1, n);
+    if workers == 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (w, (in_chunk, out_chunk)) in items
+            .chunks_mut(chunk)
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = w * chunk;
+                for (j, (item, slot)) in in_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Splits `0..n` into up to `threads` contiguous ranges and maps `f` over
+/// them concurrently — the building block for parallel reductions: each
+/// worker folds its range locally, the caller merges the partials.
+pub fn parallel_ranges<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+    let ranges: Vec<std::ops::Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect();
+    parallel_map_threads(&ranges, workers, |_, r| f(r.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 103, 500] {
+            let got = parallel_map_threads(&items, threads, |_, x| x * 3 + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indices_are_global() {
+        let items = vec![(); 57];
+        for threads in [1, 4, 57] {
+            let got = parallel_map_threads(&items, threads, |i, _| i);
+            assert_eq!(got, (0..57).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map_threads(&none, 8, |_, x| *x).is_empty());
+        assert_eq!(parallel_map_threads(&[5u8], 8, |_, x| *x + 1), vec![6]);
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for (n, threads) in [(10, 3), (1, 1), (16, 16), (7, 100), (64, 5)] {
+            let ranges = parallel_ranges(n, threads, |r| r);
+            let mut covered: Vec<usize> = ranges.into_iter().flatten().collect();
+            covered.sort_unstable();
+            assert_eq!(
+                covered,
+                (0..n).collect::<Vec<_>>(),
+                "n={n} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_fold_matches_serial_sum() {
+        let partials = parallel_ranges(1000, 8, |r| r.map(|i| i as u64).sum::<u64>());
+        assert_eq!(partials.into_iter().sum::<u64>(), 499_500);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_mut_mutates_every_item_in_order() {
+        let mut items: Vec<u64> = (0..67).collect();
+        let returned = parallel_map_mut(&mut items, |i, x| {
+            *x += 100;
+            i
+        });
+        assert_eq!(items, (100..167).collect::<Vec<u64>>());
+        assert_eq!(returned, (0..67).collect::<Vec<usize>>());
+    }
+}

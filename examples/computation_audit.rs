@@ -68,7 +68,11 @@ fn main() {
         println!(
             "{name:>9}: sampled {} of 52 weeks → {} ({} bad samples)",
             verdict.challenge.len(),
-            if verdict.detected { "CHEATING DETECTED" } else { "clean" },
+            if verdict.detected {
+                "CHEATING DETECTED"
+            } else {
+                "clean"
+            },
             verdict.outcome.failures.len(),
         );
         if name == "lazy" {
@@ -81,7 +85,5 @@ fn main() {
         }
     }
 
-    println!(
-        "\nThe retailer never recomputed the whole year — {t} samples decided it."
-    );
+    println!("\nThe retailer never recomputed the whole year — {t} samples decided it.");
 }

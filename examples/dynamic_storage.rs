@@ -43,7 +43,12 @@ fn main() {
     // a static audit would accept it. The freshness audit does not.
     let stale = {
         let mut rollback_ledger = OwnerLedger::new();
-        user.dyn_insert(&mut rollback_ledger, 1, b"final B rev1".to_vec(), &[da.public()]);
+        user.dyn_insert(
+            &mut rollback_ledger,
+            1,
+            b"final B rev1".to_vec(),
+            &[da.public()],
+        );
         // Re-create the version-1 upload the attacker replayed.
         let mut l2 = OwnerLedger::new();
         user.dyn_insert(&mut l2, 1, b"draft B".to_vec(), &[da.public()]);
@@ -54,7 +59,13 @@ fn main() {
     println!("day 3 audit violations: {violations:?}");
     assert_eq!(
         violations,
-        vec![(1, DynAuditError::StaleVersion { expected: 2, got: 1 })]
+        vec![(
+            1,
+            DynAuditError::StaleVersion {
+                expected: 2,
+                got: 1
+            }
+        )]
     );
 
     println!(

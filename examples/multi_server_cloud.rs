@@ -63,7 +63,10 @@ fn main() {
             },
             &mut adversary,
         );
-        println!("epoch {epoch}: adversary controls servers {:?}", csp.corrupted());
+        println!(
+            "epoch {epoch}: adversary controls servers {:?}",
+            csp.corrupted()
+        );
 
         let executions = csp.execute(&lab, &request, da.public());
         let mut caught = Vec::new();

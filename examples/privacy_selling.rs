@@ -8,9 +8,7 @@
 //! cargo run --release --example privacy_selling
 //! ```
 
-use seccloud::cloudsim::privacy::{
-    counterfactual_public_signature_leak, run_leak_experiment,
-};
+use seccloud::cloudsim::privacy::{counterfactual_public_signature_leak, run_leak_experiment};
 use seccloud::cloudsim::{behavior::Behavior, CloudServer};
 use seccloud::core::storage::DataBlock;
 use seccloud::core::Sio;
@@ -32,9 +30,18 @@ fn main() {
 
     // The "sale": the server hands blocks + designated signatures to a buyer.
     let findings = run_leak_experiment(&sio, &hacked, &startup, da.key());
-    println!("leaked blocks offered for sale : {}", findings.leaked_blocks);
-    println!("designee (DA) can verify them  : {}", findings.designee_can_verify);
-    println!("buyer can verify them          : {}", findings.buyer_can_verify);
+    println!(
+        "leaked blocks offered for sale : {}",
+        findings.leaked_blocks
+    );
+    println!(
+        "designee (DA) can verify them  : {}",
+        findings.designee_can_verify
+    );
+    println!(
+        "buyer can verify them          : {}",
+        findings.buyer_can_verify
+    );
     println!(
         "buyer can tell loot from forgery: {}",
         findings.loot_distinguishable_from_forgery

@@ -19,7 +19,12 @@ fn main() {
     let alice = sio.register("alice@example.com");
     let mut server = CloudServer::new(&sio, "cs-01.cloud.example", Behavior::Honest, b"server");
     let mut agency = DesignatedAgency::new(&sio, "da.audit.example", b"agency");
-    println!("registered: {}, {}, {}", alice.identity(), server.identity(), agency.identity());
+    println!(
+        "registered: {}, {}, {}",
+        alice.identity(),
+        server.identity(),
+        agency.identity()
+    );
 
     // 2. Protocol II — secure storage: sign blocks so only the cloud server
     //    and the agency can authenticate them, then upload.

@@ -74,7 +74,10 @@ fn replayed_root_signature_from_another_request_fails() {
         &commitment,
         &response,
     );
-    assert!(!outcome.root_sig_ok, "Sig(R) is bound to the request digest");
+    assert!(
+        !outcome.root_sig_ok,
+        "Sig(R) is bound to the request digest"
+    );
 }
 
 #[test]

@@ -76,13 +76,15 @@ fn computation_cheater_is_caught_with_full_sampling() {
         .handle_computation(&"alice".to_string(), &request, da.public())
         .unwrap();
     let verdict = da.audit(&server, &job, &user, 16, 0).unwrap();
-    assert!(verdict.detected, "a 50% cheater cannot survive a full audit");
+    assert!(
+        verdict.detected,
+        "a 50% cheater cannot survive a full audit"
+    );
     // All failures must be result failures — the inputs were genuine.
-    assert!(verdict
-        .outcome
-        .failures
-        .iter()
-        .all(|(_, f)| matches!(f, seccloud::core::computation::AuditFailure::WrongResult { .. })));
+    assert!(verdict.outcome.failures.iter().all(|(_, f)| matches!(
+        f,
+        seccloud::core::computation::AuditFailure::WrongResult { .. }
+    )));
 }
 
 #[test]

@@ -61,7 +61,8 @@ fn rpc_and_concurrent_audits_compose() {
     let mut da = DesignatedAgency::new(&sio, "da", b"agency");
 
     // Byte-level path against one server…
-    let mut wire_server = WireServer::new(CloudServer::new(&sio, "cs-wire", Behavior::Honest, b"w"));
+    let mut wire_server =
+        WireServer::new(CloudServer::new(&sio, "cs-wire", Behavior::Honest, b"w"));
     let blocks: Vec<DataBlock> = (0..6u64)
         .map(|i| DataBlock::from_values(i, &[i * 11]))
         .collect();
@@ -73,9 +74,17 @@ fn rpc_and_concurrent_audits_compose() {
     let (job_id, commitment_bytes) = wire_server
         .rpc_compute(user.identity(), da.identity(), &req.to_wire())
         .unwrap();
-    let verdict =
-        audit_over_the_wire(&mut da, &wire_server, &user, &req, job_id, &commitment_bytes, 3, 0)
-            .unwrap();
+    let verdict = audit_over_the_wire(
+        &mut da,
+        &wire_server,
+        &user,
+        &req,
+        job_id,
+        &commitment_bytes,
+        3,
+        0,
+    )
+    .unwrap();
     assert!(!verdict.detected);
 
     // …and the in-memory concurrent path against a cheater + an honest one.
@@ -144,7 +153,6 @@ fn wire_format_survives_the_ate_backend() {
     let cs = sio.register_verifier("cs");
     let block = DataBlock::from_values(0, &[1, 2, 3]);
     let signed = user.sign_block(&block, &[cs.public()], b"nonce");
-    let decoded =
-        seccloud::core::storage::SignedBlock::from_wire(&signed.to_wire()).unwrap();
+    let decoded = seccloud::core::storage::SignedBlock::from_wire(&signed.to_wire()).unwrap();
     assert!(decoded.verify(cs.key(), user.public()));
 }
