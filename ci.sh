@@ -4,10 +4,14 @@
 # Runs the formatting, lint, and tier-1 test gates exactly as the driver
 # does — no network access required (the workspace has zero external
 # dependencies). Usage: ./ci.sh
+#
+# SECCLOUD_TESTKIT_CASES scales the property/fault suites (default 200;
+# a nightly run would use 2000). SECCLOUD_TESTKIT_SEED replays a failure.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
+export SECCLOUD_TESTKIT_CASES="${SECCLOUD_TESTKIT_CASES:-200}"
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -18,5 +22,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
+
+echo "== fault/property suites: serial and 4-thread (${SECCLOUD_TESTKIT_CASES} cases) =="
+SECCLOUD_THREADS=1 cargo test -q --test fault_injection --test wire_roundtrip
+SECCLOUD_THREADS=4 cargo test -q --test fault_injection --test wire_roundtrip
 
 echo "CI OK"

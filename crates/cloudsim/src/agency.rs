@@ -1,12 +1,18 @@
 //! The Designated Agency — the auditor acting on behalf of cloud users
 //! (paper Sections III-B and V-D).
 
-use seccloud_core::computation::{verify_response_parallel, AuditChallenge, AuditOutcome};
+use seccloud_core::computation::{
+    verify_response, verify_response_parallel, AuditChallenge, AuditOutcome, AuditResponse,
+    Commitment, ComputationRequest,
+};
+use seccloud_core::storage::SignedBlock;
 use seccloud_core::warrant::Warrant;
+use seccloud_core::wire::WireMessage;
 use seccloud_core::{CloudUser, Sio, VerifierCredential};
 use seccloud_hash::HmacDrbg;
 use seccloud_ibs::VerifierPublic;
 
+use crate::rpc::{RpcError, WireTransport};
 use crate::server::{CloudServer, JobHandle, ServerError};
 
 /// The result of one delegated audit round.
@@ -207,6 +213,107 @@ impl DesignatedAgency {
             outcome,
             detected,
         })
+    }
+
+    /// Runs one full delegated audit **over a byte-level transport**: the
+    /// commitment, warrant, challenge and response all cross the channel in
+    /// serialized form, so any byte-level fault surfaces here as a typed
+    /// error or a `detected` verdict — never a panic, never a false pass.
+    ///
+    /// The expected server identities come from
+    /// [`WireTransport::peer_verifier`] / [`WireTransport::peer_signer`]
+    /// (PKI-anchored), so a fault-injecting channel cannot substitute its
+    /// own keys.
+    ///
+    /// # Errors
+    ///
+    /// Decode failures ([`RpcError::Malformed`]) and server rejections
+    /// ([`RpcError::Server`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the wire exchange one-to-one
+    pub fn audit_wire(
+        &mut self,
+        transport: &mut impl WireTransport,
+        owner: &CloudUser,
+        request: &ComputationRequest,
+        job_id: u64,
+        commitment_bytes: &[u8],
+        sample_size: usize,
+        now: u64,
+    ) -> Result<AuditVerdict, RpcError> {
+        let commitment = Commitment::from_wire(commitment_bytes)?;
+        let n = request.len();
+        let challenge = self.sample_challenge(n, sample_size.min(n));
+        let peer_verifier = transport.peer_verifier();
+        let warrant = Warrant::issue(
+            owner,
+            self.identity(),
+            now + 1_000,
+            request.digest(),
+            &[&peer_verifier, self.cred.public()],
+        );
+        let response_bytes = transport.rpc_audit(
+            owner.identity(),
+            self.identity(),
+            job_id,
+            &challenge.to_wire(),
+            &warrant.to_wire(),
+            now,
+        )?;
+        let response = AuditResponse::from_wire(&response_bytes)?;
+        let outcome = verify_response(
+            self.cred.key(),
+            owner.public(),
+            &transport.peer_signer(),
+            request,
+            &challenge,
+            &commitment,
+            &response,
+        );
+        let detected = !outcome.is_valid();
+        Ok(AuditVerdict {
+            challenge,
+            outcome,
+            detected,
+        })
+    }
+
+    /// Sampled storage audit **over a byte-level transport**: retrieves each
+    /// challenged block as bytes and re-establishes authenticity from
+    /// scratch — a position is `missing` if the channel returns nothing and
+    /// `invalid` if the bytes fail to decode, carry the wrong index, or
+    /// fail signature verification. A faulty channel can therefore only
+    /// push the verdict toward unhealthy, never toward a false pass.
+    pub fn storage_audit_wire(
+        &mut self,
+        transport: &mut impl WireTransport,
+        owner: &CloudUser,
+        n_blocks: u64,
+        sample_size: usize,
+    ) -> StorageAuditVerdict {
+        let t = (sample_size as u64).min(n_blocks);
+        let positions = self.drbg.sample_distinct(n_blocks, t);
+        let mut missing = Vec::new();
+        let mut invalid = Vec::new();
+        for &pos in &positions {
+            match transport.rpc_retrieve(owner.identity(), pos) {
+                None => missing.push(pos),
+                Some(bytes) => match SignedBlock::from_wire(&bytes) {
+                    Err(_) => invalid.push(pos),
+                    Ok(block) => {
+                        if block.block().index() != pos
+                            || !block.verify(self.cred.key(), owner.public())
+                        {
+                            invalid.push(pos);
+                        }
+                    }
+                },
+            }
+        }
+        StorageAuditVerdict {
+            sampled: positions,
+            missing,
+            invalid,
+        }
     }
 }
 

@@ -5,10 +5,12 @@
 
 use seccloud_core::computation::{ComputationRequest, RequestItem};
 use seccloud_core::storage::SignedBlock;
+use seccloud_core::wire::WireMessage;
 use seccloud_core::{CloudUser, Sio};
 use seccloud_hash::HmacDrbg;
 
 use crate::behavior::Behavior;
+use crate::rpc::RpcError;
 use crate::server::{CloudServer, JobHandle, ServerError};
 
 /// A customized Service Level Agreement governing how the CSP allocates
@@ -190,6 +192,18 @@ impl Csp {
         request: &ComputationRequest,
         auditor: &seccloud_ibs::VerifierPublic,
     ) -> Vec<SubTaskExecution> {
+        self.execute_for_identity(owner.identity(), request, auditor)
+    }
+
+    /// Like [`Csp::execute`] but addressed by owner identity alone — the
+    /// form a byte-level front end uses, since only the identity string
+    /// crosses the wire.
+    pub fn execute_for_identity(
+        &mut self,
+        owner_identity: &str,
+        request: &ComputationRequest,
+        auditor: &seccloud_ibs::VerifierPublic,
+    ) -> Vec<SubTaskExecution> {
         let n = self.servers.len();
         let plan = self.split_request(request);
         // Routing pass (read-only): pick a data-holding server per slice.
@@ -207,14 +221,14 @@ impl Csp {
                 .find(|&idx| {
                     positions
                         .iter()
-                        .all(|&p| self.servers[idx].retrieve(owner.identity(), p).is_some())
+                        .all(|&p| self.servers[idx].retrieve(owner_identity, p).is_some())
                 })
                 .unwrap_or(default_index);
             per_server[server_index].push((slot, slice, item_indices));
         }
         // Dispatch pass: one worker per server, each executing its slices
         // in plan order against its exclusively-borrowed server.
-        let owner_id = owner.identity().to_string();
+        let owner_id = owner_identity.to_string();
         let grouped = seccloud_parallel::parallel_map_mut(&mut self.servers, |i, server| {
             per_server[i]
                 .iter()
@@ -239,6 +253,24 @@ impl Csp {
         out.into_iter()
             .map(|e| e.expect("every slice dispatched"))
             .collect()
+    }
+
+    /// Byte-level front door: decodes a serialized [`ComputationRequest`]
+    /// and dispatches it across the pool. Malformed bytes surface as a
+    /// typed [`RpcError::Malformed`] — never a panic — so a faulty channel
+    /// in front of the CSP degrades to an error, not undefined behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Malformed`] when `request_bytes` fails to decode.
+    pub fn execute_wire(
+        &mut self,
+        owner_identity: &str,
+        request_bytes: &[u8],
+        auditor: &seccloud_ibs::VerifierPublic,
+    ) -> Result<Vec<SubTaskExecution>, RpcError> {
+        let request = ComputationRequest::from_wire(request_bytes)?;
+        Ok(self.execute_for_identity(owner_identity, &request, auditor))
     }
 
     /// Builds the request items for a full-table scan of `positions` with

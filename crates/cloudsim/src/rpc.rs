@@ -7,12 +7,12 @@
 //! [`audit_over_the_wire`]. Every decode failure maps to a typed
 //! [`RpcError`], never a panic.
 
-use seccloud_core::computation::{AuditChallenge, AuditResponse, Commitment, ComputationRequest};
+use seccloud_core::computation::{AuditChallenge, ComputationRequest};
 use seccloud_core::storage::SignedBlock;
 use seccloud_core::warrant::Warrant;
 use seccloud_core::wire::{Reader, WireError, WireMessage, Writer};
 use seccloud_core::CloudUser;
-use seccloud_ibs::UserPublic;
+use seccloud_ibs::{UserPublic, VerifierPublic};
 
 use crate::agency::{AuditVerdict, DesignatedAgency};
 use crate::server::{CloudServer, ServerError};
@@ -49,6 +49,64 @@ impl From<ServerError> for RpcError {
     }
 }
 
+/// The four byte-level endpoints a SecCloud server exposes, as seen from
+/// the client/DA side of the channel.
+///
+/// [`WireServer`] is the direct (faultless) implementation; test harnesses
+/// interpose fault-injecting wrappers that mangle the byte streams while
+/// the protocol logic above stays unchanged. Every method takes `&mut
+/// self` because a real channel has state (and the wrappers do too).
+///
+/// The two `peer_*` accessors return the *expected* identities of the far
+/// end — in a deployment these come from the PKI/SIO, not from the
+/// channel, which is why a fault wrapper cannot forge them.
+pub trait WireTransport {
+    /// `STORE owner_id <blocks…>` — returns the number of blocks accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Malformed`] on any decode failure.
+    fn rpc_store(&mut self, owner_identity: &str, body: &[u8]) -> Result<u64, RpcError>;
+
+    /// `COMPUTE owner_id <request>` — returns `(job_id, commitment bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// Decode failures and server rejections.
+    fn rpc_compute(
+        &mut self,
+        owner_identity: &str,
+        auditor_identity: &str,
+        body: &[u8],
+    ) -> Result<(u64, Vec<u8>), RpcError>;
+
+    /// `AUDIT …` — returns the serialized audit response.
+    ///
+    /// # Errors
+    ///
+    /// Decode failures, warrant rejections, unknown jobs.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire exchange one-to-one
+    fn rpc_audit(
+        &mut self,
+        owner_identity: &str,
+        auditor_identity: &str,
+        job_id: u64,
+        challenge_bytes: &[u8],
+        warrant_bytes: &[u8],
+        now: u64,
+    ) -> Result<Vec<u8>, RpcError>;
+
+    /// `RETRIEVE owner_id position` — one stored block, serialized.
+    fn rpc_retrieve(&mut self, owner_identity: &str, position: u64) -> Option<Vec<u8>>;
+
+    /// The server's expected designated-verifier identity (`Q_CS`),
+    /// anchored in the SIO rather than the channel.
+    fn peer_verifier(&self) -> VerifierPublic;
+
+    /// The server's expected signing identity (verifies `Sig(R)`).
+    fn peer_signer(&self) -> UserPublic;
+}
+
 /// A cloud server exposed through byte-level endpoints.
 pub struct WireServer {
     inner: CloudServer,
@@ -79,8 +137,10 @@ impl WireServer {
     /// [`RpcError::Malformed`] on any decode failure.
     pub fn rpc_store(&mut self, owner_identity: &str, body: &[u8]) -> Result<u64, RpcError> {
         let mut r = Reader::new(body)?;
-        let n = r.take_len()?;
-        let mut blocks = Vec::with_capacity(n.min(1024));
+        // Minimal signed block: index (8) + data len (8) + empty
+        // designation list (8) — caps the declared count before allocating.
+        let n = r.take_len_elems(8 + 8 + 8)?;
+        let mut blocks = Vec::with_capacity(n);
         for _ in 0..n {
             blocks.push(SignedBlock::decode_body(&mut r)?);
         }
@@ -141,6 +201,53 @@ impl WireServer {
     }
 }
 
+impl WireTransport for WireServer {
+    fn rpc_store(&mut self, owner_identity: &str, body: &[u8]) -> Result<u64, RpcError> {
+        WireServer::rpc_store(self, owner_identity, body)
+    }
+
+    fn rpc_compute(
+        &mut self,
+        owner_identity: &str,
+        auditor_identity: &str,
+        body: &[u8],
+    ) -> Result<(u64, Vec<u8>), RpcError> {
+        WireServer::rpc_compute(self, owner_identity, auditor_identity, body)
+    }
+
+    fn rpc_audit(
+        &mut self,
+        owner_identity: &str,
+        auditor_identity: &str,
+        job_id: u64,
+        challenge_bytes: &[u8],
+        warrant_bytes: &[u8],
+        now: u64,
+    ) -> Result<Vec<u8>, RpcError> {
+        WireServer::rpc_audit(
+            self,
+            owner_identity,
+            auditor_identity,
+            job_id,
+            challenge_bytes,
+            warrant_bytes,
+            now,
+        )
+    }
+
+    fn rpc_retrieve(&mut self, owner_identity: &str, position: u64) -> Option<Vec<u8>> {
+        WireServer::rpc_retrieve(self, owner_identity, position)
+    }
+
+    fn peer_verifier(&self) -> VerifierPublic {
+        self.inner.public().clone()
+    }
+
+    fn peer_signer(&self) -> UserPublic {
+        self.inner.signer_public().clone()
+    }
+}
+
 /// Serializes a block upload as the `rpc_store` body.
 pub fn encode_store_body(blocks: &[SignedBlock]) -> Vec<u8> {
     let mut w = Writer::new();
@@ -153,7 +260,9 @@ pub fn encode_store_body(blocks: &[SignedBlock]) -> Vec<u8> {
 
 /// Drives one complete delegated audit **entirely through bytes**: the
 /// request, commitment, warrant, challenge and response all cross the
-/// user↔server↔DA boundaries in serialized form.
+/// user↔server↔DA boundaries in serialized form. Works over any
+/// [`WireTransport`] — the direct [`WireServer`] or a fault-injecting
+/// wrapper around it.
 ///
 /// # Errors
 ///
@@ -161,7 +270,7 @@ pub fn encode_store_body(blocks: &[SignedBlock]) -> Vec<u8> {
 #[allow(clippy::too_many_arguments)] // mirrors the wire-message fields one-to-one
 pub fn audit_over_the_wire(
     da: &mut DesignatedAgency,
-    server: &WireServer,
+    server: &mut impl WireTransport,
     owner: &CloudUser,
     request: &ComputationRequest,
     job_id: u64,
@@ -169,40 +278,15 @@ pub fn audit_over_the_wire(
     sample_size: usize,
     now: u64,
 ) -> Result<AuditVerdict, RpcError> {
-    let commitment = Commitment::from_wire(commitment_bytes)?;
-    let n = request.len();
-    let challenge = da.sample_challenge(n, sample_size.min(n));
-    let warrant = Warrant::issue(
+    da.audit_wire(
+        server,
         owner,
-        da.identity(),
-        now + 1_000,
-        request.digest(),
-        &[server.inner().public(), da.public()],
-    );
-    let response_bytes = server.rpc_audit(
-        owner.identity(),
-        da.identity(),
-        job_id,
-        &challenge.to_wire(),
-        &warrant.to_wire(),
-        now,
-    )?;
-    let response = AuditResponse::from_wire(&response_bytes)?;
-    let outcome = seccloud_core::computation::verify_response(
-        da.credential().key(),
-        owner.public(),
-        server.inner().signer_public(),
         request,
-        &challenge,
-        &commitment,
-        &response,
-    );
-    let detected = !outcome.is_valid();
-    Ok(AuditVerdict {
-        challenge,
-        outcome,
-        detected,
-    })
+        job_id,
+        commitment_bytes,
+        sample_size,
+        now,
+    )
 }
 
 #[cfg(test)]
@@ -255,7 +339,7 @@ mod tests {
             .unwrap();
         let verdict = audit_over_the_wire(
             &mut da,
-            &server,
+            &mut server,
             &user,
             &req,
             job_id,
@@ -280,7 +364,7 @@ mod tests {
             .unwrap();
         let verdict = audit_over_the_wire(
             &mut da,
-            &server,
+            &mut server,
             &user,
             &req,
             job_id,
@@ -334,8 +418,17 @@ mod tests {
         let (_, commitment_bytes) = server
             .rpc_compute(user.identity(), da.identity(), &req.to_wire())
             .unwrap();
-        let err = audit_over_the_wire(&mut da, &server, &user, &req, 999, &commitment_bytes, 1, 0)
-            .unwrap_err();
+        let err = audit_over_the_wire(
+            &mut da,
+            &mut server,
+            &user,
+            &req,
+            999,
+            &commitment_bytes,
+            1,
+            0,
+        )
+        .unwrap_err();
         assert_eq!(err, RpcError::Server(ServerError::UnknownJob));
     }
 

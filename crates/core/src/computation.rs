@@ -210,7 +210,7 @@ impl std::error::Error for CommitError {}
 /// The public commitment the server returns: results `Y`, root `R`, and the
 /// server's designated signature on `R` (paper Section V-C-2: "the cloud
 /// server signs the root R … returns the results Y as well as Sig(R)").
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Commitment {
     /// Claimed results `Y = {yᵢ}`.
     pub results: Vec<u128>,
@@ -344,20 +344,29 @@ impl CommitmentSession {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
-        Some(AuditResponse { items })
+        Some(AuditResponse {
+            nonce: challenge.nonce,
+            items,
+        })
     }
 }
 
-/// The DA's sampling challenge: a subset `S` of sub-task indices.
+/// The DA's sampling challenge: a subset `S` of sub-task indices plus a
+/// fresh nonce binding the response to *this* challenge instance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuditChallenge {
     /// The sampled item indices `c₁ … c_t` (sorted, distinct).
     pub indices: Vec<usize>,
+    /// Freshness nonce echoed by the response; a replayed response for an
+    /// earlier challenge (even one with identical indices) carries the old
+    /// nonce and is rejected.
+    pub nonce: u128,
 }
 
 impl AuditChallenge {
     /// Samples `t` distinct indices out of `n` sub-tasks using the DA's
-    /// DRBG (paper: "picks a random subset S from the domain [1, n]").
+    /// DRBG (paper: "picks a random subset S from the domain [1, n]"),
+    /// together with a fresh replay-protection nonce.
     ///
     /// # Panics
     ///
@@ -368,12 +377,14 @@ impl AuditChallenge {
             .into_iter()
             .map(|v| v as usize)
             .collect();
-        Self { indices }
+        let nonce = u128::from(drbg.next_u64()) << 64 | u128::from(drbg.next_u64());
+        Self { indices, nonce }
     }
 
-    /// A challenge over explicit indices.
+    /// A challenge over explicit indices (nonce 0 — deterministic tests and
+    /// callers that manage freshness themselves).
     pub fn from_indices(indices: Vec<usize>) -> Self {
-        Self { indices }
+        Self { indices, nonce: 0 }
     }
 
     /// The sampling size `t`.
@@ -388,7 +399,7 @@ impl AuditChallenge {
 }
 
 /// Per-item audit response data.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuditItemResponse {
     /// Which sub-task this answers.
     pub item_index: usize,
@@ -402,8 +413,11 @@ pub struct AuditItemResponse {
 }
 
 /// The server's full answer to an audit challenge.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuditResponse {
+    /// Echo of the challenge nonce, binding this response to one challenge
+    /// instance (replay protection).
+    pub nonce: u128,
     /// One entry per challenged index, in challenge order.
     pub items: Vec<AuditItemResponse>,
 }
@@ -412,8 +426,10 @@ pub struct AuditResponse {
 /// shared [`MultiProof`] instead of `t` independent sibling paths. For
 /// adjacent samples this cuts the Merkle portion of the response roughly in
 /// half (see `bin/optimal_t`'s transmission-cost table).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompactAuditResponse {
+    /// Echo of the challenge nonce (replay protection).
+    pub nonce: u128,
     /// Per-item data in challenge order (without per-item paths).
     pub items: Vec<CompactAuditItem>,
     /// One multi-proof covering every challenged leaf.
@@ -421,7 +437,7 @@ pub struct CompactAuditResponse {
 }
 
 /// One item of a [`CompactAuditResponse`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompactAuditItem {
     /// Which sub-task this answers.
     pub item_index: usize,
@@ -447,7 +463,11 @@ impl CommitmentSession {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
-        Some(CompactAuditResponse { items, proof })
+        Some(CompactAuditResponse {
+            nonce: challenge.nonce,
+            items,
+            proof,
+        })
     }
 
     /// The Merkle tree (crate-internal; used by the compact responder).
@@ -469,15 +489,17 @@ pub fn verify_response_compact(
     response: &CompactAuditResponse,
 ) -> AuditOutcome {
     let root_msg = root_signature_message(&commitment.root, &request.digest());
-    let root_sig_ok = commitment
-        .root_sig
-        .verify(auditor, server_signer, &root_msg);
+    let root_sig_ok = commitment.server_identity == server_signer.identity()
+        && commitment
+            .root_sig
+            .verify(auditor, server_signer, &root_msg);
+    let nonce_ok = response.nonce == challenge.nonce;
 
     let mut failures = Vec::new();
     let mut leaves: Vec<(usize, Vec<u8>)> = Vec::with_capacity(challenge.indices.len());
     for (slot, &index) in challenge.indices.iter().enumerate() {
         let item = response.items.get(slot);
-        match check_compact_item(auditor, owner, request, index, item) {
+        match check_compact_item(auditor, owner, request, index, item, commitment) {
             Ok(leaf) => leaves.push((index, leaf)),
             Err(f) => failures.push((index, f)),
         }
@@ -495,6 +517,7 @@ pub fn verify_response_compact(
     }
     AuditOutcome {
         root_sig_ok,
+        nonce_ok,
         failures,
         checked: challenge.indices.len(),
     }
@@ -506,6 +529,7 @@ fn check_compact_item(
     request: &ComputationRequest,
     index: usize,
     item: Option<&CompactAuditItem>,
+    commitment: &Commitment,
 ) -> Result<Vec<u8>, AuditFailure> {
     let Some(item) = item else {
         return Err(AuditFailure::Missing);
@@ -542,6 +566,10 @@ fn check_compact_item(
             claimed: item.claimed_y,
         });
     }
+    // The audited item must agree with the commitment's published Y.
+    if commitment.results.get(index) != Some(&item.claimed_y) {
+        return Err(AuditFailure::CommitmentMismatch);
+    }
     Ok(leaf_bytes(index, &req_item.positions, item.claimed_y))
 }
 
@@ -565,13 +593,19 @@ pub enum AuditFailure {
     },
     /// Root reconstruction failed (`IsRootWrong`).
     BadPath,
+    /// The audited item disagrees with the published commitment results
+    /// (the delivered commitment and response cannot both be genuine).
+    CommitmentMismatch,
 }
 
 /// The outcome of verifying an audit response.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuditOutcome {
-    /// Whether `Sig(R)` verified and matched the commitment root.
+    /// Whether `Sig(R)` verified, matched the commitment root, and the
+    /// commitment names the expected server identity.
     pub root_sig_ok: bool,
+    /// Whether the response echoed this challenge's nonce (replay check).
+    pub nonce_ok: bool,
     /// Per-item failures, `(challenged index, reason)`.
     pub failures: Vec<(usize, AuditFailure)>,
     /// Number of items checked.
@@ -581,7 +615,7 @@ pub struct AuditOutcome {
 impl AuditOutcome {
     /// Algorithm 1's return value: `valid` iff no check failed.
     pub fn is_valid(&self) -> bool {
-        self.root_sig_ok && self.failures.is_empty()
+        self.root_sig_ok && self.nonce_ok && self.failures.is_empty()
     }
 }
 
@@ -601,9 +635,11 @@ pub fn verify_response(
     response: &AuditResponse,
 ) -> AuditOutcome {
     let root_msg = root_signature_message(&commitment.root, &request.digest());
-    let root_sig_ok = commitment
-        .root_sig
-        .verify(auditor, server_signer, &root_msg);
+    let root_sig_ok = commitment.server_identity == server_signer.identity()
+        && commitment
+            .root_sig
+            .verify(auditor, server_signer, &root_msg);
+    let nonce_ok = response.nonce == challenge.nonce;
 
     let mut failures = Vec::new();
     for (slot, &index) in challenge.indices.iter().enumerate() {
@@ -621,6 +657,7 @@ pub fn verify_response(
     }
     AuditOutcome {
         root_sig_ok,
+        nonce_ok,
         failures,
         checked: challenge.indices.len(),
     }
@@ -641,9 +678,11 @@ pub fn verify_response_parallel(
     response: &AuditResponse,
 ) -> AuditOutcome {
     let root_msg = root_signature_message(&commitment.root, &request.digest());
-    let root_sig_ok = commitment
-        .root_sig
-        .verify(auditor, server_signer, &root_msg);
+    let root_sig_ok = commitment.server_identity == server_signer.identity()
+        && commitment
+            .root_sig
+            .verify(auditor, server_signer, &root_msg);
+    let nonce_ok = response.nonce == challenge.nonce;
 
     let verdicts = seccloud_parallel::parallel_map(&challenge.indices, |slot, &index| {
         check_item(
@@ -659,6 +698,7 @@ pub fn verify_response_parallel(
     });
     AuditOutcome {
         root_sig_ok,
+        nonce_ok,
         failures: verdicts.into_iter().flatten().collect(),
         checked: challenge.indices.len(),
     }
@@ -711,6 +751,10 @@ fn check_item(
             claimed: item.claimed_y,
         });
     }
+    // The audited item must agree with the commitment's published Y.
+    if commitment.results.get(index) != Some(&item.claimed_y) {
+        return Err(AuditFailure::CommitmentMismatch);
+    }
     // IsRootWrong: the claimed yᵢ must have been committed before the tree
     // was built.
     let leaf = leaf_bytes(index, &req_item.positions, item.claimed_y);
@@ -735,6 +779,12 @@ pub fn verify_response_batched(
     commitment: &Commitment,
     response: &AuditResponse,
 ) -> bool {
+    if response.nonce != challenge.nonce {
+        return false;
+    }
+    if commitment.server_identity != server_signer.identity() {
+        return false;
+    }
     let mut batch = BatchVerifier::new();
     // Fold Sig(R).
     let root_msg = root_signature_message(&commitment.root, &request.digest());
@@ -769,6 +819,9 @@ pub fn verify_response_batched(
             .flat_map(|b| b.block().values())
             .collect();
         if req_item.function.eval(&values) != item.claimed_y {
+            return false;
+        }
+        if commitment.results.get(index) != Some(&item.claimed_y) {
             return false;
         }
         let leaf = leaf_bytes(index, &req_item.positions, item.claimed_y);

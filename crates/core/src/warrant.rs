@@ -10,7 +10,7 @@ use crate::sio::CloudUser;
 
 /// A signed delegation of audit rights, bound to a specific computation
 /// request and valid until an expiry instant (logical time).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Warrant {
     delegator: String,
     delegatee: String,

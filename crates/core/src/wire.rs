@@ -135,12 +135,18 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.data.len() {
+        let end = self.pos.checked_add(n).ok_or(WireError::LengthOverflow)?;
+        if end > self.data.len() {
             return Err(WireError::Truncated);
         }
-        let out = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
     }
 
     /// Reads one byte.
@@ -165,6 +171,21 @@ impl<'a> Reader<'a> {
             return Err(WireError::LengthOverflow);
         }
         Ok(n as usize)
+    }
+
+    /// Reads a collection length prefix and caps it against the remaining
+    /// input *before* any allocation: a collection of `n` elements, each at
+    /// least `min_elem_bytes` long, cannot be encoded in fewer than
+    /// `n * min_elem_bytes` remaining bytes. A declared length failing that
+    /// bound is a lie (or a truncation) and is rejected here, so decoders
+    /// can `Vec::with_capacity(n)` safely — no allocation bombs from
+    /// hostile length fields.
+    pub fn take_len_elems(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.take_len()?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
     }
 
     /// Reads length-prefixed bytes.
@@ -230,8 +251,9 @@ fn put_designations(w: &mut Writer, items: Vec<(&str, &DesignatedSignature)>) {
 }
 
 fn take_designations(r: &mut Reader<'_>) -> Result<Vec<(String, DesignatedSignature)>, WireError> {
-    let n = r.take_len()?;
-    let mut out = Vec::with_capacity(n.min(1024));
+    // id length prefix (8) + compressed G1 (32) + Gt (384) per entry.
+    let n = r.take_len_elems(8 + 32 + 384)?;
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let id = r.take_str()?;
         out.push((id, take_sig(r)?));
@@ -341,8 +363,8 @@ impl WireMessage for ComputeFunction {
             3 => ComputeFunction::Min,
             4 => ComputeFunction::Count,
             5 | 6 => {
-                let n = r.take_len()?;
-                let mut v = Vec::with_capacity(n.min(1024));
+                let n = r.take_len_elems(8)?;
+                let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
                     v.push(r.take_u64()?);
                 }
@@ -371,12 +393,13 @@ impl WireMessage for ComputationRequest {
     }
 
     fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.take_len()?;
-        let mut items = Vec::with_capacity(n.min(1024));
+        // Function tag (1) + positions length prefix (8) per item.
+        let n = r.take_len_elems(1 + 8)?;
+        let mut items = Vec::with_capacity(n);
         for _ in 0..n {
             let function = ComputeFunction::decode_body(r)?;
-            let np = r.take_len()?;
-            let mut positions = Vec::with_capacity(np.min(1024));
+            let np = r.take_len_elems(8)?;
+            let mut positions = Vec::with_capacity(np);
             for _ in 0..np {
                 positions.push(r.take_u64()?);
             }
@@ -401,8 +424,8 @@ impl WireMessage for Commitment {
     }
 
     fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.take_len()?;
-        let mut results = Vec::with_capacity(n.min(1024));
+        let n = r.take_len_elems(16)?;
+        let mut results = Vec::with_capacity(n);
         for _ in 0..n {
             results.push(r.take_u128()?);
         }
@@ -420,6 +443,7 @@ impl WireMessage for Commitment {
 
 impl WireMessage for AuditChallenge {
     fn encode_body(&self, w: &mut Writer) {
+        w.put_u128(self.nonce);
         w.put_u64(self.indices.len() as u64);
         for i in &self.indices {
             w.put_u64(*i as u64);
@@ -427,12 +451,13 @@ impl WireMessage for AuditChallenge {
     }
 
     fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.take_len()?;
-        let mut indices = Vec::with_capacity(n.min(1024));
+        let nonce = r.take_u128()?;
+        let n = r.take_len_elems(8)?;
+        let mut indices = Vec::with_capacity(n);
         for _ in 0..n {
             indices.push(r.take_u64()? as usize);
         }
-        Ok(AuditChallenge::from_indices(indices))
+        Ok(AuditChallenge { indices, nonce })
     }
 }
 
@@ -448,8 +473,9 @@ impl WireMessage for MerklePath {
 
     fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let leaf_count = r.take_len()?;
-        let n = r.take_len()?;
-        let mut siblings = Vec::with_capacity(n.min(1024));
+        // Node (32) + side byte (1) per sibling.
+        let n = r.take_len_elems(32 + 1)?;
+        let mut siblings = Vec::with_capacity(n);
         for _ in 0..n {
             let node = take_node(r)?;
             let side = match r.take_u8()? {
@@ -465,6 +491,7 @@ impl WireMessage for MerklePath {
 
 impl WireMessage for AuditResponse {
     fn encode_body(&self, w: &mut Writer) {
+        w.put_u128(self.nonce);
         w.put_u64(self.items.len() as u64);
         for item in &self.items {
             w.put_u64(item.item_index as u64);
@@ -478,12 +505,16 @@ impl WireMessage for AuditResponse {
     }
 
     fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.take_len()?;
-        let mut items = Vec::with_capacity(n.min(1024));
+        let nonce = r.take_u128()?;
+        // index (8) + inputs len (8) + claimed_y (16) + path header (16).
+        let n = r.take_len_elems(8 + 8 + 16 + 16)?;
+        let mut items = Vec::with_capacity(n);
         for _ in 0..n {
             let item_index = r.take_u64()? as usize;
-            let nb = r.take_len()?;
-            let mut inputs = Vec::with_capacity(nb.min(1024));
+            // Minimal signed block: index (8) + data len (8) + empty
+            // designation list (8).
+            let nb = r.take_len_elems(8 + 8 + 8)?;
+            let mut inputs = Vec::with_capacity(nb);
             for _ in 0..nb {
                 inputs.push(SignedBlock::decode_body(r)?);
             }
@@ -496,12 +527,13 @@ impl WireMessage for AuditResponse {
                 path,
             });
         }
-        Ok(AuditResponse { items })
+        Ok(AuditResponse { nonce, items })
     }
 }
 
 impl WireMessage for crate::computation::CompactAuditResponse {
     fn encode_body(&self, w: &mut Writer) {
+        w.put_u128(self.nonce);
         w.put_u64(self.items.len() as u64);
         for item in &self.items {
             w.put_u64(item.item_index as u64);
@@ -520,12 +552,14 @@ impl WireMessage for crate::computation::CompactAuditResponse {
     }
 
     fn decode_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.take_len()?;
-        let mut items = Vec::with_capacity(n.min(1024));
+        let nonce = r.take_u128()?;
+        // index (8) + inputs len (8) + claimed_y (16) per item.
+        let n = r.take_len_elems(8 + 8 + 16)?;
+        let mut items = Vec::with_capacity(n);
         for _ in 0..n {
             let item_index = r.take_u64()? as usize;
-            let nb = r.take_len()?;
-            let mut inputs = Vec::with_capacity(nb.min(1024));
+            let nb = r.take_len_elems(8 + 8 + 8)?;
+            let mut inputs = Vec::with_capacity(nb);
             for _ in 0..nb {
                 inputs.push(SignedBlock::decode_body(r)?);
             }
@@ -537,12 +571,13 @@ impl WireMessage for crate::computation::CompactAuditResponse {
             });
         }
         let leaf_count = r.take_len()?;
-        let nn = r.take_len()?;
-        let mut nodes = Vec::with_capacity(nn.min(1024));
+        let nn = r.take_len_elems(32)?;
+        let mut nodes = Vec::with_capacity(nn);
         for _ in 0..nn {
             nodes.push(take_node(r)?);
         }
         Ok(crate::computation::CompactAuditResponse {
+            nonce,
             items,
             proof: seccloud_merkle::MultiProof::from_parts(nodes, leaf_count),
         })

@@ -1,0 +1,296 @@
+//! A minimal property-test runner with byte-level shrinking.
+//!
+//! [`forall`] runs a property over values produced by a tape-driven
+//! generator. Each case fills a fresh [`Tape`] from a seed-forked
+//! [`HmacDrbg`]; on failure the runner shrinks the *tape* (truncating and
+//! zeroing byte ranges), re-generating the value after every candidate
+//! edit, and reports the minimal failing input together with the seed and
+//! case index that reproduce it exactly.
+//!
+//! Environment knobs:
+//!
+//! * `SECCLOUD_TESTKIT_CASES` — cases per property (default 200);
+//! * `SECCLOUD_TESTKIT_SEED` — base seed (default 0), printed on failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use seccloud_hash::HmacDrbg;
+
+use crate::tape::Tape;
+
+/// Runner configuration; [`Config::from_env`] reads the standard knobs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases per property.
+    pub cases: usize,
+    /// Base seed mixed into every case's tape.
+    pub seed: u64,
+    /// Bytes of tape per case.
+    pub tape_len: usize,
+    /// Maximum shrink candidates tried after a failure.
+    pub max_shrink_iters: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 200,
+            seed: 0,
+            tape_len: 1024,
+            max_shrink_iters: 2_000,
+        }
+    }
+}
+
+impl Config {
+    /// Reads `SECCLOUD_TESTKIT_CASES` / `SECCLOUD_TESTKIT_SEED`.
+    pub fn from_env() -> Self {
+        Self {
+            cases: cases_from_env(),
+            seed: seed_from_env(),
+            ..Self::default()
+        }
+    }
+}
+
+/// The `SECCLOUD_TESTKIT_CASES` knob (default 200).
+pub fn cases_from_env() -> usize {
+    std::env::var("SECCLOUD_TESTKIT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// The `SECCLOUD_TESTKIT_SEED` knob (default 0).
+pub fn seed_from_env() -> u64 {
+    std::env::var("SECCLOUD_TESTKIT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// How one property evaluation ended.
+enum Eval {
+    Pass,
+    Fail(String),
+}
+
+fn evaluate<T, G, P>(tape_bytes: &[u8], gen: &G, prop: &P) -> Eval
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut Tape) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut tape = Tape::new(tape_bytes.to_vec());
+        let value = gen(&mut tape);
+        prop(&value)
+    }));
+    match outcome {
+        Ok(Ok(())) => Eval::Pass,
+        Ok(Err(msg)) => Eval::Fail(msg),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Eval::Fail(format!("property panicked: {msg}"))
+        }
+    }
+}
+
+/// Shrinks a failing tape: repeatedly tries truncations, zeroed ranges and
+/// halved bytes, keeping any edit that still fails the property.
+fn shrink<T, G, P>(mut tape: Vec<u8>, gen: &G, prop: &P, budget: usize) -> (Vec<u8>, String)
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut Tape) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut last_msg = match evaluate(&tape, gen, prop) {
+        Eval::Fail(m) => m,
+        Eval::Pass => unreachable!("shrink called on a passing tape"),
+    };
+    let mut iters = 0;
+    let mut progress = true;
+    while progress && iters < budget {
+        progress = false;
+        // Truncations: aggressive first (half), then chip off the tail.
+        let mut candidates: Vec<Vec<u8>> = Vec::new();
+        if !tape.is_empty() {
+            candidates.push(tape[..tape.len() / 2].to_vec());
+            candidates.push(tape[..tape.len() - 1].to_vec());
+        }
+        // Zero out each quarter of the tape.
+        let quarter = (tape.len() / 4).max(1);
+        let mut start = 0;
+        while start < tape.len() {
+            let end = (start + quarter).min(tape.len());
+            if tape[start..end].iter().any(|&b| b != 0) {
+                let mut c = tape.clone();
+                c[start..end].iter_mut().for_each(|b| *b = 0);
+                candidates.push(c);
+            }
+            start = end;
+        }
+        // Halve every nonzero byte (drives lengths and indices toward 0).
+        if tape.iter().any(|&b| b > 1) {
+            candidates.push(tape.iter().map(|&b| b / 2).collect());
+        }
+        for cand in candidates {
+            iters += 1;
+            if iters > budget {
+                break;
+            }
+            if let Eval::Fail(msg) = evaluate(&cand, gen, prop) {
+                tape = cand;
+                last_msg = msg;
+                progress = true;
+                break;
+            }
+        }
+    }
+    (tape, last_msg)
+}
+
+/// Checks `prop` over `cfg.cases` generated values, shrinking failures.
+///
+/// # Panics
+///
+/// Panics with a reproduction report (property name, seed, case index,
+/// minimal tape and value) if any case fails.
+pub fn forall_with<T, G, P>(name: &str, cfg: &Config, gen: G, prop: P)
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut Tape) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let mut drbg = HmacDrbg::new(
+            format!("seccloud-testkit/{name}/{seed}/{case}", seed = cfg.seed).as_bytes(),
+        );
+        let tape = Tape::from_drbg(&mut drbg, cfg.tape_len);
+        if let Eval::Fail(first_msg) = evaluate(tape.data(), &gen, &prop) {
+            let (minimal, msg) = shrink(tape.data().to_vec(), &gen, &prop, cfg.max_shrink_iters);
+            let mut t = Tape::new(minimal.clone());
+            let value = gen(&mut t);
+            panic!(
+                "property `{name}` failed\n\
+                 seed: {seed} (rerun with SECCLOUD_TESTKIT_SEED={seed})\n\
+                 case: {case}/{cases}\n\
+                 original failure: {first_msg}\n\
+                 minimal failure:  {msg}\n\
+                 minimal tape ({len} bytes): {head:?}…\n\
+                 minimal value: {value:?}",
+                seed = cfg.seed,
+                cases = cfg.cases,
+                len = minimal.len(),
+                head = &minimal[..minimal.len().min(32)],
+            );
+        }
+    }
+}
+
+/// [`forall_with`] under [`Config::from_env`].
+pub fn forall<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut Tape) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    forall_with(name, &Config::from_env(), gen, prop);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config {
+            cases: 50,
+            ..Config::default()
+        };
+        forall_with("u64-is-u64", &cfg, |t| t.next_u64(), |_| Ok(()));
+    }
+
+    #[test]
+    fn failing_property_is_caught_and_shrunk() {
+        let cfg = Config {
+            cases: 50,
+            ..Config::default()
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            forall_with(
+                "no-large-values",
+                &cfg,
+                |t| t.next_u64(),
+                |v| {
+                    if *v < 1_000 {
+                        Ok(())
+                    } else {
+                        Err(format!("{v} too large"))
+                    }
+                },
+            );
+        }));
+        let msg = match caught {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("string panic payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("no-large-values"), "{msg}");
+        assert!(msg.contains("SECCLOUD_TESTKIT_SEED=0"), "{msg}");
+        assert!(msg.contains("minimal"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_becomes_a_report() {
+        let cfg = Config {
+            cases: 5,
+            ..Config::default()
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            forall_with(
+                "prop-panics",
+                &cfg,
+                |t| t.next_u8(),
+                |_| -> Result<(), String> { panic!("boom") },
+            );
+        }));
+        let msg = match caught {
+            Err(p) => p.downcast_ref::<String>().cloned().expect("string payload"),
+            Ok(()) => panic!("should fail"),
+        };
+        assert!(msg.contains("property panicked: boom"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_reaches_a_boundary_case() {
+        // The minimal failing u64 for `v < 1000` should shrink to a small
+        // tape whose value is still ≥ 1000 — all-zero bytes except the few
+        // needed to stay past the boundary.
+        let cfg = Config {
+            cases: 10,
+            ..Config::default()
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            forall_with(
+                "boundary",
+                &cfg,
+                |t| t.next_u64(),
+                |v| {
+                    if *v < 1_000 {
+                        Ok(())
+                    } else {
+                        Err("big".into())
+                    }
+                },
+            );
+        }));
+        assert!(caught.is_err());
+    }
+}

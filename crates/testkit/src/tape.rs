@@ -1,0 +1,109 @@
+//! The random tape generators draw from.
+//!
+//! A [`Tape`] is a finite byte string with a cursor. Generators consume it
+//! front to back; once exhausted, every further draw returns zero. That
+//! convention is what makes byte-level shrinking sound: *any* prefix (or
+//! zeroed-out variant) of a tape is itself a valid tape, and shorter/more
+//! zeroed tapes produce structurally smaller values.
+
+use seccloud_hash::HmacDrbg;
+
+/// A byte tape with a cursor; draws past the end yield zeros.
+#[derive(Clone, Debug)]
+pub struct Tape {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Tape {
+    /// Wraps an explicit byte string.
+    pub fn new(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Fills a fresh tape of `len` bytes from `drbg`.
+    pub fn from_drbg(drbg: &mut HmacDrbg, len: usize) -> Self {
+        Self::new(drbg.next_bytes(len))
+    }
+
+    /// The backing bytes (shrinkers rewrite these).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// How many bytes have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos.min(self.data.len())
+    }
+
+    /// One byte (0 when exhausted).
+    pub fn next_u8(&mut self) -> u8 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// A big-endian `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut v = 0u64;
+        for _ in 0..8 {
+            v = (v << 8) | u64::from(self.next_u8());
+        }
+        v
+    }
+
+    /// A big-endian `u128`.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// A value in `0..bound` (`0` when `bound == 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+
+    /// A boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u8() & 1 == 1
+    }
+
+    /// `n` raw bytes (zero-padded when exhausted).
+    pub fn next_bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_u8()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_prefix_stable() {
+        let mut a = Tape::new(vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = Tape::new(vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exhausted_tape_yields_zeros() {
+        let mut t = Tape::new(vec![0xff]);
+        assert_eq!(t.next_u8(), 0xff);
+        assert_eq!(t.next_u64(), 0);
+        assert_eq!(t.next_below(100), 0);
+        assert!(!t.next_bool());
+        assert_eq!(t.consumed(), 1);
+    }
+
+    #[test]
+    fn drbg_tapes_are_seed_deterministic() {
+        let mut d1 = HmacDrbg::new(b"tape");
+        let mut d2 = HmacDrbg::new(b"tape");
+        assert_eq!(
+            Tape::from_drbg(&mut d1, 64).data(),
+            Tape::from_drbg(&mut d2, 64).data()
+        );
+    }
+}

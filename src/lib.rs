@@ -19,6 +19,8 @@
 //!   analysis (Fig. 4, Theorem 3).
 //! * [`cloudsim`] — a simulated cloud (CSP, servers, adversaries, DA) to run
 //!   the protocol end-to-end.
+//! * [`testkit`] — deterministic fault injection over the wire endpoints
+//!   plus a seed-replayable property-test runner with shrinking.
 //!
 //! # Quickstart
 //!
@@ -43,3 +45,4 @@ pub use seccloud_hash as hash;
 pub use seccloud_ibs as ibs;
 pub use seccloud_merkle as merkle;
 pub use seccloud_pairing as pairing;
+pub use seccloud_testkit as testkit;

@@ -76,7 +76,7 @@ fn rpc_and_concurrent_audits_compose() {
         .unwrap();
     let verdict = audit_over_the_wire(
         &mut da,
-        &wire_server,
+        &mut wire_server,
         &user,
         &req,
         job_id,
