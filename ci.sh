@@ -19,6 +19,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== seccloud-lint (panic-freedom / secret hygiene / constant-time) =="
+cargo run --release -p analyzer --bin seccloud-lint
+
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q

@@ -1,0 +1,91 @@
+//! The `seccloud-lint` binary — the workspace's static-analysis gate.
+//!
+//! ```text
+//! seccloud-lint [--baseline] [PATH]
+//! ```
+//!
+//! * With no `PATH`: lints the workspace rooted at the current directory
+//!   with path-scoped rules (what `ci.sh` runs).
+//! * With a directory `PATH`: same, rooted there.
+//! * With a file `PATH`: lints that one file with **all** rules enabled
+//!   (used by the fixture self-tests and for spot checks).
+//! * `--baseline`: prints machine-readable JSON `(rule, file, line,
+//!   message)` instead of the human report and always exits 0, so future
+//!   PRs can record and diff findings.
+//!
+//! Exit status: 0 when clean (or `--baseline`), 1 on findings, 2 on usage
+//! or I/O errors.
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use analyzer::{lint_single_file, lint_workspace, render_json, Report};
+
+fn main() -> ExitCode {
+    let mut baseline = false;
+    let mut target: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--baseline" => baseline = true,
+            "--help" | "-h" => {
+                eprintln!("usage: seccloud-lint [--baseline] [PATH]");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("seccloud-lint: unknown flag {arg}");
+                return ExitCode::from(2);
+            }
+            _ if target.is_none() => target = Some(arg),
+            _ => {
+                eprintln!("seccloud-lint: at most one PATH accepted");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let path = target.unwrap_or_else(|| ".".to_string());
+    let path = Path::new(&path);
+    let result = if path.is_file() {
+        lint_single_file(path)
+    } else {
+        lint_workspace(path)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("seccloud-lint: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if baseline {
+        print!("{}", render_json(&report));
+        return ExitCode::SUCCESS;
+    }
+
+    render_human(&report);
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_human(report: &Report) {
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if !report.allowances.is_empty() {
+        println!("-- allowances ({}) --", report.allowances.len());
+        for a in &report.allowances {
+            println!("{}:{}: [{}] allowed: {}", a.file, a.line, a.rule, a.reason);
+        }
+    }
+    println!(
+        "seccloud-lint: {} file(s), {} finding(s), {} allowance(s)",
+        report.files,
+        report.findings.len(),
+        report.allowances.len()
+    );
+}

@@ -1,0 +1,472 @@
+//! A lightweight, dependency-free Rust lexer.
+//!
+//! The lint rules only need *token-level* structure: identifiers, literals,
+//! punctuation and — crucially — a faithful separation of comments and
+//! string literals from code, so that `unwrap` inside a doc example or an
+//! error message never trips a rule. This is deliberately not a parser
+//! (no `syn`, per the workspace's zero-dependency rule); every rule is
+//! written against the token stream plus a few structural scans
+//! (brace matching, attribute recognition).
+//!
+//! Handled: line comments, nested block comments, string/byte-string
+//! literals with escapes, raw strings `r#".."#` with any number of hashes,
+//! raw identifiers `r#fn`, char and byte-char literals, lifetimes, numeric
+//! literals, and joined multi-character operators (`==`, `!=`, `&&`, …).
+
+/// The coarse classification of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `unsafe`, …).
+    Ident,
+    /// Numeric literal (`42`, `0xff`, `1.5e3`).
+    Number,
+    /// String, byte-string or raw-string literal.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'static`).
+    Lifetime,
+    /// Punctuation, with common multi-character operators joined.
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text (for `Str`, the quotes are included).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its span and text.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// 1-based line on which the comment ends (differs for block comments).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// Lexes `src` into (tokens, comments). Never fails: unexpected bytes are
+/// emitted as single-character `Punct` tokens, and unterminated literals
+/// simply run to end-of-file — for a linter, graceful degradation beats
+/// rejection.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+/// Multi-character operators joined into single `Punct` tokens, longest
+/// first so greedy matching is correct.
+const JOINED: [&str; 25] = [
+    "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "//",
+];
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            toks: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == 'r' && self.raw_string_ahead(1) {
+                let s = self.raw_string(1);
+                self.push(TokKind::Str, s, line);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_ahead(2) {
+                let s = self.raw_string(2);
+                self.push(TokKind::Str, s, line);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.bump();
+                let s = self.string();
+                self.push(TokKind::Str, format!("b{s}"), line);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump();
+                let s = self.char_literal();
+                self.push(TokKind::Char, format!("b{s}"), line);
+            } else if c == 'r' && self.peek(1) == Some('#') && self.ident_start_at(2) {
+                // Raw identifier `r#fn`.
+                self.bump();
+                self.bump();
+                let id = self.ident();
+                self.push(TokKind::Ident, id, line);
+            } else if c == '"' {
+                let s = self.string();
+                self.push(TokKind::Str, s, line);
+            } else if c == '\'' {
+                self.quote_token(line);
+            } else if c.is_ascii_digit() {
+                let n = self.number();
+                self.push(TokKind::Number, n, line);
+            } else if c == '_' || c.is_alphabetic() {
+                let id = self.ident();
+                self.push(TokKind::Ident, id, line);
+            } else {
+                self.punct(line);
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Is `r` (at offset-1 hashes) the start of a raw string: `#*"`?
+    fn raw_string_ahead(&self, mut at: usize) -> bool {
+        while self.peek(at) == Some('#') {
+            at += 1;
+        }
+        self.peek(at) == Some('"')
+    }
+
+    fn ident_start_at(&self, at: usize) -> bool {
+        self.peek(at).is_some_and(|c| c == '_' || c.is_alphabetic())
+    }
+
+    /// Consumes `r#*"…"#*` (with `prefix` chars before the hashes: 1 for
+    /// `r`, 2 for `br`) and returns the full text.
+    fn raw_string(&mut self, prefix: usize) -> String {
+        let mut text = String::new();
+        for _ in 0..prefix {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if let Some(c) = self.bump() {
+            text.push(c); // opening quote
+        }
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        text.push('#');
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a `"…"` string with escapes; returns text with quotes.
+    fn string(&mut self) -> String {
+        let mut text = String::new();
+        if let Some(c) = self.bump() {
+            text.push(c);
+        }
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes a `'…'` char literal (opening quote still pending).
+    fn char_literal(&mut self) -> String {
+        let mut text = String::new();
+        if let Some(c) = self.bump() {
+            text.push(c); // opening quote
+        }
+        match self.bump() {
+            None => return text,
+            Some('\\') => {
+                text.push('\\');
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            }
+            Some(c) => text.push(c),
+        }
+        // Consume to the closing quote (handles multi-char escapes like
+        // `'\u{1F600}'`).
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\'' {
+                break;
+            }
+        }
+        text
+    }
+
+    /// A `'` is a char literal or a lifetime; disambiguate by lookahead.
+    fn quote_token(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphabetic() => after != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // the quote
+            let id = self.ident();
+            self.push(TokKind::Lifetime, format!("'{id}"), line);
+        } else {
+            let s = self.char_literal();
+            self.push(TokKind::Char, s, line);
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut id = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                id.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        id
+    }
+
+    fn number(&mut self) -> String {
+        let mut n = String::new();
+        while let Some(c) = self.peek(0) {
+            // A `.` joins the number only as a decimal point (digit follows,
+            // none seen yet) — `0..10` stays a number plus a range operator.
+            let part_of_number = c == '_'
+                || c.is_alphanumeric()
+                || (c == '.'
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    && !n.contains('.'));
+            if !part_of_number {
+                break;
+            }
+            n.push(c);
+            self.bump();
+        }
+        n
+    }
+
+    fn punct(&mut self, line: u32) {
+        for op in JOINED {
+            let len = op.chars().count();
+            if (0..len).all(|i| self.peek(i) == op.chars().nth(i)) {
+                for _ in 0..len {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, op.to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).0.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_tokens() {
+        let (toks, comments) = lex("let x = \"unwrap()\"; // a.unwrap() here\n/* panic! */ y");
+        assert!(toks.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("unwrap"));
+        assert!(comments[1].text.contains("panic"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner */ still comment */ token");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "token");
+        assert!(comments[0].text.contains("still comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = texts(r####"let s = r#"has "quotes" and // slashes"# ;"####);
+        assert!(toks.contains(&"s".to_string()));
+        assert!(toks.iter().any(|t| t.contains("slashes")));
+        assert_eq!(toks.last().map(String::as_str), Some(";"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let (toks, _) = lex(r###"f(b"bytes", br#"raw"#, b'x')"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'z'; let e = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn joined_operators() {
+        let toks = texts("a == b != c && d || e :: f -> g => h .. i ..= j");
+        for op in ["==", "!=", "&&", "||", "::", "->", "=>", "..", "..="] {
+            assert!(toks.contains(&op.to_string()), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let (toks, comments) = lex("a\nb /* x\ny */ c\n// tail\nd");
+        let find = |s: &str| toks.iter().find(|t| t.text == s).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(2));
+        assert_eq!(find("c"), Some(3));
+        assert_eq!(find("d"), Some(5));
+        assert_eq!(comments[0].line, 2);
+        assert_eq!(comments[0].end_line, 3);
+        assert_eq!(comments[1].line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let (toks, _) = lex("let r#fn = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "fn"));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_hex() {
+        let (toks, _) = lex("0xff 1_000 1.5e3 0..10");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(nums.contains(&"0xff".to_string()));
+        assert!(nums.contains(&"1_000".to_string()));
+        assert!(nums.contains(&"1.5e3".to_string()));
+        // `0..10` must lex as number, range op, number — not a float.
+        assert!(toks.iter().any(|t| t.text == ".."));
+    }
+}

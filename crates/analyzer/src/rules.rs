@@ -1,0 +1,972 @@
+//! The lint rules and the annotation grammar.
+//!
+//! Four rule families (see `DESIGN.md` §9 for the rationale):
+//!
+//! * [`RULE_PANIC`] — no `.unwrap()` / `.expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in protocol-path code.
+//! * [`RULE_INDEX`] — no bare index/slice expressions in wire-decode paths.
+//! * [`RULE_SECRET`] — `// lint: secret` types must not derive
+//!   `Debug`/`Serialize`, must implement `Drop` (zeroize-on-drop), and must
+//!   never appear inside a `format!`-family macro invocation.
+//! * [`RULE_CT`] — no `==` / `!=` on digest/tag/MAC/root operands in
+//!   verification code; use `seccloud_hash::ct_eq`.
+//! * [`RULE_UNSAFE`] — every crate root carries `#![forbid(unsafe_code)]`
+//!   (except `crates/parallel`), and every `unsafe` keyword is preceded by
+//!   a `// SAFETY:` comment.
+//!
+//! # Annotation grammar
+//!
+//! * `// lint: allow(<rule>, reason=<free text>)` — suppresses `<rule>` on
+//!   the same line and the next line; the reason is mandatory and surfaced
+//!   in the lint summary.
+//! * `// lint: secret` — marks the next `struct`/`enum` as secret material.
+//!
+//! Any other `lint:` comment is itself reported (rule `annotation`), so a
+//! typo'd escape hatch can never silently disable a rule.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Rule id: panic-freedom in protocol paths.
+pub const RULE_PANIC: &str = "panic";
+/// Rule id: no bare indexing in decode paths.
+pub const RULE_INDEX: &str = "index";
+/// Rule id: secret hygiene.
+pub const RULE_SECRET: &str = "secret";
+/// Rule id: constant-time discipline.
+pub const RULE_CT: &str = "ct";
+/// Rule id: unsafe audit.
+pub const RULE_UNSAFE: &str = "unsafe";
+/// Rule id: malformed `lint:` annotations.
+pub const RULE_ANNOTATION: &str = "annotation";
+
+/// One finding: a rule violation at a location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired (one of the `RULE_*` ids).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One use of the `// lint: allow(...)` escape hatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allowance {
+    /// The rule being allowed.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+    /// The mandatory reason string.
+    pub reason: String,
+}
+
+/// The result of linting a set of files.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Escape-hatch uses, sorted by (file, line).
+    pub allowances: Vec<Allowance>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+/// Protocol-path prefixes for [`RULE_PANIC`].
+const PANIC_SCOPE: [&str; 3] = [
+    "crates/core/src/",
+    "crates/cloudsim/src/",
+    "crates/ibs/src/",
+];
+
+/// Verification-code prefixes for [`RULE_CT`].
+const CT_SCOPE: [&str; 5] = [
+    "crates/core/src/",
+    "crates/cloudsim/src/",
+    "crates/ibs/src/",
+    "crates/merkle/src/",
+    "crates/hash/src/",
+];
+
+/// Decode-path files for [`RULE_INDEX`].
+const INDEX_SCOPE: [&str; 1] = ["crates/core/src/wire.rs"];
+
+/// Identifier segments that mark a comparison operand as digest-like.
+const CT_SEGMENTS: [&str; 5] = ["digest", "tag", "mac", "hmac", "root"];
+
+/// Macros that panic when reached.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Macros whose arguments are formatted — a secret type name appearing in
+/// one of these is a leak vector.
+const FORMAT_MACROS: [&str; 18] = [
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// A lexed file plus the structural facts rules need.
+struct FileCtx {
+    path: String,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+    /// Lines inside `#[cfg(test)]` / `#[test]` items.
+    test_lines: HashSet<u32>,
+    /// rule → lines on which it is allowed.
+    allows: HashMap<String, HashSet<u32>>,
+    /// Lines whose vicinity carries a `SAFETY:` comment.
+    safety_lines: HashSet<u32>,
+}
+
+/// A type marked `// lint: secret`.
+struct SecretType {
+    name: String,
+    file: String,
+    line: u32,
+    derives: Vec<String>,
+}
+
+/// Lints `(path, source)` pairs. With `all_rules` set, every scoped rule
+/// applies to every file regardless of its path (single-file / fixture
+/// mode); otherwise rules apply only inside their workspace scopes.
+pub fn lint_files(inputs: &[(String, String)], all_rules: bool) -> Report {
+    let mut report = Report {
+        files: inputs.len(),
+        ..Report::default()
+    };
+    let mut ctxs = Vec::with_capacity(inputs.len());
+    for (path, src) in inputs {
+        let (toks, comments) = lex(src);
+        let test_lines = test_item_lines(&toks);
+        let (allows, safety_lines, annotation_findings, allowances) =
+            parse_annotations(path, &comments);
+        report.findings.extend(annotation_findings);
+        report.allowances.extend(allowances);
+        ctxs.push(FileCtx {
+            path: path.replace('\\', "/"),
+            toks,
+            comments,
+            test_lines,
+            allows,
+            safety_lines,
+        });
+    }
+
+    // Secret types are collected across every file first: the marker, the
+    // `impl Drop`, and a leaking `format!` may live in different files.
+    let secrets: Vec<SecretType> = ctxs.iter().flat_map(collect_secret_types).collect();
+
+    for ctx in &ctxs {
+        check_panic(ctx, all_rules, &mut report);
+        check_index(ctx, all_rules, &mut report);
+        check_ct(ctx, all_rules, &mut report);
+        check_unsafe(ctx, all_rules, &mut report);
+        check_secret_leaks(ctx, &secrets, &mut report);
+    }
+    check_secret_types(&ctxs, &secrets, &mut report);
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+        .allowances
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+// --- annotations ----------------------------------------------------------
+
+type ParsedAnnotations = (
+    HashMap<String, HashSet<u32>>,
+    HashSet<u32>,
+    Vec<Finding>,
+    Vec<Allowance>,
+);
+
+/// Parses `lint:` and `SAFETY:` comments.
+///
+/// An `allow` annotation covers its own line (trailing-comment form) and
+/// the immediately following line (standalone-comment form).
+fn parse_annotations(path: &str, comments: &[Comment]) -> ParsedAnnotations {
+    let mut allows: HashMap<String, HashSet<u32>> = HashMap::new();
+    let mut safety = HashSet::new();
+    let mut findings = Vec::new();
+    let mut allowances = Vec::new();
+    for c in comments {
+        if c.text.contains("SAFETY:") {
+            // A SAFETY comment blesses the unsafe block on the following
+            // few lines.
+            for l in c.line..=c.end_line + 3 {
+                safety.insert(l);
+            }
+        }
+        let Some(rest) = c.text.trim().strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "secret" {
+            continue; // handled by collect_secret_types
+        }
+        match parse_allow(rest) {
+            Some((rule, reason)) => {
+                let entry = allows.entry(rule.clone()).or_default();
+                entry.insert(c.line);
+                entry.insert(c.end_line + 1);
+                allowances.push(Allowance {
+                    rule,
+                    file: path.to_string(),
+                    line: c.line,
+                    reason,
+                });
+            }
+            None => findings.push(Finding {
+                rule: RULE_ANNOTATION,
+                file: path.to_string(),
+                line: c.line,
+                message: format!(
+                    "malformed lint annotation `{}` — expected \
+                     `lint: allow(<rule>, reason=<text>)` or `lint: secret`",
+                    c.text.trim()
+                ),
+            }),
+        }
+    }
+    (allows, safety, findings, allowances)
+}
+
+/// Parses `allow(<rule>, reason=<text>)`; the reason is mandatory.
+fn parse_allow(s: &str) -> Option<(String, String)> {
+    let body = s.strip_prefix("allow(")?.strip_suffix(')')?;
+    let (rule, reason) = body.split_once(',')?;
+    let reason = reason.trim().strip_prefix("reason=")?.trim();
+    let rule = rule.trim();
+    let known = [RULE_PANIC, RULE_INDEX, RULE_SECRET, RULE_CT, RULE_UNSAFE];
+    if rule.is_empty() || reason.is_empty() || !known.contains(&rule) {
+        return None;
+    }
+    Some((rule.to_string(), reason.to_string()))
+}
+
+fn allowed(ctx: &FileCtx, rule: &str, line: u32) -> bool {
+    ctx.allows.get(rule).is_some_and(|s| s.contains(&line))
+}
+
+// --- test-code detection --------------------------------------------------
+
+/// Lines belonging to `#[cfg(test)]` / `#[test]` items (the brace-matched
+/// body of the `mod`/`fn`/`impl` that follows the attribute). Test code
+/// may unwrap freely — a failing test *should* panic.
+fn test_item_lines(toks: &[Tok]) -> HashSet<u32> {
+    let mut lines = HashSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (attr_toks, after) = attribute_span(toks, i);
+            // `#[test]` / `#[cfg(test)]` / `#[cfg(all(test, …))]` — but not
+            // `#[cfg(not(test))]`, which guards *production* code.
+            let is_test_attr = attr_toks.iter().any(|t| t.text == "test")
+                && !attr_toks.iter().any(|t| t.text == "not");
+            if is_test_attr {
+                // Skip any further attributes, then brace-match the item.
+                let mut j = after;
+                while j < toks.len()
+                    && toks[j].text == "#"
+                    && toks.get(j + 1).is_some_and(|t| t.text == "[")
+                {
+                    j = attribute_span(toks, j).1;
+                }
+                if let Some((open, close)) = item_body(toks, j) {
+                    for l in toks[open].line..=toks[close].line {
+                        lines.insert(l);
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Returns the tokens inside `#[...]` starting at `start` (which must point
+/// at `#`), and the index just past the closing `]`.
+fn attribute_span(toks: &[Tok], start: usize) -> (&[Tok], usize) {
+    let mut depth = 0usize;
+    let mut i = start + 1;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (&toks[start + 2..i], i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (&toks[start + 1..], toks.len())
+}
+
+/// From `start`, finds the item's `{ … }` body: scans to the first `{` at
+/// nesting depth zero (aborting at a top-level `;`, e.g. `mod m;`), then
+/// brace-matches. Returns (open index, close index).
+fn item_body(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
+    let mut i = start;
+    let mut paren = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            ";" if paren == 0 => return None,
+            "{" if paren == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((open, toks.len() - 1))
+}
+
+// --- rule: panic-freedom --------------------------------------------------
+
+fn in_scope(path: &str, scope: &[&str], all_rules: bool) -> bool {
+    all_rules || scope.iter().any(|p| path.starts_with(p) || path == *p)
+}
+
+fn check_panic(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
+    if !in_scope(&ctx.path, &PANIC_SCOPE, all_rules) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.test_lines.contains(&t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" => (prev == Some(".") || prev == Some("::")) && next == Some("("),
+            m if PANIC_MACROS.contains(&m) => next == Some("!"),
+            _ => false,
+        };
+        if !hit {
+            continue;
+        }
+        if allowed(ctx, RULE_PANIC, t.line) {
+            continue;
+        }
+        let what = if next == Some("!") {
+            format!("{}!", t.text)
+        } else {
+            format!(".{}()", t.text)
+        };
+        report.findings.push(Finding {
+            rule: RULE_PANIC,
+            file: ctx.path.clone(),
+            line: t.line,
+            message: format!(
+                "{what} in protocol path — return the typed error instead, or annotate \
+                 `// lint: allow(panic, reason=...)`"
+            ),
+        });
+    }
+}
+
+// --- rule: bare indexing in decode paths ----------------------------------
+
+fn check_index(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
+    if !in_scope(&ctx.path, &INDEX_SCOPE, all_rules) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "[" || ctx.test_lines.contains(&t.line) {
+            continue;
+        }
+        // Postfix position: the previous token ends an expression.
+        let postfix = i.checked_sub(1).is_some_and(|p| {
+            let prev = &toks[p];
+            matches!(prev.kind, TokKind::Ident | TokKind::Number | TokKind::Str)
+                || matches!(prev.text.as_str(), ")" | "]" | "?")
+        });
+        // `foo!["…"]` and `#[attr]` are not index expressions.
+        let macro_or_attr = i
+            .checked_sub(1)
+            .is_some_and(|p| matches!(toks[p].text.as_str(), "!" | "#"));
+        if !postfix || macro_or_attr {
+            continue;
+        }
+        if allowed(ctx, RULE_INDEX, t.line) {
+            continue;
+        }
+        report.findings.push(Finding {
+            rule: RULE_INDEX,
+            file: ctx.path.clone(),
+            line: t.line,
+            message: "bare index/slice in decode path — use `.get(..)` and return \
+                      `WireError::Truncated`, or annotate `// lint: allow(index, reason=...)`"
+                .to_string(),
+        });
+    }
+}
+
+// --- rule: constant-time discipline ---------------------------------------
+
+/// Tokens that terminate an operand scan at nesting depth zero.
+fn operand_stop(text: &str) -> bool {
+    matches!(
+        text,
+        ";" | "{"
+            | "}"
+            | ","
+            | "="
+            | "=="
+            | "!="
+            | "&&"
+            | "||"
+            | "=>"
+            | "?"
+            | "if"
+            | "else"
+            | "while"
+            | "let"
+            | "return"
+            | "match"
+            | "for"
+            | "in"
+    )
+}
+
+/// Does this identifier look like digest/tag material?
+fn digest_like(ident: &str) -> bool {
+    ident
+        .split('_')
+        .any(|seg| CT_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+fn check_ct(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
+    if !in_scope(&ctx.path, &CT_SCOPE, all_rules) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if (t.text != "==" && t.text != "!=") || ctx.test_lines.contains(&t.line) {
+            continue;
+        }
+        let mut suspicious: Option<String> = None;
+        // Left operand: walk backwards, skipping balanced groups.
+        let mut depth = 0i32;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let text = toks[j].text.as_str();
+            match text {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ if depth == 0 && operand_stop(text) => break,
+                _ => {}
+            }
+            if toks[j].kind == TokKind::Ident && digest_like(text) {
+                suspicious = Some(text.to_string());
+            }
+        }
+        // Right operand: walk forwards.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let text = toks[j].text.as_str();
+            match text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ if depth == 0 && operand_stop(text) => break,
+                _ => {}
+            }
+            if toks[j].kind == TokKind::Ident && digest_like(text) {
+                suspicious.get_or_insert_with(|| text.to_string());
+            }
+            j += 1;
+        }
+        let Some(ident) = suspicious else { continue };
+        if allowed(ctx, RULE_CT, t.line) {
+            continue;
+        }
+        report.findings.push(Finding {
+            rule: RULE_CT,
+            file: ctx.path.clone(),
+            line: t.line,
+            message: format!(
+                "`{}` on digest-like operand `{ident}` in verification code — use \
+                 `seccloud_hash::ct_eq`, or annotate `// lint: allow(ct, reason=...)`",
+                t.text
+            ),
+        });
+    }
+}
+
+// --- rule: unsafe audit ---------------------------------------------------
+
+/// Is this path a crate root that must carry `#![forbid(unsafe_code)]`?
+fn is_guarded_crate_root(path: &str) -> bool {
+    if path.starts_with("crates/parallel/") {
+        // The one crate permitted to contain `unsafe` (each block still
+        // needs a `SAFETY:` comment, checked below).
+        return false;
+    }
+    path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs")
+        || (path.contains("src/bin/") && path.ends_with(".rs"))
+}
+
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+fn check_unsafe(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
+    let root_check = if all_rules {
+        ctx.path.ends_with("lib.rs") || ctx.path.ends_with("main.rs")
+    } else {
+        is_guarded_crate_root(&ctx.path)
+    };
+    if root_check && !has_forbid_unsafe(&ctx.toks) {
+        report.findings.push(Finding {
+            rule: RULE_UNSAFE,
+            file: ctx.path.clone(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    for t in &ctx.toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !ctx.safety_lines.contains(&t.line) {
+            report.findings.push(Finding {
+                rule: RULE_UNSAFE,
+                file: ctx.path.clone(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment on the preceding lines"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// --- rule: secret hygiene -------------------------------------------------
+
+/// Finds `// lint: secret` markers and resolves the type they annotate,
+/// collecting any `#[derive(...)]` idents between marker and type.
+fn collect_secret_types(ctx: &FileCtx) -> Vec<SecretType> {
+    let mut out = Vec::new();
+    for c in &ctx.comments {
+        if c.text.trim() != "lint: secret" {
+            continue;
+        }
+        let mut derives = Vec::new();
+        let mut name = None;
+        let mut line = c.line;
+        let mut i = ctx.toks.partition_point(|t| t.line <= c.end_line);
+        while i < ctx.toks.len() && ctx.toks[i].line <= c.end_line + 15 {
+            let t = &ctx.toks[i];
+            if t.text == "#" && ctx.toks.get(i + 1).is_some_and(|n| n.text == "[") {
+                let (attr, after) = attribute_span(&ctx.toks, i);
+                if attr.first().is_some_and(|a| a.text == "derive") {
+                    derives.extend(
+                        attr.iter()
+                            .skip(1)
+                            .filter(|a| a.kind == TokKind::Ident)
+                            .map(|a| a.text.clone()),
+                    );
+                }
+                i = after;
+                continue;
+            }
+            if matches!(t.text.as_str(), "struct" | "enum" | "union") {
+                if let Some(n) = ctx.toks.get(i + 1) {
+                    name = Some(n.text.clone());
+                    line = n.line;
+                }
+                break;
+            }
+            i += 1;
+        }
+        if let Some(name) = name {
+            out.push(SecretType {
+                name,
+                file: ctx.path.clone(),
+                line,
+                derives,
+            });
+        }
+    }
+    out
+}
+
+/// Per-type checks: no `Debug`/`Serialize` derive, and an `impl Drop`
+/// must exist somewhere in the scanned set (zeroize-on-drop).
+fn check_secret_types(ctxs: &[FileCtx], secrets: &[SecretType], report: &mut Report) {
+    for s in secrets {
+        for bad in ["Debug", "Serialize"] {
+            if s.derives.iter().any(|d| d == bad) {
+                report.findings.push(Finding {
+                    rule: RULE_SECRET,
+                    file: s.file.clone(),
+                    line: s.line,
+                    message: format!(
+                        "secret type `{}` derives `{bad}` — implement a redacted manual \
+                         `Debug` (and never serialize secrets)",
+                        s.name
+                    ),
+                });
+            }
+        }
+        let has_drop = ctxs.iter().any(|ctx| impls_drop(&ctx.toks, &s.name));
+        if !has_drop {
+            report.findings.push(Finding {
+                rule: RULE_SECRET,
+                file: s.file.clone(),
+                line: s.line,
+                message: format!(
+                    "secret type `{}` has no `impl Drop` — wipe key material on drop \
+                     (see `seccloud_hash::wipe`)",
+                    s.name
+                ),
+            });
+        }
+    }
+}
+
+/// Looks for `impl Drop for <name>` (allowing generics between the parts).
+fn impls_drop(toks: &[Tok], name: &str) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "Drop" && toks.get(i + 1).is_some_and(|n| n.text == "for") {
+            let impl_before = toks[i.saturating_sub(6)..i]
+                .iter()
+                .any(|p| p.text == "impl");
+            let named_after = toks[i + 2..toks.len().min(i + 8)]
+                .iter()
+                .any(|n| n.text == name);
+            if impl_before && named_after {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Flags secret type names appearing inside `format!`-family macro calls.
+fn check_secret_leaks(ctx: &FileCtx, secrets: &[SecretType], report: &mut Report) {
+    if secrets.is_empty() {
+        return;
+    }
+    let toks = &ctx.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let is_fmt = t.kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.text == "!");
+        if !is_fmt {
+            i += 1;
+            continue;
+        }
+        let Some(open) = toks.get(i + 2) else { break };
+        let (open_text, close_text) = match open.text.as_str() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            let text = toks[j].text.as_str();
+            if text == open_text {
+                depth += 1;
+            } else if text == close_text {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].kind == TokKind::Ident && !ctx.test_lines.contains(&toks[j].line) {
+                if let Some(s) = secrets.iter().find(|s| s.name == text) {
+                    if !allowed(ctx, RULE_SECRET, toks[j].line) {
+                        report.findings.push(Finding {
+                            rule: RULE_SECRET,
+                            file: ctx.path.clone(),
+                            line: toks[j].line,
+                            message: format!(
+                                "secret type `{}` used inside `{}!` — secrets must never \
+                                 reach a format sink",
+                                s.name, t.text
+                            ),
+                        });
+                    }
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Report {
+        lint_files(&[(path.to_string(), src.to_string())], false)
+    }
+
+    fn rules_of(r: &Report) -> Vec<&'static str> {
+        r.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn panic_rule_fires_only_in_scope() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let hit = lint_one("crates/core/src/foo.rs", src);
+        assert_eq!(rules_of(&hit), vec![RULE_PANIC]);
+        let miss = lint_one("crates/bench/src/foo.rs", src);
+        assert!(miss.findings.is_empty());
+    }
+
+    #[test]
+    fn panic_rule_skips_tests_strings_and_comments() {
+        let src = r#"
+            // a.unwrap() in a comment
+            fn f() -> &'static str { "don't panic!()" }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+            }
+        "#;
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn panic_macros_and_expect_fire() {
+        let src = r#"
+            fn f(x: Option<u8>) -> u8 {
+                if x.is_none() { panic!("boom"); }
+                x.expect("present")
+            }
+            fn g() { unreachable!() }
+        "#;
+        let r = lint_one("crates/ibs/src/foo.rs", src);
+        assert_eq!(r.findings.len(), 3);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }";
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_downgrades_to_allowance() {
+        let src = r#"
+            fn f(x: Option<u8>) -> u8 {
+                // lint: allow(panic, reason=precondition documented on f)
+                x.expect("caller checked")
+            }
+        "#;
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allowances.len(), 1);
+        assert_eq!(r.allowances[0].rule, RULE_PANIC);
+        assert!(r.allowances[0].reason.contains("precondition"));
+    }
+
+    #[test]
+    fn malformed_annotation_is_a_finding() {
+        let src = "// lint: allow(panic)\nfn f() {}";
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_ANNOTATION]);
+    }
+
+    #[test]
+    fn index_rule_fires_in_decode_paths() {
+        let src = "fn take(d: &[u8]) -> u8 { d[0] }";
+        let r = lint_one("crates/core/src/wire.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_INDEX]);
+        // Attributes and macro brackets are not index expressions.
+        let ok = "#[derive(Clone)]\nstruct S;\nfn f() -> Vec<u8> { vec![1, 2] }";
+        assert!(lint_one("crates/core/src/wire.rs", ok).findings.is_empty());
+    }
+
+    #[test]
+    fn ct_rule_flags_digest_equality() {
+        let src = "fn verify(tag: &[u8], expected_tag: &[u8]) -> bool { tag == expected_tag }";
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_CT]);
+    }
+
+    #[test]
+    fn ct_rule_ignores_benign_comparisons() {
+        let src = r#"
+            fn f(version: u32, expected_version: u32) -> bool { version != expected_version }
+            fn g(identity: &str, other: &str) -> bool { identity == other }
+        "#;
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn ct_rule_stops_at_assignment() {
+        // The *assigned* variable name must not contaminate the operand scan.
+        let src = "fn f(a: &str, b: &str) { let root_ok = a == b; let _ = root_ok; }";
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unsafe_rule_requires_forbid_on_crate_roots() {
+        let r = lint_one("crates/hash/src/lib.rs", "pub fn f() {}");
+        assert_eq!(rules_of(&r), vec![RULE_UNSAFE]);
+        let ok = lint_one(
+            "crates/hash/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+        );
+        assert!(ok.findings.is_empty());
+        // parallel is exempt from the forbid requirement…
+        let par = lint_one("crates/parallel/src/lib.rs", "pub fn f() {}");
+        assert!(par.findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_blocks_need_safety_comments() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let r = lint_one("crates/parallel/src/scope.rs", bad);
+        assert_eq!(rules_of(&r), vec![RULE_UNSAFE]);
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for reads.\n    unsafe { *p }\n}";
+        assert!(lint_one("crates/parallel/src/scope.rs", good)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn secret_type_without_drop_or_with_debug_fires() {
+        let src = r#"
+            // lint: secret
+            #[derive(Clone, Debug)]
+            pub struct KeyMaterial([u8; 32]);
+        "#;
+        let r = lint_one("crates/hash/src/k.rs", src);
+        let rules = rules_of(&r);
+        assert_eq!(rules, vec![RULE_SECRET, RULE_SECRET], "{:?}", r.findings);
+    }
+
+    #[test]
+    fn secret_type_with_drop_and_no_debug_is_clean() {
+        let src = r#"
+            // lint: secret
+            #[derive(Clone)]
+            pub struct KeyMaterial([u8; 32]);
+            impl Drop for KeyMaterial {
+                fn drop(&mut self) {}
+            }
+        "#;
+        let r = lint_one("crates/hash/src/k.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn drop_impl_may_live_in_another_file() {
+        let a = (
+            "crates/hash/src/k.rs".to_string(),
+            "// lint: secret\n#[derive(Clone)]\npub struct KeyMaterial([u8; 32]);".to_string(),
+        );
+        let b = (
+            "crates/hash/src/drop.rs".to_string(),
+            "impl Drop for KeyMaterial { fn drop(&mut self) {} }".to_string(),
+        );
+        let r = lint_files(&[a, b], false);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn secret_in_format_macro_fires() {
+        let src = r#"
+            // lint: secret
+            #[derive(Clone)]
+            pub struct KeyMaterial([u8; 32]);
+            impl Drop for KeyMaterial { fn drop(&mut self) {} }
+            fn leak(k: &KeyMaterial) -> String { format!("{:?}", KeyMaterial::clone(k)) }
+        "#;
+        let r = lint_one("crates/hash/src/k.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_SECRET]);
+        assert!(r.findings[0].message.contains("format"));
+    }
+
+    #[test]
+    fn all_rules_mode_ignores_path_scoping() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let r = lint_files(&[("anything.rs".to_string(), src.to_string())], true);
+        assert_eq!(rules_of(&r), vec![RULE_PANIC]);
+    }
+}

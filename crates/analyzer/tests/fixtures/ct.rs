@@ -1,0 +1,15 @@
+//! Bad fixture for the `ct` rule: short-circuiting equality on digest/tag
+//! material in verification code.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub fn verify_tag(tag: &[u8], expected_tag: &[u8]) -> bool {
+    tag == expected_tag
+}
+
+pub fn verify_root(computed: [u8; 32], root: [u8; 32]) -> bool {
+    computed == root
+}
+
+pub fn reject_digest(digest: &[u8], claimed: &[u8]) -> bool {
+    digest != claimed
+}

@@ -1,0 +1,10 @@
+//! Bad fixture for the `index` rule: bare indexing in a decode path.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub fn take_u8(data: &[u8], pos: usize) -> u8 {
+    data[pos]
+}
+
+pub fn header(data: &[u8]) -> &[u8] {
+    &data[..4]
+}

@@ -1,0 +1,21 @@
+//! Bad fixture for the `panic` rule: protocol-path code that can abort.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub fn decode(input: Option<&[u8]>) -> &[u8] {
+    input.unwrap()
+}
+
+pub fn pick(v: &[u8]) -> u8 {
+    let first = v.first().expect("non-empty");
+    if *first > 200 {
+        panic!("out of range");
+    }
+    *first
+}
+
+pub fn dispatch(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

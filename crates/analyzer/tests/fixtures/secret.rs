@@ -1,0 +1,13 @@
+//! Bad fixture for the `secret` rule: a secret type that derives `Debug`,
+//! never wipes itself, and reaches a format sink.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+// lint: secret
+#[derive(Clone, Debug)]
+pub struct MasterSecret {
+    scalar: [u8; 32],
+}
+
+pub fn log_secret(s: &MasterSecret) -> String {
+    format!("loaded secret {:?}", MasterSecret::clone(s))
+}

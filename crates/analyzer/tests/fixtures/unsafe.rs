@@ -1,0 +1,7 @@
+//! Bad fixture for the `unsafe` rule: an `unsafe` block with no
+//! `// SAFETY:` comment justifying it.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

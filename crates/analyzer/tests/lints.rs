@@ -1,0 +1,147 @@
+//! Fixture-driven integration tests for `seccloud-lint`.
+//!
+//! Each bad fixture in `tests/fixtures/` must trip exactly its rule, both
+//! through the library API and through the compiled binary (nonzero exit).
+//! The clean fixture must be silent, and so must the real workspace tree.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use analyzer::{lint_single_file, render_json, Report};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Report {
+    lint_single_file(&fixture_path(name)).expect("fixture readable")
+}
+
+fn rules_hit(report: &Report) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = report.findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+fn run_binary(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_seccloud-lint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn panic_fixture_trips_panic_rule() {
+    let report = lint_fixture("panic.rs");
+    assert_eq!(rules_hit(&report), ["panic"]);
+    // unwrap + expect + panic! + unreachable!
+    assert_eq!(report.findings.len(), 4);
+}
+
+#[test]
+fn index_fixture_trips_index_rule() {
+    let report = lint_fixture("index.rs");
+    assert_eq!(rules_hit(&report), ["index"]);
+    assert_eq!(report.findings.len(), 2);
+}
+
+#[test]
+fn secret_fixture_trips_secret_rule() {
+    let report = lint_fixture("secret.rs");
+    assert_eq!(rules_hit(&report), ["secret"]);
+    // Debug derive + missing Drop + format-site leak.
+    assert!(
+        report.findings.len() >= 3,
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn ct_fixture_trips_ct_rule() {
+    let report = lint_fixture("ct.rs");
+    assert_eq!(rules_hit(&report), ["ct"]);
+    assert_eq!(report.findings.len(), 3);
+}
+
+#[test]
+fn unsafe_fixture_trips_unsafe_rule() {
+    let report = lint_fixture("unsafe.rs");
+    assert_eq!(rules_hit(&report), ["unsafe"]);
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn clean_fixture_is_silent_and_reports_allowance() {
+    let report = lint_fixture("clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+    // The one `lint: allow(panic, ...)` escape hatch must be surfaced.
+    assert_eq!(report.allowances.len(), 1);
+    assert_eq!(report.allowances[0].rule, "panic");
+    assert!(report.allowances[0].reason.contains("escape hatch"));
+}
+
+#[test]
+fn binary_fails_on_each_bad_fixture() {
+    for name in ["panic.rs", "index.rs", "secret.rs", "ct.rs", "unsafe.rs"] {
+        let path = fixture_path(name);
+        let out = run_binary(&[path.to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name} should exit 1: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_passes_on_clean_fixture() {
+    let path = fixture_path("clean.rs");
+    let out = run_binary(&[path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean.rs should exit 0: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn binary_baseline_emits_json() {
+    let path = fixture_path("ct.rs");
+    let out = run_binary(&["--baseline", path.to_str().unwrap()]);
+    // Baseline mode always exits 0 — it reports, it does not gate.
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\":\"ct\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"line\""), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_rejects_bad_usage() {
+    let out = run_binary(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyzer::lint_workspace(&root).expect("workspace readable");
+    assert!(
+        report.findings.is_empty(),
+        "workspace findings:\n{}",
+        render_json(&report)
+    );
+    // Every allowance in the tree must carry a reason.
+    for a in &report.allowances {
+        assert!(!a.reason.is_empty(), "allowance without reason: {a:?}");
+    }
+}

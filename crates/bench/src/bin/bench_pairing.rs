@@ -9,6 +9,7 @@
 //!
 //! Run with `cargo run --release -p seccloud-bench --bin bench_pairing`.
 //! The file lands in the current working directory.
+#![forbid(unsafe_code)]
 
 use seccloud_bench::measure_ms;
 use seccloud_ibs::{designate, sign, BatchItem, BatchVerifier, MasterKey};

@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin detection_sim
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_cloudsim::montecarlo::{run, sweep_t, Experiment};
 use seccloud_core::analysis::sampling::CheatParams;

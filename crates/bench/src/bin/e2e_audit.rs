@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin e2e_audit
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_bench::{fmt_ms, measure_ms};
 use seccloud_cloudsim::behavior::Behavior;

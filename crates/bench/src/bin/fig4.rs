@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin fig4
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_core::analysis::sampling::{required_sample_size, CheatParams};
 

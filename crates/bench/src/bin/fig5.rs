@@ -10,6 +10,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin fig5
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_bench::{fmt_ms, measure_ms};
 use seccloud_core::analysis::costmodel::{SchemeCosts, VerificationCostModel};

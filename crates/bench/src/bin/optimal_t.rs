@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin optimal_t
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_core::analysis::costmodel::CostParams;
 use seccloud_core::computation::{

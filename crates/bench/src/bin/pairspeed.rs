@@ -1,5 +1,7 @@
 //! Quick pairing-backend speed check (full Criterion numbers live in
 //! `benches/crypto_ops.rs`).
+#![forbid(unsafe_code)]
+
 fn main() {
     use seccloud_bench::{fmt_ms, measure_ms};
     use seccloud_pairing::*;

@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin pool_detection
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_cloudsim::behavior::Behavior;
 use seccloud_cloudsim::{Csp, DesignatedAgency, Sla};

@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin table1
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_bench::{fmt_ms, measure_ms, row};
 use seccloud_pairing::{hash_to_g1, hash_to_g2, pairing, Fr, G1, G2};

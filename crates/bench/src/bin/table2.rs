@@ -16,6 +16,7 @@
 //! ```text
 //! cargo run -p seccloud-bench --release --bin table2
 //! ```
+#![forbid(unsafe_code)]
 
 use seccloud_baselines::bgls::{aggregate, verify_aggregate, BlsKeyPair, BlsPublicKey};
 use seccloud_baselines::ecdsa::EcdsaKeyPair;

@@ -6,6 +6,7 @@
 //! Criterion — the workspace builds offline with zero external
 //! dependencies). See `DESIGN.md` for the experiment index and
 //! `EXPERIMENTS.md` for recorded results.
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 

@@ -11,6 +11,7 @@
 //! Every artifact crossing a command boundary is in the canonical wire
 //! format, so the files are interoperable with any other tooling built on
 //! `seccloud-core::wire`.
+#![forbid(unsafe_code)]
 
 use std::fs;
 use std::path::{Path, PathBuf};

@@ -7,6 +7,7 @@
 //! seccloud verify  --dir state --server cs --owner alice --verifier da
 //! seccloud audit   --dir state --server cs --owner alice --verifier da --function sum [--group 4] [--t 8] [--seed challenge]
 //! ```
+#![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use std::path::PathBuf;

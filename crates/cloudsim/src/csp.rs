@@ -209,7 +209,6 @@ impl Csp {
         // Routing pass (read-only): pick a data-holding server per slice.
         let mut per_server: Vec<Vec<(usize, ComputationRequest, Vec<usize>)>> =
             (0..n).map(|_| Vec::new()).collect();
-        let total = plan.len();
         for (slot, (default_index, slice, item_indices)) in plan.into_iter().enumerate() {
             let positions: Vec<u64> = slice
                 .items
@@ -245,14 +244,12 @@ impl Csp {
                 })
                 .collect::<Vec<_>>()
         });
-        // Restore plan order.
-        let mut out: Vec<Option<SubTaskExecution>> = (0..total).map(|_| None).collect();
-        for (slot, exec) in grouped.into_iter().flatten() {
-            out[slot] = Some(exec);
-        }
-        out.into_iter()
-            .map(|e| e.expect("every slice dispatched"))
-            .collect()
+        // Restore plan order. Every slice was routed to exactly one server,
+        // so sorting the tagged results by slot reproduces the plan order
+        // without any placeholder slots.
+        let mut tagged: Vec<(usize, SubTaskExecution)> = grouped.into_iter().flatten().collect();
+        tagged.sort_by_key(|(slot, _)| *slot);
+        tagged.into_iter().map(|(_, exec)| exec).collect()
     }
 
     /// Byte-level front door: decodes a serialized [`ComputationRequest`]

@@ -248,9 +248,11 @@ pub fn run_crypto(csc: f64, guess_range: Option<u64>, n: usize, t: usize, trials
         // A fresh commitment per trial re-rolls the server's cheat dice.
         let handle = server
             .handle_computation(&user.identity().to_string(), &request, da.public())
+            // lint: allow(panic, reason=simulator invariant, blocks were stored two lines above)
             .expect("blocks stored");
         let verdict = da
             .audit(&server, &handle, &user, t, trial as u64)
+            // lint: allow(panic, reason=simulator invariant, warrant was issued for this request)
             .expect("warranted audit");
         if !verdict.detected {
             escapes += 1;

@@ -193,6 +193,7 @@ impl CloudUser {
         let v = ledger
             .versions
             .get_mut(&position)
+            // lint: allow(panic, reason=documented API contract, caller-side misuse of the owner ledger)
             .unwrap_or_else(|| panic!("position {position} is not live"));
         *v += 1;
         let version = *v;
@@ -209,6 +210,7 @@ impl CloudUser {
         let v = ledger
             .versions
             .remove(&position)
+            // lint: allow(panic, reason=documented API contract, caller-side misuse of the owner ledger)
             .unwrap_or_else(|| panic!("position {position} is not live"));
         ledger.deleted.insert(position, v);
     }

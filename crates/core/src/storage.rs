@@ -58,7 +58,11 @@ impl DataBlock {
     pub fn values(&self) -> Vec<u64> {
         self.data
             .chunks_exact(8)
-            .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+            .map(|c| {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(c);
+                u64::from_be_bytes(word)
+            })
             .collect()
     }
 

@@ -123,7 +123,7 @@ impl Warrant {
         if self.delegatee != expected_delegatee {
             return Err(WarrantError::WrongDelegatee);
         }
-        if &self.request_digest != expected_request_digest {
+        if !seccloud_hash::ct_eq(&self.request_digest, expected_request_digest) {
             return Err(WarrantError::WrongRequest);
         }
         let sig = self

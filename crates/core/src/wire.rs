@@ -136,11 +136,15 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::LengthOverflow)?;
-        if end > self.data.len() {
-            return Err(WireError::Truncated);
-        }
-        let out = &self.data[self.pos..end];
+        let out = self.data.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads exactly `N` bytes into a fixed array; total, no panics.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
         Ok(out)
     }
 
@@ -151,17 +155,18 @@ impl<'a> Reader<'a> {
 
     /// Reads one byte.
     pub fn take_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let b = self.take(1)?;
+        b.first().copied().ok_or(WireError::Truncated)
     }
 
     /// Reads a big-endian `u64`.
     pub fn take_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `u128`.
     pub fn take_u128(&mut self) -> Result<u128, WireError> {
-        Ok(u128::from_be_bytes(self.take(16)?.try_into().expect("16")))
+        Ok(u128::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a bounded length prefix.
@@ -217,7 +222,7 @@ fn put_g1(w: &mut Writer, p: &G1) {
 }
 
 fn take_g1(r: &mut Reader<'_>) -> Result<G1, WireError> {
-    let bytes: [u8; 32] = r.take(32)?.try_into().expect("32");
+    let bytes: [u8; 32] = r.take_array()?;
     G1Affine::from_compressed(&bytes)
         .map(G1::from)
         .ok_or(WireError::BadElement)
@@ -266,7 +271,7 @@ fn put_node(w: &mut Writer, n: &Node) {
 }
 
 fn take_node(r: &mut Reader<'_>) -> Result<Node, WireError> {
-    Ok(r.take(32)?.try_into().expect("32"))
+    r.take_array()
 }
 
 // --- message codecs -------------------------------------------------------
@@ -368,6 +373,7 @@ impl WireMessage for ComputeFunction {
                 for _ in 0..n {
                     v.push(r.take_u64()?);
                 }
+                // lint: allow(ct, reason=wire-format discriminant byte, public data, not a MAC tag)
                 if tag == 5 {
                     ComputeFunction::WeightedSum(v)
                 } else {
@@ -597,7 +603,7 @@ impl WireMessage for Warrant {
         let delegator = r.take_str()?;
         let delegatee = r.take_str()?;
         let expires_at = r.take_u64()?;
-        let digest: [u8; 32] = r.take(32)?.try_into().expect("32");
+        let digest: [u8; 32] = r.take_array()?;
         let designations = take_designations(r)?;
         Ok(Warrant::from_parts(
             delegator,

@@ -1,0 +1,98 @@
+//! Constant-time comparison primitives.
+//!
+//! Verification paths must not branch on secret-derived bytes: a
+//! short-circuiting `==` on an HMAC tag or a Merkle root leaks, through
+//! timing, the length of the matching prefix, which is enough for
+//! byte-at-a-time tag forgery against a remote verifier. `seccloud-lint`
+//! flags such comparisons (rule `ct`); this module provides the
+//! replacements.
+
+use crate::hmac_sha256;
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Length-strict: slices of different lengths compare unequal, and the
+/// comparison still touches every byte of the overlapping prefix so the
+/// timing depends only on the input lengths, never on where the first
+/// mismatch occurs.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_hash::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"abcd"));
+/// assert!(ct_eq(b"", b""));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut acc = a.len() ^ b.len();
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= usize::from(x ^ y);
+    }
+    // Keep the accumulator opaque to the optimizer so the loop above is not
+    // rewritten into an early-exit memcmp.
+    core::hint::black_box(acc) == 0
+}
+
+/// Verifies an HMAC-SHA256 tag in constant time.
+///
+/// This is the canonical tag-verification entry point: it recomputes
+/// `HMAC(key, message)` and compares it to `tag` with [`ct_eq`], so a
+/// caller can never accidentally reintroduce a short-circuit comparison.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_hash::{hmac_sha256, hmac_verify};
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert!(hmac_verify(b"key", b"message", &tag));
+/// assert!(!hmac_verify(b"key", b"tampered", &tag));
+/// ```
+pub fn hmac_verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    ct_eq(&hmac_sha256(key, message), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices_compare_equal() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"x", b"x"));
+        assert!(ct_eq(&[0u8; 32], &[0u8; 32]));
+        let d = hmac_sha256(b"k", b"m");
+        assert!(ct_eq(&d, &d.clone()));
+    }
+
+    #[test]
+    fn any_single_bit_flip_breaks_equality() {
+        let a = hmac_sha256(b"k", b"m");
+        for i in 0..a.len() {
+            for bit in 0..8 {
+                let mut b = a;
+                b[i] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b), "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_unequal_even_with_matching_prefix() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"abcd", b"abc"));
+        assert!(!ct_eq(b"", b"\0"));
+        // Zero-padded variants must not collide either.
+        assert!(!ct_eq(&[0u8; 31], &[0u8; 32]));
+    }
+
+    #[test]
+    fn hmac_verify_matches_recomputation() {
+        let tag = hmac_sha256(b"key", b"payload");
+        assert!(hmac_verify(b"key", b"payload", &tag));
+        assert!(!hmac_verify(b"key2", b"payload", &tag));
+        assert!(!hmac_verify(b"key", b"payload2", &tag));
+        assert!(!hmac_verify(b"key", b"payload", &tag[..31]));
+    }
+}

@@ -24,10 +24,24 @@ use crate::hmac::hmac_sha256;
 /// let mut c = HmacDrbg::new(b"other seed");
 /// assert_ne!(a.next_u64(), c.next_u64());
 /// ```
-#[derive(Clone, Debug)]
+// lint: secret
+#[derive(Clone)]
 pub struct HmacDrbg {
     key: [u8; 32],
     value: [u8; 32],
+}
+
+impl core::fmt::Debug for HmacDrbg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The K/V chain determines every future output; never print it.
+        f.debug_struct("HmacDrbg").finish_non_exhaustive()
+    }
+}
+
+impl Drop for HmacDrbg {
+    fn drop(&mut self) {
+        self.wipe_state();
+    }
 }
 
 impl HmacDrbg {
@@ -51,6 +65,13 @@ impl HmacDrbg {
         seed.extend_from_slice(&(label.len() as u64).to_be_bytes());
         seed.extend_from_slice(label);
         Self::new(&seed)
+    }
+
+    /// Zeros the K/V chain; called from `Drop` and factored out so tests
+    /// can observe the wipe without reading freed memory.
+    fn wipe_state(&mut self) {
+        crate::wipe(&mut self.key);
+        crate::wipe(&mut self.value);
     }
 
     fn update(&mut self, data: Option<&[u8]>) {
@@ -213,5 +234,24 @@ mod tests {
     #[should_panic(expected = "cannot sample")]
     fn sample_distinct_rejects_oversized_k() {
         HmacDrbg::new(b"x").sample_distinct(3, 4);
+    }
+
+    #[test]
+    fn drop_wipes_kv_chain() {
+        let mut d = HmacDrbg::new(b"to be wiped");
+        d.next_bytes(32);
+        assert_ne!(d.key, [0u8; 32]);
+        assert_ne!(d.value, [0u8; 32]);
+        d.wipe_state();
+        assert_eq!(d.key, [0u8; 32]);
+        assert_eq!(d.value, [0u8; 32]);
+    }
+
+    #[test]
+    fn debug_is_redacted() {
+        let d = HmacDrbg::new(b"secret seed");
+        let rendered = format!("{d:?}");
+        assert!(!rendered.contains("key"), "{rendered}");
+        assert!(!rendered.contains("value"), "{rendered}");
     }
 }

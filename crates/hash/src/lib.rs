@@ -28,13 +28,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ct;
 mod drbg;
 mod hmac;
 mod sha256;
+mod zeroize;
 
+pub use ct::{ct_eq, hmac_verify};
 pub use drbg::HmacDrbg;
 pub use hmac::hmac_sha256;
 pub use sha256::{Digest, Sha256};
+pub use zeroize::{wipe, wipe_copy};
 
 /// Produces `n` bytes of domain-separated hash output by counter-mode
 /// expansion: `SHA256(len(domain) ‖ domain ‖ ctr_be ‖ msg)` for

@@ -1,0 +1,78 @@
+//! Best-effort secret wiping for `Drop` implementations.
+//!
+//! Key material (DRBG state, IBS master/user secrets) should not outlive
+//! the value that owns it: a later heap dump, swap-out, or uninitialized
+//! read must not reveal old keys. `seccloud-lint` requires every
+//! `// lint: secret` type to wipe itself on drop (rule `secret`); these
+//! helpers are the sanctioned way to do it.
+//!
+//! The workspace is `#![forbid(unsafe_code)]`, so a true `ptr::write_volatile`
+//! is unavailable. Instead the writes go through [`core::hint::black_box`]
+//! and are followed by a [`compiler_fence`], which together prevent the
+//! optimizer from proving the stores dead and eliding them. This is the
+//! strongest guarantee expressible in safe Rust and matches what the
+//! `zeroize` crate does on its no-`unsafe` fallback path.
+
+use core::sync::atomic::{compiler_fence, Ordering};
+
+/// Overwrites a byte slice with zeros and prevents the stores from being
+/// optimized away.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_hash::wipe;
+/// let mut key = [0xAAu8; 32];
+/// wipe(&mut key);
+/// assert_eq!(key, [0u8; 32]);
+/// ```
+pub fn wipe(bytes: &mut [u8]) {
+    for b in bytes.iter_mut() {
+        *core::hint::black_box(b) = 0;
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Overwrites a `Copy` value with a caller-supplied "zero" and prevents the
+/// store from being optimized away.
+///
+/// Useful for secrets that are field elements or curve points rather than
+/// byte arrays: pass the type's additive identity as `zero`.
+///
+/// # Examples
+///
+/// ```
+/// use seccloud_hash::wipe_copy;
+/// let mut counter: u64 = 0xDEAD_BEEF;
+/// wipe_copy(&mut counter, 0);
+/// assert_eq!(counter, 0);
+/// ```
+pub fn wipe_copy<T: Copy>(slot: &mut T, zero: T) {
+    *core::hint::black_box(slot) = zero;
+    compiler_fence(Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wipe_zeros_every_byte() {
+        let mut buf = [0xFFu8; 64];
+        wipe(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn wipe_handles_empty_slice() {
+        let mut buf: [u8; 0] = [];
+        wipe(&mut buf);
+    }
+
+    #[test]
+    fn wipe_copy_replaces_value() {
+        let mut v: u128 = u128::MAX;
+        wipe_copy(&mut v, 0);
+        assert_eq!(v, 0);
+    }
+}

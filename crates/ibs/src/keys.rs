@@ -34,10 +34,17 @@ impl SystemParams {
 ///
 /// In deployment the SIO is "the government or a trusted third party"
 /// (paper footnote 1); registration is off-line.
+// lint: secret
 #[derive(Clone)]
 pub struct MasterKey {
     s: Fr,
     params: SystemParams,
+}
+
+impl Drop for MasterKey {
+    fn drop(&mut self) {
+        self.wipe();
+    }
 }
 
 impl std::fmt::Debug for MasterKey {
@@ -50,6 +57,13 @@ impl std::fmt::Debug for MasterKey {
 }
 
 impl MasterKey {
+    /// Zeros the master scalar; called from `Drop`. The compromise of `s`
+    /// breaks every identity in the system (paper Section V-A), so it must
+    /// not survive in freed memory.
+    fn wipe(&mut self) {
+        seccloud_hash::wipe_copy(&mut self.s, Fr::from_u64(0));
+    }
+
     /// Generates a master key deterministically from seed bytes.
     pub fn from_seed(seed: &[u8]) -> Self {
         let mut drbg = HmacDrbg::new(seed);
@@ -135,10 +149,17 @@ impl UserPublic {
 }
 
 /// A user's extracted key pair.
+// lint: secret
 #[derive(Clone)]
 pub struct UserKey {
     public: UserPublic,
     sk: G1,
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {
+        self.wipe();
+    }
 }
 
 impl std::fmt::Debug for UserKey {
@@ -150,6 +171,11 @@ impl std::fmt::Debug for UserKey {
 }
 
 impl UserKey {
+    /// Zeros the identity secret key; called from `Drop`.
+    fn wipe(&mut self) {
+        seccloud_hash::wipe_copy(&mut self.sk, G1::identity());
+    }
+
     /// The public part.
     pub fn public(&self) -> &UserPublic {
         &self.public
@@ -226,12 +252,19 @@ impl std::fmt::Debug for VerifierPublic {
 }
 
 /// A verifier's extracted key pair (cloud server / designated agency).
+// lint: secret
 #[derive(Clone)]
 pub struct VerifierKey {
     public: VerifierPublic,
     sk: G2,
     /// Lazily prepared form of `sk` — secret-derived, never printed.
     prepared_sk: OnceLock<G2Prepared>,
+}
+
+impl Drop for VerifierKey {
+    fn drop(&mut self) {
+        self.wipe();
+    }
 }
 
 impl std::fmt::Debug for VerifierKey {
@@ -243,6 +276,13 @@ impl std::fmt::Debug for VerifierKey {
 }
 
 impl VerifierKey {
+    /// Zeros the identity secret key and drops its prepared form; called
+    /// from `Drop`.
+    fn wipe(&mut self) {
+        seccloud_hash::wipe_copy(&mut self.sk, G2::identity());
+        self.prepared_sk.take();
+    }
+
     /// The public part.
     pub fn public(&self) -> &VerifierPublic {
         &self.public
@@ -335,6 +375,26 @@ mod tests {
         assert!(!dbg.contains("sk:"), "extracted secret printed: {dbg}");
         let sk_hex = format!("{:?}", u.sk());
         assert!(!dbg.contains(&sk_hex), "user secret printed");
+    }
+
+    #[test]
+    fn wipe_clears_secret_material() {
+        // `wipe()` is exactly what `Drop` runs; exercising it directly lets
+        // the test observe the cleared state without reading freed memory.
+        let mut m = MasterKey::from_seed(b"wipe-test");
+        let mut u = m.extract_user("alice");
+        let mut v = m.extract_verifier("cs");
+        v.sk_prepared(); // populate the lazy cache so wipe() has work to do
+
+        m.wipe();
+        assert!(m.s.is_zero(), "master scalar must be zeroed on drop");
+
+        u.wipe();
+        assert!(u.sk.is_identity(), "user secret key must be cleared");
+
+        v.wipe();
+        assert!(v.sk.is_identity(), "verifier secret key must be cleared");
+        assert!(v.prepared_sk.get().is_none(), "prepared sk must be dropped");
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl MultiProof {
             known = next;
             width = width.div_ceil(2);
         }
-        node_iter.next().is_none() && known.len() == 1 && known[0].1 == *root
+        node_iter.next().is_none() && known.len() == 1 && seccloud_hash::ct_eq(&known[0].1, root)
     }
 
     /// Number of interior hashes carried.

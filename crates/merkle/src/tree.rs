@@ -224,7 +224,7 @@ impl MerklePath {
             pos /= 2;
             width = width.div_ceil(2);
         }
-        sib_iter.next().is_none() && node == *root
+        sib_iter.next().is_none() && seccloud_hash::ct_eq(&node, root)
     }
 
     /// The number of sibling hashes carried by this path.

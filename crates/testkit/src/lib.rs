@@ -18,6 +18,7 @@
 //!
 //! [`HmacDrbg`]: seccloud_hash::HmacDrbg
 //! [`WireTransport`]: seccloud_cloudsim::rpc::WireTransport
+#![forbid(unsafe_code)]
 
 pub mod fault;
 pub mod forall;

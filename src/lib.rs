@@ -36,6 +36,7 @@
 //! assert_eq!(server.identity(), "cs-01.cloud.example");
 //! # let _ = SystemParams::clone(sio.params());
 //! ```
+#![forbid(unsafe_code)]
 
 pub use seccloud_baselines as baselines;
 pub use seccloud_bigint as bigint;
