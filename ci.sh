@@ -19,14 +19,17 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== seccloud-lint (panic-freedom / secret hygiene / constant-time) =="
+echo "== seccloud-lint (panic-freedom / secret hygiene / constant-time / transport discipline) =="
 cargo run --release -p analyzer --bin seccloud-lint
 
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
-echo "== fault/property suites: serial and 4-thread (${SECCLOUD_TESTKIT_CASES} cases) =="
+echo "== resilience unit suite (clock/policy/breaker/transport/driver/pool) =="
+cargo test -q -p seccloud-resilience
+
+echo "== fault/property/recovery suites: serial and 4-thread (${SECCLOUD_TESTKIT_CASES} cases) =="
 SECCLOUD_THREADS=1 cargo test -q --test fault_injection --test wire_roundtrip
 SECCLOUD_THREADS=4 cargo test -q --test fault_injection --test wire_roundtrip
 

@@ -13,6 +13,11 @@
 //! * [`RULE_UNSAFE`] — every crate root carries `#![forbid(unsafe_code)]`
 //!   (except `crates/parallel`), and every `unsafe` keyword is preceded by
 //!   a `// SAFETY:` comment.
+//! * [`RULE_TRANSPORT`] — raw wire channels (`WireTransport` /
+//!   `WireServer`) must not be named outside the crates that define and
+//!   wrap them (`cloudsim`, `resilience`, `testkit`): audits everywhere
+//!   else must go through `ResilientTransport`, so a flaky channel can
+//!   never abort or launder an audit (DESIGN.md §10).
 //!
 //! # Annotation grammar
 //!
@@ -38,6 +43,8 @@ pub const RULE_SECRET: &str = "secret";
 pub const RULE_CT: &str = "ct";
 /// Rule id: unsafe audit.
 pub const RULE_UNSAFE: &str = "unsafe";
+/// Rule id: raw-transport discipline.
+pub const RULE_TRANSPORT: &str = "transport";
 /// Rule id: malformed `lint:` annotations.
 pub const RULE_ANNOTATION: &str = "annotation";
 
@@ -96,6 +103,21 @@ const CT_SCOPE: [&str; 5] = [
 
 /// Decode-path files for [`RULE_INDEX`].
 const INDEX_SCOPE: [&str; 1] = ["crates/core/src/wire.rs"];
+
+/// Places allowed to name raw wire channels for [`RULE_TRANSPORT`]:
+/// `cloudsim` defines the trait and the direct server, `resilience` wraps
+/// it, `testkit` interposes fault injection, and the analyzer's own tree
+/// holds the rule's fixtures. Everywhere else must drive audits through
+/// `ResilientTransport` (or annotate a deliberate raw-path baseline).
+const TRANSPORT_ALLOWED: [&str; 4] = [
+    "crates/cloudsim/src/",
+    "crates/resilience/src/",
+    "crates/testkit/src/",
+    "crates/analyzer/",
+];
+
+/// Identifiers that name a raw wire channel.
+const TRANSPORT_IDENTS: [&str; 2] = ["WireTransport", "WireServer"];
 
 /// Identifier segments that mark a comparison operand as digest-like.
 const CT_SEGMENTS: [&str; 5] = ["digest", "tag", "mac", "hmac", "root"];
@@ -182,6 +204,7 @@ pub fn lint_files(inputs: &[(String, String)], all_rules: bool) -> Report {
         check_index(ctx, all_rules, &mut report);
         check_ct(ctx, all_rules, &mut report);
         check_unsafe(ctx, all_rules, &mut report);
+        check_transport(ctx, all_rules, &mut report);
         check_secret_leaks(ctx, &secrets, &mut report);
     }
     check_secret_types(&ctxs, &secrets, &mut report);
@@ -261,7 +284,14 @@ fn parse_allow(s: &str) -> Option<(String, String)> {
     let (rule, reason) = body.split_once(',')?;
     let reason = reason.trim().strip_prefix("reason=")?.trim();
     let rule = rule.trim();
-    let known = [RULE_PANIC, RULE_INDEX, RULE_SECRET, RULE_CT, RULE_UNSAFE];
+    let known = [
+        RULE_PANIC,
+        RULE_INDEX,
+        RULE_SECRET,
+        RULE_CT,
+        RULE_UNSAFE,
+        RULE_TRANSPORT,
+    ];
     if rule.is_empty() || reason.is_empty() || !known.contains(&rule) {
         return None;
     }
@@ -607,6 +637,36 @@ fn check_unsafe(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
                     .to_string(),
             });
         }
+    }
+}
+
+// --- rule: raw-transport discipline ---------------------------------------
+
+fn check_transport(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
+    // Exclusion-scoped: the rule fires *outside* the allowed prefixes (the
+    // inverse of `in_scope`), or everywhere in single-file fixture mode.
+    if !all_rules && TRANSPORT_ALLOWED.iter().any(|p| ctx.path.starts_with(p)) {
+        return;
+    }
+    for t in &ctx.toks {
+        if t.kind != TokKind::Ident || !TRANSPORT_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if allowed(ctx, RULE_TRANSPORT, t.line) {
+            continue;
+        }
+        report.findings.push(Finding {
+            rule: RULE_TRANSPORT,
+            file: ctx.path.clone(),
+            line: t.line,
+            message: format!(
+                "raw `{}` outside cloudsim/resilience/testkit — drive audits through \
+                 `seccloud_resilience::ResilientTransport` so channel faults are retried \
+                 and byzantine evidence is pinned, or annotate \
+                 `// lint: allow(transport, reason=...)`",
+                t.text
+            ),
+        });
     }
 }
 
@@ -961,6 +1021,39 @@ mod tests {
         let r = lint_one("crates/hash/src/k.rs", src);
         assert_eq!(rules_of(&r), vec![RULE_SECRET]);
         assert!(r.findings[0].message.contains("format"));
+    }
+
+    #[test]
+    fn transport_rule_fires_outside_allowed_crates() {
+        let src = "fn f<T: WireTransport>(t: &mut T) { let _ = t; }";
+        let hit = lint_one("tests/some_harness.rs", src);
+        assert_eq!(rules_of(&hit), vec![RULE_TRANSPORT]);
+        let bench = lint_one("crates/bench/src/util.rs", "use x::WireServer;");
+        assert_eq!(rules_of(&bench), vec![RULE_TRANSPORT]);
+    }
+
+    #[test]
+    fn transport_rule_spares_defining_and_wrapping_crates() {
+        for path in [
+            "crates/cloudsim/src/rpc.rs",
+            "crates/resilience/src/transport.rs",
+            "crates/testkit/src/fault.rs",
+        ] {
+            let r = lint_one(path, "pub trait WireTransport {}\nstruct WireServer;");
+            assert!(r.findings.is_empty(), "{path}: {:?}", r.findings);
+        }
+    }
+
+    #[test]
+    fn transport_rule_honors_allow_annotation() {
+        let src = r#"
+            // lint: allow(transport, reason=baseline arm of the with/without comparison)
+            fn raw<T: WireTransport>(t: &mut T) { let _ = t; }
+        "#;
+        let r = lint_one("crates/bench/src/util.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allowances.len(), 1);
+        assert_eq!(r.allowances[0].rule, RULE_TRANSPORT);
     }
 
     #[test]

@@ -75,6 +75,14 @@ fn unsafe_fixture_trips_unsafe_rule() {
 }
 
 #[test]
+fn transport_fixture_trips_transport_rule() {
+    let report = lint_fixture("transport.rs");
+    assert_eq!(rules_hit(&report), ["transport"]);
+    // `WireTransport` bound + `WireServer` construction.
+    assert_eq!(report.findings.len(), 2);
+}
+
+#[test]
 fn clean_fixture_is_silent_and_reports_allowance() {
     let report = lint_fixture("clean.rs");
     assert!(
@@ -90,7 +98,14 @@ fn clean_fixture_is_silent_and_reports_allowance() {
 
 #[test]
 fn binary_fails_on_each_bad_fixture() {
-    for name in ["panic.rs", "index.rs", "secret.rs", "ct.rs", "unsafe.rs"] {
+    for name in [
+        "panic.rs",
+        "index.rs",
+        "secret.rs",
+        "ct.rs",
+        "unsafe.rs",
+        "transport.rs",
+    ] {
         let path = fixture_path(name);
         let out = run_binary(&[path.to_str().unwrap()]);
         assert_eq!(

@@ -16,6 +16,7 @@ use crate::rpc::{RpcError, WireTransport};
 use crate::server::{CloudServer, JobHandle, ServerError};
 
 /// The result of one delegated audit round.
+#[must_use = "an unexamined verdict silently drops detected cheating"]
 #[derive(Clone, Debug)]
 pub struct AuditVerdict {
     /// The challenge that was issued.
@@ -27,6 +28,7 @@ pub struct AuditVerdict {
 }
 
 /// The result of one sampled storage audit.
+#[must_use = "an unexamined verdict silently drops detected data loss"]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StorageAuditVerdict {
     /// The positions that were challenged.

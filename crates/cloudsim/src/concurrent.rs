@@ -35,9 +35,15 @@ impl DesignatedAgency {
     /// Audits every job concurrently on up to `threads` workers, returning
     /// verdicts in input order.
     ///
+    /// This is the *direct* (in-process) batch driver; over a real wire,
+    /// route batches through `seccloud-resilience`'s `ResilientPool`
+    /// instead, which adds per-server breakers and replica failover so one
+    /// dead endpoint degrades only its own jobs.
+    ///
     /// # Errors
     ///
     /// Per-job server errors are returned in the corresponding slot.
+    #[must_use = "unexamined verdicts silently drop detected cheating"]
     pub fn audit_many(
         &mut self,
         jobs: &[AuditJob<'_>],

@@ -85,9 +85,11 @@ impl Csp {
         &self.servers
     }
 
-    /// Mutable access to one server (behaviour injection in experiments).
-    pub fn server_mut(&mut self, index: usize) -> &mut CloudServer {
-        &mut self.servers[index]
+    /// Mutable access to one server (behaviour injection in experiments),
+    /// or `None` when `index` is outside the pool — a typed miss instead of
+    /// a bare-index panic in a protocol-adjacent path.
+    pub fn server_mut(&mut self, index: usize) -> Option<&mut CloudServer> {
+        self.servers.get_mut(index)
     }
 
     /// Current epoch number.
@@ -454,6 +456,19 @@ mod tests {
         let (_, _, _, mut csp) = world(2);
         let mut drbg = HmacDrbg::new(b"x");
         csp.advance_epoch(3, Behavior::Honest, &mut drbg);
+    }
+
+    #[test]
+    fn server_mut_is_total_over_indices() {
+        let (_, _, _, mut csp) = world(2);
+        csp.server_mut(0)
+            .expect("in range")
+            .set_behavior(Behavior::Honest);
+        assert!(csp.server_mut(1).is_some());
+        assert!(
+            csp.server_mut(2).is_none(),
+            "out of range is a typed miss, not a panic"
+        );
     }
 
     #[test]

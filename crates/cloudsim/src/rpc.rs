@@ -24,6 +24,35 @@ pub enum RpcError {
     Malformed(WireError),
     /// The underlying server rejected the operation.
     Server(ServerError),
+    /// The call exceeded its per-attempt deadline (virtual time) and the
+    /// response, if any, was discarded.
+    Timeout {
+        /// How long the attempt took before it was abandoned.
+        elapsed_ms: u64,
+    },
+    /// The endpoint's circuit breaker is open: the call failed fast
+    /// without touching the wire.
+    ChannelUnavailable,
+}
+
+impl RpcError {
+    /// Whether retrying this call can plausibly succeed.
+    ///
+    /// The split is the trust boundary of the whole resilience layer:
+    /// decode failures, timeouts and open breakers are *channel* conditions
+    /// — nothing about them is authenticated, so they carry no evidence
+    /// about the server and retrying is sound. [`ServerError`]s are
+    /// *authenticated decisions* by the far end (delegated through
+    /// [`ServerError::is_transient`]) and retrying them verbatim cannot
+    /// change the answer.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RpcError::Malformed(e) => e.is_transient(),
+            RpcError::Server(e) => e.is_transient(),
+            RpcError::Timeout { .. } => true,
+            RpcError::ChannelUnavailable => true,
+        }
+    }
 }
 
 impl std::fmt::Display for RpcError {
@@ -31,6 +60,10 @@ impl std::fmt::Display for RpcError {
         match self {
             RpcError::Malformed(e) => write!(f, "malformed request: {e}"),
             RpcError::Server(e) => write!(f, "server error: {e}"),
+            RpcError::Timeout { elapsed_ms } => {
+                write!(f, "call timed out after {elapsed_ms} ms")
+            }
+            RpcError::ChannelUnavailable => write!(f, "circuit breaker open"),
         }
     }
 }

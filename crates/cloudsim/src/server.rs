@@ -53,6 +53,27 @@ impl std::fmt::Display for ServerError {
     }
 }
 
+impl ServerError {
+    /// Whether retrying the same call can plausibly succeed.
+    ///
+    /// Always `false` today: every variant is a deterministic decision the
+    /// server makes about a well-formed request (missing data, failed
+    /// authentication, an expired warrant), so replaying the request
+    /// verbatim returns the same answer. The method exists so the
+    /// resilience layer's taxonomy stays total if a load-shedding variant
+    /// is ever added.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServerError::MissingBlock { .. }
+            | ServerError::RejectedUpload { .. }
+            | ServerError::UnknownJob
+            | ServerError::BadChallenge
+            | ServerError::Warrant(_)
+            | ServerError::EmptyRequest => false,
+        }
+    }
+}
+
 impl std::error::Error for ServerError {}
 
 /// Handle to a computation job: what a client needs to later audit it.

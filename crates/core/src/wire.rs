@@ -55,6 +55,25 @@ impl std::fmt::Display for WireError {
     }
 }
 
+impl WireError {
+    /// Whether retrying the exchange can plausibly succeed.
+    ///
+    /// Every decode failure is transient: the wire is unauthenticated, so a
+    /// truncation, flipped tag or mangled element says something about the
+    /// *channel*, never about the peer. Authenticated misbehaviour only
+    /// exists after a message decodes and its signatures verify — by
+    /// construction no [`WireError`] carries such evidence.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WireError::Truncated
+            | WireError::BadTag(_)
+            | WireError::BadElement
+            | WireError::TrailingBytes
+            | WireError::LengthOverflow => true,
+        }
+    }
+}
+
 impl std::error::Error for WireError {}
 
 /// Maximum declared collection length accepted while decoding (prevents

@@ -1,0 +1,221 @@
+//! Per-server circuit breaker.
+//!
+//! The classic three-state machine over virtual time:
+//!
+//! ```text
+//!            failures ≥ threshold              cooloff elapsed
+//!   Closed ───────────────────────▶ Open ───────────────────────▶ HalfOpen
+//!     ▲                              ▲                               │
+//!     │ probe succeeds               │ probe fails (cooloff doubles) │
+//!     └──────────────────────────────┴───────────────────────────────┘
+//! ```
+//!
+//! The breaker tracks *availability*, not honesty: only call-level
+//! failures (exhausted retries, timeouts) feed it. Byzantine evidence is
+//! accounted separately in the transport's suspicion score — a reachable
+//! lying server must keep answering audits so it can be convicted, not be
+//! fenced off as "down".
+
+/// Tunables for one [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive call failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Initial Open hold time before a HalfOpen probe is allowed.
+    pub cooloff_ms: u64,
+    /// Ceiling on the doubling cooloff.
+    pub max_cooloff_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooloff_ms: 1_000,
+            max_cooloff_ms: 30_000,
+        }
+    }
+}
+
+/// The breaker's current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; counts consecutive failures.
+    Closed {
+        /// Consecutive call failures seen so far.
+        failures: u32,
+    },
+    /// Fail fast until `until_ms`.
+    Open {
+        /// Virtual time at which a probe becomes allowed.
+        until_ms: u64,
+        /// The cooloff that produced `until_ms` (doubles on re-trip).
+        cooloff_ms: u64,
+    },
+    /// One probe call is in flight; its outcome decides the next state.
+    HalfOpen {
+        /// The cooloff to double if the probe fails.
+        cooloff_ms: u64,
+    },
+}
+
+/// A per-server circuit breaker over virtual time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed { failures: 0 },
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the breaker is currently refusing traffic at `now_ms`.
+    pub fn is_open(&self, now_ms: u64) -> bool {
+        matches!(self.state, BreakerState::Open { until_ms, .. } if now_ms < until_ms)
+    }
+
+    /// Gate for one call at `now_ms`: `true` lets the call proceed (and,
+    /// when Open has cooled off, transitions to a HalfOpen probe); `false`
+    /// means fail fast without touching the wire.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen { .. } => true,
+            BreakerState::Open {
+                until_ms,
+                cooloff_ms,
+            } => {
+                if now_ms >= until_ms {
+                    self.state = BreakerState::HalfOpen { cooloff_ms };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: closes the breaker and clears the streak.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed { failures: 0 };
+    }
+
+    /// Records a failed call at `now_ms`: extends the failure streak, trips
+    /// to Open at the threshold, and doubles the cooloff when a HalfOpen
+    /// probe fails.
+    pub fn on_failure(&mut self, now_ms: u64) {
+        match self.state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    self.trip(now_ms, self.config.cooloff_ms);
+                } else {
+                    self.state = BreakerState::Closed { failures };
+                }
+            }
+            BreakerState::HalfOpen { cooloff_ms } => {
+                let next = cooloff_ms.saturating_mul(2).min(self.config.max_cooloff_ms);
+                self.trip(now_ms, next);
+            }
+            BreakerState::Open { .. } => {
+                // A failure reported while Open (e.g. a queued result):
+                // keep the current hold.
+            }
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64, cooloff_ms: u64) {
+        self.state = BreakerState::Open {
+            until_ms: now_ms.saturating_add(cooloff_ms),
+            cooloff_ms,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooloff_ms: 100,
+            max_cooloff_ms: 400,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(0);
+        assert!(b.allow(0), "still closed below the threshold");
+        b.on_failure(0);
+        assert!(b.is_open(0));
+        assert!(!b.allow(50), "fail fast inside the cooloff");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(0);
+        b.on_success();
+        b.on_failure(0);
+        b.on_failure(0);
+        assert!(b.allow(0), "streak restarted after the success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        assert!(!b.allow(99));
+        assert!(b.allow(100), "cooloff elapsed: probe allowed");
+        assert_eq!(b.state(), BreakerState::HalfOpen { cooloff_ms: 100 });
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed { failures: 0 });
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_cooloff_up_to_the_cap() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        let mut now = 100;
+        for expected in [200u64, 400, 400, 400] {
+            assert!(b.allow(now), "probe at {now}");
+            b.on_failure(now);
+            match b.state() {
+                BreakerState::Open {
+                    until_ms,
+                    cooloff_ms,
+                } => {
+                    assert_eq!(cooloff_ms, expected);
+                    assert_eq!(until_ms, now + expected);
+                    now = until_ms;
+                }
+                s => panic!("expected Open, got {s:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The resilient audit runtime: retries, deadlines, failover and adaptive
+//! challenge escalation for the SecCloud wire protocol.
+//!
+//! The paper's DA "is expected to have enough computational and storage
+//! capability to perform the auditing operations" (Section III-B), but the
+//! raw wire drivers treat any channel hiccup as terminal: one truncated
+//! frame aborts the whole audit. This crate gives the DA a production-grade
+//! recovery layer with a hard rule at its core — **transient transport loss
+//! and authenticated evidence of cheating must never be conflated**:
+//!
+//! * decode failures, truncation and timeouts are *transient*: the channel
+//!   damaged an unauthenticated byte stream, so the call is retried under a
+//!   [`RetryPolicy`] (exponential backoff with DRBG jitter, per-call
+//!   deadlines, a total audit budget on a deterministic [`VirtualClock`]);
+//! * a response that *authenticates* — `Sig(R)` verifies, the nonce echoes,
+//!   the claimed results are bound into the signed root — and is still
+//!   wrong is *byzantine* evidence. It is never retried; it feeds a
+//!   per-endpoint suspicion score and ends the audit with `Detected`.
+//!
+//! Between the two sits adaptive escalation: after a transient-fault burst
+//! or nonzero suspicion the DA re-draws a *larger* challenge before issuing
+//! a verdict — `t' = min(2ˢ·t, n)` squares the paper's `Pr[FCS] = base^t`
+//! escape bound per step (Section VII), capped at a full audit.
+//!
+//! Layered on top, [`ResilientPool`] runs `audit_many` over a pool of
+//! [`ResilientTransport`] endpoints with a per-server [`CircuitBreaker`]:
+//! when a breaker opens the job fails over to replica servers and the batch
+//! reports per-job `Degraded` / `Unreachable` verdicts instead of
+//! poisoning every other job.
+//!
+//! Everything is deterministic: backoff jitter, latency models and
+//! challenge sampling all draw from seeded [`seccloud_hash::HmacDrbg`]
+//! streams, so a failing recovery schedule replays exactly from its seed.
+#![forbid(unsafe_code)]
+
+pub mod breaker;
+pub mod clock;
+pub mod driver;
+pub mod escalation;
+pub mod policy;
+pub mod pool;
+pub mod transport;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use clock::{LatencyModel, VirtualClock};
+pub use driver::{
+    commitment_binds_results, run_job_resilient, storage_audit_resilient, AuditResolution,
+    RecoveryStats, StorageResolution,
+};
+pub use escalation::escalate_sample_size;
+pub use policy::RetryPolicy;
+pub use pool::{PoolJob, PoolVerdict, ResilientPool};
+pub use transport::{Op, OpStats, ResilientTransport};

@@ -1,0 +1,471 @@
+//! Tier-3 resilience: failover across a replicated server pool.
+//!
+//! The CSP replicates data across servers (paper Section III-A, the SLA's
+//! `replication` knob), so an audit does not have to die with its primary
+//! endpoint. [`ResilientPool`] holds one [`ResilientTransport`] per server
+//! and runs batches of audit jobs with per-job failover:
+//!
+//! * a job whose primary endpoint resolves normally yields `Clean` or
+//!   `Detected`, exactly as a single-endpoint audit would;
+//! * when the primary's circuit breaker is open (or the audit comes back
+//!   [`Unresolved`](AuditResolution::Unresolved)), the job **fails over**
+//!   to the next replica in its route and, if a replica answers, yields
+//!   [`Degraded`](PoolVerdict::Degraded) — the answer is trustworthy, the
+//!   service is not;
+//! * only when every routed replica fails does the job report
+//!   [`Unreachable`](PoolVerdict::Unreachable) — and *only that job*: a
+//!   dead server never poisons the rest of the batch.
+//!
+//! Detection always wins over degradation: a replica that produces
+//! cryptographically pinned evidence convicts the pool member regardless of
+//! how many failovers it took to reach it.
+
+use seccloud_cloudsim::agency::DesignatedAgency;
+use seccloud_cloudsim::rpc::WireTransport;
+use seccloud_core::computation::ComputationRequest;
+use seccloud_core::CloudUser;
+
+use crate::driver::{run_job_resilient, AuditResolution, RecoveryStats};
+use crate::transport::ResilientTransport;
+
+/// One audit job routed across the pool.
+#[derive(Clone, Debug)]
+pub struct PoolJob {
+    /// The computation to dispatch and audit.
+    pub request: ComputationRequest,
+    /// Endpoint indices to try, in order: primary first, then replicas.
+    /// Out-of-range indices are skipped (counted as failed replicas).
+    pub route: Vec<usize>,
+    /// Challenge sample size `t` for the opening round.
+    pub sample_size: usize,
+}
+
+/// The per-job outcome of a pool audit batch.
+#[must_use = "an unexamined pool verdict silently drops detected cheating"]
+#[derive(Clone, Debug)]
+pub enum PoolVerdict {
+    /// The primary endpoint answered and the audit verified clean.
+    Clean {
+        /// The answering endpoint index.
+        server: usize,
+        /// The passing audit's resolution (always `Clean`).
+        resolution: AuditResolution,
+    },
+    /// Some endpoint produced cryptographically pinned wrong results.
+    Detected {
+        /// The convicted endpoint index.
+        server: usize,
+        /// Endpoints that failed before the conviction (possibly empty).
+        failed_over: Vec<usize>,
+        /// The convicting resolution (always `Detected`).
+        resolution: AuditResolution,
+    },
+    /// The primary was down but a replica answered clean: the result is
+    /// trustworthy, the service degraded.
+    Degraded {
+        /// The replica that finally answered.
+        server: usize,
+        /// The endpoints that failed before it, in route order.
+        failed_over: Vec<usize>,
+        /// The passing audit's resolution (always `Clean`).
+        resolution: AuditResolution,
+    },
+    /// Every routed endpoint failed; nothing can be concluded about the
+    /// computation — but nothing was concluded *wrongly* either.
+    Unreachable {
+        /// The endpoints that were tried, in route order.
+        attempted: Vec<usize>,
+        /// The last endpoint's failure reason.
+        reason: String,
+    },
+}
+
+impl PoolVerdict {
+    /// Whether the job obtained a trustworthy answer (clean or degraded).
+    pub fn answered(&self) -> bool {
+        matches!(
+            self,
+            PoolVerdict::Clean { .. } | PoolVerdict::Degraded { .. }
+        )
+    }
+
+    /// Whether the job convicted a server.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, PoolVerdict::Detected { .. })
+    }
+
+    /// The recovery stats of the deciding endpoint, when one answered.
+    pub fn stats(&self) -> Option<&RecoveryStats> {
+        match self {
+            PoolVerdict::Clean { resolution, .. }
+            | PoolVerdict::Detected { resolution, .. }
+            | PoolVerdict::Degraded { resolution, .. } => Some(resolution.stats()),
+            PoolVerdict::Unreachable { .. } => None,
+        }
+    }
+}
+
+/// A pool of resilient endpoints with per-job failover (see module docs).
+pub struct ResilientPool<T> {
+    endpoints: Vec<ResilientTransport<T>>,
+}
+
+impl<T> std::fmt::Debug for ResilientPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientPool")
+            .field("endpoints", &self.endpoints.len())
+            .finish()
+    }
+}
+
+impl<T: WireTransport> ResilientPool<T> {
+    /// A pool over `endpoints` (index = server index in every job route).
+    pub fn new(endpoints: Vec<ResilientTransport<T>>) -> Self {
+        Self { endpoints }
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// One endpoint, if in range.
+    pub fn endpoint(&self, index: usize) -> Option<&ResilientTransport<T>> {
+        self.endpoints.get(index)
+    }
+
+    /// Mutable access to one endpoint (test fault scheduling), if in range.
+    pub fn endpoint_mut(&mut self, index: usize) -> Option<&mut ResilientTransport<T>> {
+        self.endpoints.get_mut(index)
+    }
+
+    /// Indices of endpoints whose breaker is currently open — the health
+    /// tracker's view of the pool.
+    pub fn open_breakers(&self) -> Vec<usize> {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.breaker_is_open())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total suspicion (authenticated-misbehaviour marks) across the pool.
+    pub fn suspicion(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(ResilientTransport::suspicion)
+            .sum()
+    }
+
+    /// Runs every job with per-job failover, returning verdicts in input
+    /// order. A job with an empty (or fully out-of-range) route is
+    /// `Unreachable`; no job outcome ever depends on another job's servers
+    /// being up.
+    pub fn audit_many(
+        &mut self,
+        da: &mut DesignatedAgency,
+        owner: &CloudUser,
+        jobs: &[PoolJob],
+        now: u64,
+    ) -> Vec<PoolVerdict> {
+        jobs.iter()
+            .map(|job| self.run_one(da, owner, job, now))
+            .collect()
+    }
+
+    fn run_one(
+        &mut self,
+        da: &mut DesignatedAgency,
+        owner: &CloudUser,
+        job: &PoolJob,
+        now: u64,
+    ) -> PoolVerdict {
+        let mut attempted = Vec::new();
+        let mut last_reason = "empty route".to_string();
+        for &server in &job.route {
+            let Some(endpoint) = self.endpoints.get_mut(server) else {
+                last_reason = format!("endpoint {server} not in pool");
+                continue;
+            };
+            attempted.push(server);
+            if endpoint.breaker_is_open() {
+                // The health tracker says this server is down: fail over
+                // without burning the job's retry budget on it.
+                last_reason = format!("endpoint {server} breaker open");
+                continue;
+            }
+            let resolution =
+                run_job_resilient(da, endpoint, owner, &job.request, job.sample_size, now);
+            match resolution {
+                AuditResolution::Clean { .. } => {
+                    let failed_over: Vec<usize> = attempted[..attempted.len() - 1].to_vec();
+                    return if failed_over.is_empty() {
+                        PoolVerdict::Clean { server, resolution }
+                    } else {
+                        PoolVerdict::Degraded {
+                            server,
+                            failed_over,
+                            resolution,
+                        }
+                    };
+                }
+                AuditResolution::Detected { .. } => {
+                    return PoolVerdict::Detected {
+                        server,
+                        failed_over: attempted[..attempted.len() - 1].to_vec(),
+                        resolution,
+                    };
+                }
+                AuditResolution::Unresolved { ref reason, .. } => {
+                    last_reason = format!("endpoint {server}: {reason}");
+                }
+            }
+        }
+        PoolVerdict::Unreachable {
+            attempted,
+            reason: last_reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RetryPolicy;
+    use seccloud_cloudsim::behavior::Behavior;
+    use seccloud_cloudsim::rpc::{encode_store_body, WireServer, WireTransport};
+    use seccloud_cloudsim::server::CloudServer;
+    use seccloud_core::computation::{ComputeFunction, RequestItem};
+    use seccloud_core::storage::DataBlock;
+    use seccloud_core::Sio;
+    use seccloud_testkit::fault::{Endpoint, FaultKind, FaultyChannel};
+
+    const N_BLOCKS: u64 = 8;
+
+    struct World {
+        user: CloudUser,
+        da: DesignatedAgency,
+        pool: ResilientPool<FaultyChannel<WireServer>>,
+    }
+
+    /// A pool of `behaviors.len()` servers, every block replicated to all
+    /// of them (full replication: any server can serve any slice).
+    fn world(behaviors: &[Behavior], seed: u64) -> World {
+        let sio = Sio::new(b"pool-tests");
+        let user = sio.register("alice");
+        let da = DesignatedAgency::new(&sio, "da", b"agency");
+        let servers: Vec<CloudServer> = behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, b)| CloudServer::new(&sio, &format!("cs-{i}"), b.clone(), b"srv"))
+            .collect();
+        let blocks: Vec<DataBlock> = (0..N_BLOCKS)
+            .map(|i| DataBlock::from_values(i, &[i * 3, i + 2]))
+            .collect();
+        let mut verifiers: Vec<_> = servers.iter().map(|s| s.public().clone()).collect();
+        verifiers.push(da.public().clone());
+        let refs: Vec<&_> = verifiers.iter().collect();
+        let signed = user.sign_blocks(&blocks, &refs);
+        let body = encode_store_body(&signed);
+        let endpoints = servers
+            .into_iter()
+            .enumerate()
+            .map(|(i, server)| {
+                let channel = FaultyChannel::new(WireServer::new(server), seed + i as u64, 0.0);
+                let mut t = ResilientTransport::new(
+                    channel,
+                    RetryPolicy::default(),
+                    &[b"pool", &seed.to_be_bytes()[..], &[i as u8]].concat(),
+                );
+                assert_eq!(
+                    t.rpc_store(user.identity(), &body).unwrap(),
+                    N_BLOCKS,
+                    "replica {i} seeded"
+                );
+                t
+            })
+            .collect();
+        World {
+            user,
+            da,
+            pool: ResilientPool::new(endpoints),
+        }
+    }
+
+    fn job(route: &[usize]) -> PoolJob {
+        PoolJob {
+            request: ComputationRequest::new(
+                (0..4u64)
+                    .map(|i| RequestItem {
+                        function: ComputeFunction::Sum,
+                        positions: vec![i, i + 1],
+                    })
+                    .collect(),
+            ),
+            route: route.to_vec(),
+            sample_size: 4,
+        }
+    }
+
+    /// Kills an endpoint: every audit and compute payload is truncated
+    /// forever, so calls exhaust their retries and trip the breaker.
+    fn kill(w: &mut World, index: usize) {
+        w.pool
+            .endpoint_mut(index)
+            .expect("in range")
+            .inner_mut()
+            .set_forced(Some((Endpoint::Compute, FaultKind::Truncate)));
+    }
+
+    #[test]
+    fn healthy_pool_resolves_every_job_clean() {
+        let mut w = world(&[Behavior::Honest, Behavior::Honest, Behavior::Honest], 1);
+        let jobs = [job(&[0, 1]), job(&[1, 2]), job(&[2, 0])];
+        let verdicts = w.pool.audit_many(&mut w.da, &w.user, &jobs, 0);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert!(
+                matches!(v, PoolVerdict::Clean { server, .. } if *server == jobs[i].route[0]),
+                "job {i}: {v:?}"
+            );
+        }
+        assert!(w.pool.open_breakers().is_empty());
+    }
+
+    #[test]
+    fn dead_primary_fails_over_to_a_degraded_verdict() {
+        let mut w = world(&[Behavior::Honest, Behavior::Honest], 2);
+        kill(&mut w, 0);
+        let verdicts = w.pool.audit_many(&mut w.da, &w.user, &[job(&[0, 1])], 0);
+        let PoolVerdict::Degraded {
+            server,
+            failed_over,
+            resolution,
+        } = &verdicts[0]
+        else {
+            panic!("expected Degraded, got {:?}", verdicts[0]);
+        };
+        assert_eq!(*server, 1);
+        assert_eq!(failed_over, &[0]);
+        assert!(resolution.is_clean());
+    }
+
+    #[test]
+    fn open_breaker_skips_the_primary_without_burning_budget() {
+        let mut w = world(&[Behavior::Honest, Behavior::Honest], 3);
+        kill(&mut w, 0);
+        // First job grinds endpoint 0 down and trips its breaker.
+        let first = w.pool.audit_many(&mut w.da, &w.user, &[job(&[0, 1])], 0);
+        assert!(first[0].answered());
+        assert_eq!(w.pool.open_breakers(), vec![0], "breaker tripped");
+        let attempts_before = w
+            .pool
+            .endpoint(0)
+            .expect("in range")
+            .stats(crate::transport::Op::Compute)
+            .attempts;
+        // Second job must fail over instantly: no new wire attempts on 0.
+        let second = w.pool.audit_many(&mut w.da, &w.user, &[job(&[0, 1])], 0);
+        let PoolVerdict::Degraded { failed_over, .. } = &second[0] else {
+            panic!("expected Degraded, got {:?}", second[0]);
+        };
+        assert_eq!(failed_over, &[0]);
+        assert_eq!(
+            w.pool
+                .endpoint(0)
+                .expect("in range")
+                .stats(crate::transport::Op::Compute)
+                .attempts,
+            attempts_before,
+            "open breaker means zero traffic to the dead endpoint"
+        );
+    }
+
+    #[test]
+    fn cheating_replica_is_detected_even_after_failover() {
+        let mut w = world(
+            &[
+                Behavior::Honest,
+                Behavior::ComputationCheater {
+                    csc: 0.0,
+                    guess_range: None,
+                },
+            ],
+            4,
+        );
+        kill(&mut w, 0);
+        let verdicts = w.pool.audit_many(&mut w.da, &w.user, &[job(&[0, 1])], 0);
+        let PoolVerdict::Detected {
+            server,
+            failed_over,
+            resolution,
+        } = &verdicts[0]
+        else {
+            panic!("expected Detected, got {:?}", verdicts[0]);
+        };
+        assert_eq!(*server, 1);
+        assert_eq!(failed_over, &[0]);
+        assert!(resolution.is_detected());
+        assert_eq!(w.pool.suspicion(), 1);
+    }
+
+    #[test]
+    fn fully_dead_route_is_unreachable_and_does_not_poison_the_batch() {
+        let mut w = world(&[Behavior::Honest, Behavior::Honest, Behavior::Honest], 5);
+        kill(&mut w, 0);
+        kill(&mut w, 1);
+        let jobs = [job(&[0, 1]), job(&[2])];
+        let verdicts = w.pool.audit_many(&mut w.da, &w.user, &jobs, 0);
+        let PoolVerdict::Unreachable { attempted, reason } = &verdicts[0] else {
+            panic!("expected Unreachable, got {:?}", verdicts[0]);
+        };
+        assert_eq!(attempted, &[0, 1]);
+        assert!(!reason.is_empty());
+        assert!(
+            matches!(&verdicts[1], PoolVerdict::Clean { server: 2, .. }),
+            "the healthy job is unaffected: {:?}",
+            verdicts[1]
+        );
+    }
+
+    #[test]
+    fn out_of_range_and_empty_routes_degrade_gracefully() {
+        let mut w = world(&[Behavior::Honest], 6);
+        let jobs = [job(&[9, 0]), job(&[])];
+        let verdicts = w.pool.audit_many(&mut w.da, &w.user, &jobs, 0);
+        assert!(
+            matches!(&verdicts[0], PoolVerdict::Clean { server: 0, .. }),
+            "bad index skipped, real endpoint answers: {:?}",
+            verdicts[0]
+        );
+        let PoolVerdict::Unreachable { attempted, .. } = &verdicts[1] else {
+            panic!("expected Unreachable, got {:?}", verdicts[1]);
+        };
+        assert!(attempted.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_batch_outcome() {
+        let run = || {
+            let mut w = world(&[Behavior::Honest, Behavior::Honest], 7);
+            w.pool
+                .endpoint_mut(0)
+                .expect("in range")
+                .inner_mut()
+                .set_forced_burst(Endpoint::Audit, FaultKind::BitFlip, 2);
+            let verdicts = w
+                .pool
+                .audit_many(&mut w.da, &w.user, &[job(&[0, 1]), job(&[1, 0])], 0);
+            verdicts
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

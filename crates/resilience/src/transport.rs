@@ -1,0 +1,648 @@
+//! Tier-1 resilience: a retrying, breaker-gated [`WireTransport`] wrapper.
+//!
+//! [`ResilientTransport`] sits between the protocol logic and a raw
+//! channel. Each RPC is retried under the [`RetryPolicy`] whenever the
+//! failure is *structural* — a decode error from the server, a timeout, or
+//! a returned payload that does not even parse as the expected message
+//! type. Structural damage is unauthenticated channel noise; retrying it is
+//! sound and invisible to the protocol above.
+//!
+//! What tier 1 deliberately does **not** retry:
+//!
+//! * [`ServerError`](seccloud_cloudsim::server::ServerError)s — deterministic,
+//!   authenticated decisions by the far end;
+//! * responses that decode but fail *verification* — those reach the audit
+//!   driver (tier 2), which decides between escalation and conviction.
+//!
+//! A per-endpoint [`CircuitBreaker`] watches final call outcomes (not
+//! individual attempts) and fails fast while open, so a dead server cannot
+//! stall a whole audit batch. Byzantine evidence is tracked separately via
+//! [`ResilientTransport::note_byzantine`] and never trips the breaker: a
+//! lying server must stay reachable to be convicted.
+
+use seccloud_cloudsim::rpc::{RpcError, WireTransport};
+use seccloud_cloudsim::server::ServerError;
+use seccloud_core::computation::Commitment;
+use seccloud_core::storage::SignedBlock;
+use seccloud_core::wire::{Reader, WireMessage};
+use seccloud_hash::HmacDrbg;
+use seccloud_ibs::{UserPublic, VerifierPublic};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::clock::{LatencyModel, VirtualClock};
+use crate::policy::RetryPolicy;
+
+/// The four wire endpoints, as stat buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Block upload.
+    Store,
+    /// Computation dispatch.
+    Compute,
+    /// Delegated audit challenge/response.
+    Audit,
+    /// Single-block retrieval.
+    Retrieve,
+}
+
+impl Op {
+    /// All endpoints, in stat-bucket order.
+    pub const ALL: [Op; 4] = [Op::Store, Op::Compute, Op::Audit, Op::Retrieve];
+
+    fn idx(self) -> usize {
+        match self {
+            Op::Store => 0,
+            Op::Compute => 1,
+            Op::Audit => 2,
+            Op::Retrieve => 3,
+        }
+    }
+}
+
+/// Per-endpoint counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Individual wire attempts (including retries).
+    pub attempts: u64,
+    /// Calls that ultimately returned a structurally valid result.
+    pub successes: u64,
+    /// Attempts that failed transiently and were (or could be) retried.
+    pub transient_faults: u64,
+    /// Authenticated-misbehaviour marks recorded against this endpoint.
+    pub byzantine_marks: u64,
+}
+
+/// Outcome of one attempt, before retry classification.
+enum Attempt<T> {
+    Ok(T),
+    Transient(RpcError),
+    Fatal(RpcError),
+}
+
+/// A [`WireTransport`] that retries structural damage, charges virtual
+/// latency, and fails fast behind a circuit breaker.
+///
+/// All nondeterminism (backoff jitter, latency draws) comes from a seeded
+/// [`HmacDrbg`] over a [`VirtualClock`], so a recovery schedule replays
+/// bit-for-bit from its seed.
+pub struct ResilientTransport<T> {
+    inner: T,
+    policy: RetryPolicy,
+    clock: VirtualClock,
+    drbg: HmacDrbg,
+    latency: Option<LatencyModel>,
+    breaker: CircuitBreaker,
+    stats: [OpStats; 4],
+}
+
+impl<T> std::fmt::Debug for ResilientTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientTransport")
+            .field("clock", &self.clock)
+            .field("breaker", &self.breaker)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: WireTransport> ResilientTransport<T> {
+    /// Wraps `inner` with `policy`, seeding the jitter/latency DRBG from
+    /// `seed`. The virtual clock starts at zero and no latency is modeled
+    /// until [`set_latency`](Self::set_latency).
+    pub fn new(inner: T, policy: RetryPolicy, seed: &[u8]) -> Self {
+        Self {
+            inner,
+            policy,
+            clock: VirtualClock::new(0),
+            drbg: HmacDrbg::new(seed),
+            latency: None,
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
+            stats: [OpStats::default(); 4],
+        }
+    }
+
+    /// Replaces the breaker configuration (resets the breaker to Closed).
+    pub fn set_breaker(&mut self, config: BreakerConfig) {
+        self.breaker = CircuitBreaker::new(config);
+    }
+
+    /// Installs a per-attempt latency model; attempts whose drawn latency
+    /// exceeds the policy's `call_timeout_ms` become transient timeouts.
+    pub fn set_latency(&mut self, latency: Option<LatencyModel>) {
+        self.latency = latency;
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The transport's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The per-server circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Whether the breaker is refusing traffic right now.
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker.is_open(self.clock.now_ms())
+    }
+
+    /// Counters for one endpoint.
+    pub fn stats(&self, op: Op) -> OpStats {
+        self.stats[op.idx()]
+    }
+
+    /// Total authenticated-misbehaviour marks across all endpoints. Any
+    /// nonzero suspicion makes the audit driver escalate its next
+    /// challenge.
+    pub fn suspicion(&self) -> u64 {
+        self.stats.iter().map(|s| s.byzantine_marks).sum()
+    }
+
+    /// Records authenticated misbehaviour against `op`. Deliberately does
+    /// **not** touch the breaker — see the module docs.
+    pub fn note_byzantine(&mut self, op: Op) {
+        self.stats[op.idx()].byzantine_marks += 1;
+    }
+
+    /// The wrapped channel.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped channel (for test fault scheduling).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the channel.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Charges one attempt's latency; returns `Err(Timeout)` when the draw
+    /// exceeds the per-call deadline (the full latency is still charged —
+    /// the caller waited that long to find out).
+    fn charge_latency(&mut self) -> Result<(), RpcError> {
+        let Some(model) = self.latency else {
+            return Ok(());
+        };
+        let elapsed_ms = model.sample(&mut self.drbg);
+        self.clock.advance(elapsed_ms);
+        if elapsed_ms > self.policy.call_timeout_ms {
+            Err(RpcError::Timeout { elapsed_ms })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The shared retry loop: run `attempt` up to `max_attempts` times with
+    /// exponential backoff between transient failures, then report the
+    /// final outcome to the breaker.
+    fn call<R>(
+        &mut self,
+        op: Op,
+        mut attempt: impl FnMut(&mut T) -> Attempt<R>,
+    ) -> Result<R, RpcError> {
+        if !self.breaker.allow(self.clock.now_ms()) {
+            self.stats[op.idx()].transient_faults += 1;
+            return Err(RpcError::ChannelUnavailable);
+        }
+        let mut last = RpcError::ChannelUnavailable;
+        for attempt_no in 1..=self.policy.max_attempts.max(1) {
+            if attempt_no > 1 {
+                let wait = self.policy.backoff_ms(attempt_no - 1, &mut self.drbg);
+                self.clock.advance(wait);
+            }
+            self.stats[op.idx()].attempts += 1;
+            let outcome = match self.charge_latency() {
+                Err(timeout) => Attempt::Transient(timeout),
+                Ok(()) => attempt(&mut self.inner),
+            };
+            match outcome {
+                Attempt::Ok(value) => {
+                    self.stats[op.idx()].successes += 1;
+                    self.breaker.on_success();
+                    return Ok(value);
+                }
+                Attempt::Transient(e) => {
+                    self.stats[op.idx()].transient_faults += 1;
+                    last = e;
+                }
+                Attempt::Fatal(e) => {
+                    // An authenticated server decision: not the channel's
+                    // fault, so the breaker stays untouched.
+                    return Err(e);
+                }
+            }
+        }
+        self.breaker.on_failure(self.clock.now_ms());
+        Err(last)
+    }
+}
+
+/// Splits an [`RpcError`] into retryable vs. final.
+fn classify<R>(e: RpcError) -> Attempt<R> {
+    if e.is_transient() {
+        Attempt::Transient(e)
+    } else {
+        Attempt::Fatal(e)
+    }
+}
+
+/// The block indices declared by an (honest, caller-built) store body.
+/// Returns `None` when the body itself does not parse — a caller bug, not
+/// channel damage, so no read-back is possible.
+fn store_body_indices(body: &[u8]) -> Option<Vec<u64>> {
+    let mut r = Reader::new(body).ok()?;
+    let n = r.take_len_elems(8 + 8 + 8).ok()?;
+    let mut indices = Vec::with_capacity(n);
+    for _ in 0..n {
+        indices.push(SignedBlock::decode_body(&mut r).ok()?.block().index());
+    }
+    r.finish().ok()?;
+    Some(indices)
+}
+
+impl<T: WireTransport> WireTransport for ResilientTransport<T> {
+    /// Store with read-your-writes verification: an attempt only counts as
+    /// successful when the server accepted *every* block and each uploaded
+    /// index reads back as a block at that index. A channel that mangles
+    /// part of an upload (the server auth-rejects damaged blocks at ingest)
+    /// therefore triggers a clean retry instead of a silent partial store.
+    fn rpc_store(&mut self, owner_identity: &str, body: &[u8]) -> Result<u64, RpcError> {
+        let expected = store_body_indices(body);
+        self.call(Op::Store, |inner| {
+            let accepted = match inner.rpc_store(owner_identity, body) {
+                Ok(n) => n,
+                Err(e) => return classify(e),
+            };
+            let Some(indices) = &expected else {
+                // Unparseable caller body: pass the server's answer through.
+                return Attempt::Ok(accepted);
+            };
+            if accepted != indices.len() as u64 {
+                return Attempt::Transient(RpcError::Server(ServerError::RejectedUpload {
+                    slot: accepted as usize,
+                }));
+            }
+            for &index in indices {
+                let ok = inner
+                    .rpc_retrieve(owner_identity, index)
+                    .and_then(|bytes| SignedBlock::from_wire(&bytes).ok())
+                    .is_some_and(|b| b.block().index() == index);
+                if !ok {
+                    return Attempt::Transient(RpcError::Server(ServerError::MissingBlock {
+                        position: index,
+                    }));
+                }
+            }
+            Attempt::Ok(accepted)
+        })
+    }
+
+    /// Compute with structural validation: the returned bytes must decode
+    /// as a [`Commitment`] or the attempt is retried. Whether the
+    /// commitment is *correct* is the audit's job, not the transport's.
+    fn rpc_compute(
+        &mut self,
+        owner_identity: &str,
+        auditor_identity: &str,
+        body: &[u8],
+    ) -> Result<(u64, Vec<u8>), RpcError> {
+        self.call(Op::Compute, |inner| {
+            match inner.rpc_compute(owner_identity, auditor_identity, body) {
+                Err(e) => classify(e),
+                Ok((job_id, bytes)) => match Commitment::from_wire(&bytes) {
+                    Ok(_) => Attempt::Ok((job_id, bytes)),
+                    Err(e) => Attempt::Transient(RpcError::Malformed(e)),
+                },
+            }
+        })
+    }
+
+    /// Audit with structural validation: the response bytes must decode as
+    /// an [`AuditResponse`](seccloud_core::computation::AuditResponse).
+    /// Responses that decode but fail verification pass through untouched —
+    /// distinguishing replay from lies takes the commitment, which lives a
+    /// layer up in [`run_job_resilient`](crate::run_job_resilient).
+    fn rpc_audit(
+        &mut self,
+        owner_identity: &str,
+        auditor_identity: &str,
+        job_id: u64,
+        challenge_bytes: &[u8],
+        warrant_bytes: &[u8],
+        now: u64,
+    ) -> Result<Vec<u8>, RpcError> {
+        self.call(Op::Audit, |inner| {
+            match inner.rpc_audit(
+                owner_identity,
+                auditor_identity,
+                job_id,
+                challenge_bytes,
+                warrant_bytes,
+                now,
+            ) {
+                Err(e) => classify(e),
+                Ok(bytes) => match seccloud_core::computation::AuditResponse::from_wire(&bytes) {
+                    Ok(_) => Attempt::Ok(bytes),
+                    Err(e) => Attempt::Transient(RpcError::Malformed(e)),
+                },
+            }
+        })
+    }
+
+    /// Retrieve with structural validation. `None` from the channel is
+    /// authoritative (the server has no such block — retrying cannot
+    /// conjure one); bytes that fail to decode as a
+    /// [`SignedBlock`] are retried. If every attempt returns damaged
+    /// bytes, the *last* damaged payload is returned so the caller's own
+    /// verification can only push toward an unhealthy verdict, never a
+    /// false pass.
+    fn rpc_retrieve(&mut self, owner_identity: &str, position: u64) -> Option<Vec<u8>> {
+        let mut last_damaged: Option<Vec<u8>> = None;
+        let result = self.call(Op::Retrieve, |inner| {
+            match inner.rpc_retrieve(owner_identity, position) {
+                None => Attempt::Ok(None),
+                Some(bytes) => {
+                    if SignedBlock::from_wire(&bytes).is_ok() {
+                        Attempt::Ok(Some(bytes))
+                    } else {
+                        last_damaged = Some(bytes);
+                        Attempt::Transient(RpcError::Malformed(
+                            seccloud_core::wire::WireError::BadElement,
+                        ))
+                    }
+                }
+            }
+        });
+        match result {
+            Ok(found) => found,
+            Err(_) => last_damaged,
+        }
+    }
+
+    fn peer_verifier(&self) -> VerifierPublic {
+        self.inner.peer_verifier()
+    }
+
+    fn peer_signer(&self) -> UserPublic {
+        self.inner.peer_signer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scriptable transport: fails the next `fail_next` calls of every
+    /// endpoint with a transient decode error, then succeeds with canned
+    /// payloads.
+    struct Flaky {
+        fail_next: u32,
+        calls: u32,
+        commitment_bytes: Vec<u8>,
+        response_bytes: Vec<u8>,
+        block_bytes: Vec<u8>,
+        verifier: VerifierPublic,
+        signer: UserPublic,
+    }
+
+    fn canned() -> Flaky {
+        use seccloud_cloudsim::behavior::Behavior;
+        use seccloud_cloudsim::server::CloudServer;
+        use seccloud_core::computation::{ComputationRequest, ComputeFunction, RequestItem};
+        use seccloud_core::storage::DataBlock;
+        use seccloud_core::Sio;
+
+        let sio = Sio::new(b"transport-tests");
+        let user = sio.register("alice");
+        let mut server = CloudServer::new(&sio, "cs", Behavior::Honest, b"s");
+        let da = sio.register_verifier("da");
+        let blocks: Vec<DataBlock> = (0..4).map(|i| DataBlock::from_values(i, &[i])).collect();
+        let signed = user.sign_blocks(&blocks, &[server.public(), da.public()]);
+        let block_bytes = signed[0].to_wire();
+        server.store(&user, signed);
+        let request = ComputationRequest::new(vec![RequestItem {
+            function: ComputeFunction::Sum,
+            positions: vec![0, 1],
+        }]);
+        let handle = server
+            .handle_computation(&"alice".to_string(), &request, da.public())
+            .unwrap();
+        let challenge = {
+            let mut drbg = seccloud_hash::HmacDrbg::new(b"ch");
+            seccloud_core::computation::AuditChallenge::sample(&mut drbg, 1, 1)
+        };
+        let warrant = seccloud_core::warrant::Warrant::issue(
+            &user,
+            "da",
+            1_000,
+            request.digest(),
+            &[server.public(), da.public()],
+        );
+        let response = server
+            .handle_audit(handle.job_id, &challenge, &warrant, user.public(), "da", 0)
+            .unwrap();
+        Flaky {
+            fail_next: 0,
+            calls: 0,
+            commitment_bytes: handle.commitment.to_wire(),
+            response_bytes: response.to_wire(),
+            block_bytes,
+            verifier: server.public().clone(),
+            signer: server.signer_public().clone(),
+        }
+    }
+
+    impl WireTransport for Flaky {
+        fn rpc_store(&mut self, _owner: &str, _body: &[u8]) -> Result<u64, RpcError> {
+            unimplemented!("store path is covered by the fault-injection suite")
+        }
+
+        fn rpc_compute(
+            &mut self,
+            _owner: &str,
+            _auditor: &str,
+            _body: &[u8],
+        ) -> Result<(u64, Vec<u8>), RpcError> {
+            self.calls += 1;
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return Err(RpcError::Malformed(
+                    seccloud_core::wire::WireError::Truncated,
+                ));
+            }
+            Ok((7, self.commitment_bytes.clone()))
+        }
+
+        fn rpc_audit(
+            &mut self,
+            _owner: &str,
+            _auditor: &str,
+            _job: u64,
+            _challenge: &[u8],
+            _warrant: &[u8],
+            _now: u64,
+        ) -> Result<Vec<u8>, RpcError> {
+            self.calls += 1;
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                // Decodable garbage is also damage: return bytes that are
+                // not an AuditResponse.
+                return Ok(vec![0xFF; 9]);
+            }
+            Ok(self.response_bytes.clone())
+        }
+
+        fn rpc_retrieve(&mut self, _owner: &str, position: u64) -> Option<Vec<u8>> {
+            self.calls += 1;
+            if position == 99 {
+                return None;
+            }
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return Some(vec![0xAB; 5]);
+            }
+            Some(self.block_bytes.clone())
+        }
+
+        fn peer_verifier(&self) -> VerifierPublic {
+            self.verifier.clone()
+        }
+
+        fn peer_signer(&self) -> UserPublic {
+            self.signer.clone()
+        }
+    }
+
+    fn wrap(inner: Flaky) -> ResilientTransport<Flaky> {
+        ResilientTransport::new(inner, RetryPolicy::default(), b"rt-test")
+    }
+
+    #[test]
+    fn transient_compute_failures_are_retried_to_success() {
+        let mut flaky = canned();
+        flaky.fail_next = 2;
+        let mut rt = wrap(flaky);
+        let (job_id, bytes) = rt.rpc_compute("alice", "da", b"ignored").unwrap();
+        assert_eq!(job_id, 7);
+        assert!(Commitment::from_wire(&bytes).is_ok());
+        let s = rt.stats(Op::Compute);
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.transient_faults, 2);
+        assert_eq!(s.successes, 1);
+        assert!(rt.clock().now_ms() > 0, "backoff advanced the clock");
+    }
+
+    #[test]
+    fn undecodable_audit_responses_count_as_damage() {
+        let mut flaky = canned();
+        flaky.fail_next = 1;
+        let mut rt = wrap(flaky);
+        let bytes = rt.rpc_audit("alice", "da", 0, b"", b"", 0).unwrap();
+        assert!(seccloud_core::computation::AuditResponse::from_wire(&bytes).is_ok());
+        assert_eq!(rt.stats(Op::Audit).transient_faults, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_trip_the_breaker_and_fail_fast() {
+        let mut flaky = canned();
+        flaky.fail_next = u32::MAX; // never heals
+        let mut rt = wrap(flaky);
+        rt.set_breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooloff_ms: 1_000_000,
+            max_cooloff_ms: 1_000_000,
+        });
+        let per_call = rt.policy().max_attempts;
+        assert!(rt.rpc_compute("a", "d", b"").is_err());
+        assert!(rt.rpc_compute("a", "d", b"").is_err());
+        assert!(rt.breaker_is_open());
+        let attempts_before = rt.stats(Op::Compute).attempts;
+        assert_eq!(attempts_before, u64::from(per_call) * 2);
+        assert_eq!(
+            rt.rpc_compute("a", "d", b"").unwrap_err(),
+            RpcError::ChannelUnavailable,
+            "open breaker fails fast"
+        );
+        assert_eq!(
+            rt.stats(Op::Compute).attempts,
+            attempts_before,
+            "no wire traffic while open"
+        );
+    }
+
+    #[test]
+    fn missing_block_is_authoritative_not_retried() {
+        let mut rt = wrap(canned());
+        assert!(rt.rpc_retrieve("alice", 99).is_none());
+        let s = rt.stats(Op::Retrieve);
+        assert_eq!(s.attempts, 1, "None is final: no retry");
+        assert_eq!(s.successes, 1);
+    }
+
+    #[test]
+    fn persistently_damaged_retrieve_returns_the_damage() {
+        let mut flaky = canned();
+        flaky.fail_next = u32::MAX;
+        let mut rt = wrap(flaky);
+        let bytes = rt.rpc_retrieve("alice", 0).expect("damaged bytes surface");
+        assert!(
+            SignedBlock::from_wire(&bytes).is_err(),
+            "caller's verification sees the damage and reports unhealthy"
+        );
+    }
+
+    #[test]
+    fn byzantine_marks_raise_suspicion_without_touching_the_breaker() {
+        let mut rt = wrap(canned());
+        assert_eq!(rt.suspicion(), 0);
+        rt.note_byzantine(Op::Audit);
+        rt.note_byzantine(Op::Audit);
+        assert_eq!(rt.suspicion(), 2);
+        assert_eq!(rt.stats(Op::Audit).byzantine_marks, 2);
+        assert!(!rt.breaker_is_open(), "liars stay reachable");
+    }
+
+    #[test]
+    fn latency_over_deadline_becomes_a_transient_timeout() {
+        let mut rt = wrap(canned());
+        rt.policy.call_timeout_ms = 10;
+        rt.set_latency(Some(LatencyModel {
+            base_ms: 50,
+            jitter_ms: 0,
+        }));
+        let err = rt.rpc_compute("a", "d", b"").unwrap_err();
+        assert!(matches!(err, RpcError::Timeout { elapsed_ms: 50 }));
+        assert!(err.is_transient());
+        assert_eq!(
+            rt.inner().calls,
+            0,
+            "timed-out attempts never reach the server"
+        );
+        assert!(rt.clock().now_ms() >= 200, "latency was still charged");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let mut flaky = canned();
+            flaky.fail_next = 3;
+            let mut rt = ResilientTransport::new(flaky, RetryPolicy::default(), b"det");
+            rt.set_latency(Some(LatencyModel {
+                base_ms: 5,
+                jitter_ms: 4,
+            }));
+            rt.rpc_compute("a", "d", b"").unwrap();
+            (rt.clock().now_ms(), rt.stats(Op::Compute))
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -105,6 +105,9 @@ pub struct FaultyChannel<T> {
     drbg: HmacDrbg,
     fault_rate: f64,
     forced: Option<(Endpoint, FaultKind)>,
+    /// When set, `forced` only applies to this many more payloads on its
+    /// endpoint, then the channel turns clean (recovery-mode sweeps).
+    forced_burst: Option<u32>,
     epoch: u64,
     /// Honest payloads seen so far: `(endpoint, epoch, bytes)`.
     history: Vec<(Endpoint, u64, Vec<u8>)>,
@@ -134,6 +137,7 @@ impl<T: WireTransport> FaultyChannel<T> {
             drbg: HmacDrbg::new(&label),
             fault_rate,
             forced: None,
+            forced_burst: None,
             epoch: 0,
             history: Vec::new(),
             plan: FaultPlan {
@@ -148,6 +152,17 @@ impl<T: WireTransport> FaultyChannel<T> {
     /// by the exhaustive single-fault sweep.
     pub fn set_forced(&mut self, forced: Option<(Endpoint, FaultKind)>) {
         self.forced = forced;
+        self.forced_burst = None;
+    }
+
+    /// Forces `kind` on the next `count` payloads crossing `endpoint`,
+    /// after which the channel turns clean. This is the recovery-mode
+    /// schedule: a finite burst that a correct retry layer must mask
+    /// completely, where [`set_forced`](Self::set_forced) models a
+    /// permanently dead path that must trip the breaker instead.
+    pub fn set_forced_burst(&mut self, endpoint: Endpoint, kind: FaultKind, count: u32) {
+        self.forced = Some((endpoint, kind));
+        self.forced_burst = Some(count);
     }
 
     /// Starts a new epoch: payloads recorded before this point become
@@ -174,7 +189,19 @@ impl<T: WireTransport> FaultyChannel<T> {
     /// Decides whether this payload gets a fault.
     fn roll(&mut self, endpoint: Endpoint) -> Option<FaultKind> {
         match self.forced {
-            Some((e, k)) => (e == endpoint).then_some(k),
+            Some((e, k)) => {
+                if e != endpoint {
+                    return None;
+                }
+                match &mut self.forced_burst {
+                    None => Some(k),
+                    Some(0) => None,
+                    Some(left) => {
+                        *left -= 1;
+                        Some(k)
+                    }
+                }
+            }
             None => {
                 if self.fault_rate > 0.0 && self.drbg.next_f64() < self.fault_rate {
                     let k = FaultKind::ALL[self.drbg.next_below(8) as usize];
@@ -480,6 +507,33 @@ mod tests {
         ch.set_forced(Some((Endpoint::Audit, FaultKind::Duplicate)));
         let resp = ch.rpc_audit("alice", "da", 0, b"", b"", 0).unwrap();
         assert_eq!(resp, [vec![9; 8], vec![9; 8]].concat());
+    }
+
+    #[test]
+    fn forced_burst_faults_then_heals() {
+        let mut ch = FaultyChannel::new(echo(), 8, 0.0);
+        ch.set_forced_burst(Endpoint::Audit, FaultKind::Truncate, 2);
+        assert!(ch.rpc_audit("alice", "da", 0, b"", b"", 0).unwrap().len() < 8);
+        // Other endpoints stay clean mid-burst and don't consume it.
+        assert_eq!(ch.rpc_retrieve("alice", 1).unwrap(), vec![1; 4]);
+        assert!(ch.rpc_audit("alice", "da", 0, b"", b"", 0).unwrap().len() < 8);
+        assert_eq!(
+            ch.rpc_audit("alice", "da", 0, b"", b"", 0).unwrap(),
+            vec![9; 8],
+            "burst exhausted: channel delivers honestly"
+        );
+        assert_eq!(ch.plan().injected.len(), 2);
+    }
+
+    #[test]
+    fn set_forced_clears_a_pending_burst() {
+        let mut ch = FaultyChannel::new(echo(), 9, 0.0);
+        ch.set_forced_burst(Endpoint::Audit, FaultKind::Truncate, 5);
+        ch.set_forced(Some((Endpoint::Audit, FaultKind::Duplicate)));
+        for _ in 0..8 {
+            let resp = ch.rpc_audit("alice", "da", 0, b"", b"", 0).unwrap();
+            assert_eq!(resp.len(), 16, "unlimited forced mode, not a burst");
+        }
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   the protocol end-to-end.
 //! * [`testkit`] — deterministic fault injection over the wire endpoints
 //!   plus a seed-replayable property-test runner with shrinking.
+//! * [`resilience`] — the resilient audit runtime: retries with backoff
+//!   over a deterministic virtual clock, per-server circuit breakers,
+//!   pool-level failover, and adaptive challenge escalation.
 //!
 //! # Quickstart
 //!
@@ -46,4 +49,5 @@ pub use seccloud_hash as hash;
 pub use seccloud_ibs as ibs;
 pub use seccloud_merkle as merkle;
 pub use seccloud_pairing as pairing;
+pub use seccloud_resilience as resilience;
 pub use seccloud_testkit as testkit;

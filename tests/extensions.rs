@@ -4,7 +4,9 @@
 
 use seccloud::cloudsim::behavior::Behavior;
 use seccloud::cloudsim::concurrent::{parallel_batch_fold, AuditJob};
-use seccloud::cloudsim::rpc::{audit_over_the_wire, encode_store_body, WireServer};
+use seccloud::cloudsim::rpc::{audit_over_the_wire, encode_store_body};
+// lint: allow(transport, reason=byte-level baseline path exercised raw on purpose)
+use seccloud::cloudsim::rpc::WireServer;
 use seccloud::cloudsim::{CloudServer, DesignatedAgency};
 use seccloud::core::computation::{ComputationRequest, ComputeFunction, RequestItem};
 use seccloud::core::dynstore::{audit_dynamic, DynamicStore, OwnerLedger};
@@ -61,8 +63,9 @@ fn rpc_and_concurrent_audits_compose() {
     let mut da = DesignatedAgency::new(&sio, "da", b"agency");
 
     // Byte-level path against one server…
-    let mut wire_server =
-        WireServer::new(CloudServer::new(&sio, "cs-wire", Behavior::Honest, b"w"));
+    let cs = CloudServer::new(&sio, "cs-wire", Behavior::Honest, b"w");
+    // lint: allow(transport, reason=byte-level baseline path exercised raw on purpose)
+    let mut wire_server = WireServer::new(cs);
     let blocks: Vec<DataBlock> = (0..6u64)
         .map(|i| DataBlock::from_values(i, &[i * 11]))
         .collect();

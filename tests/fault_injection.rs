@@ -12,15 +12,19 @@
 //!   200), with a same-seed replay check on the recorded [`FaultPlan`];
 //! * the replay-protection property: an honest audit response captured for
 //!   one challenge must fail verification against any fresh challenge
-//!   (nonce binding).
+//!   (nonce binding);
+//! * the recovery sweep: the same fault kinds as finite bursts against the
+//!   `seccloud::resilience` runtime — honest servers recover with zero
+//!   spurious failures, cheaters stay detected, schedules replay from
+//!   `SECCLOUD_TESTKIT_SEED`, and pool failover degrades per job.
 //!
 //! Run with `--nocapture` to see the sweep matrix (reproduced in
 //! EXPERIMENTS.md).
 
 use seccloud::cloudsim::behavior::{Behavior, StorageAttack};
-use seccloud::cloudsim::rpc::{
-    audit_over_the_wire, encode_store_body, RpcError, WireServer, WireTransport,
-};
+use seccloud::cloudsim::rpc::{audit_over_the_wire, encode_store_body, RpcError};
+// lint: allow(transport, reason=fault sweeps drive the raw channel on purpose to observe unprotected failures)
+use seccloud::cloudsim::rpc::{WireServer, WireTransport};
 use seccloud::cloudsim::{AuditVerdict, CloudServer, DesignatedAgency};
 use seccloud::core::computation::{
     verify_response, AuditChallenge, AuditResponse, Commitment, ComputationRequest,
@@ -31,6 +35,10 @@ use seccloud::core::warrant::Warrant;
 use seccloud::core::wire::WireMessage;
 use seccloud::core::{CloudUser, Sio};
 use seccloud::ibs::VerifierPublic;
+use seccloud::resilience::{
+    run_job_resilient, storage_audit_resilient, AuditResolution, PoolJob, PoolVerdict,
+    ResilientPool, ResilientTransport, RetryPolicy,
+};
 use seccloud::testkit::{cases_from_env, seed_from_env, Endpoint, FaultKind, FaultyChannel};
 
 // --- world building -------------------------------------------------------
@@ -44,6 +52,7 @@ fn block(i: u64) -> DataBlock {
 struct World {
     user: CloudUser,
     da: DesignatedAgency,
+    // lint: allow(transport, reason=the harness wraps the raw server in a fault channel itself)
     channel: FaultyChannel<WireServer>,
     server_public: VerifierPublic,
 }
@@ -57,6 +66,7 @@ fn world(label: &[u8], behavior: Behavior, seed: u64) -> World {
     let server = CloudServer::new(&sio, "cs", behavior, b"srv");
     let da = DesignatedAgency::new(&sio, "da", b"agency");
     let server_public = server.public().clone();
+    // lint: allow(transport, reason=the harness wraps the raw server in a fault channel itself)
     let channel = FaultyChannel::new(WireServer::new(server), seed, 0.0);
     World {
         user,
@@ -148,6 +158,7 @@ fn sweep_computation_endpoints_cheater_never_escapes() {
             let cell = match &outcome {
                 Err(RpcError::Malformed(e)) => format!("typed error: malformed ({e})"),
                 Err(RpcError::Server(e)) => format!("typed error: server ({e})"),
+                Err(e) => format!("typed error ({e})"),
                 Ok(v) if v.detected => "detected".to_owned(),
                 Ok(_) => "CLEAN (cheater escaped!)".to_owned(),
             };
@@ -408,6 +419,7 @@ fn replayed_audit_response_fails_fresh_challenge() {
     let mut da = DesignatedAgency::new(&sio, "da", b"agency");
     let server_public = server.public().clone();
     let signer_public = server.signer_public().clone();
+    // lint: allow(transport, reason=replay attack needs direct access to the unwrapped channel)
     let mut wire = WireServer::new(server);
 
     let blocks: Vec<DataBlock> = (0..6).map(block).collect();
@@ -492,5 +504,407 @@ fn replayed_audit_response_fails_fresh_challenge() {
     assert!(
         !replayed3.is_valid(),
         "replay against fresh sample rejected"
+    );
+}
+
+// --- recovery sweep (resilient runtime) -----------------------------------
+//
+// The raw-channel sweeps above establish what faults *cost* without
+// recovery: typed errors and spurious detections. This section asserts the
+// recovery contract of `seccloud::resilience`: a finite fault burst against
+// an honest server is fully masked (zero spurious failures), the same burst
+// never launders a cheater, the whole schedule replays from its seed, and a
+// dead pool member degrades only its own jobs.
+
+/// A world whose fault channel is wrapped in the tier-1/2 resilient
+/// transport (per-RPC retries + round-level escalation).
+struct RecoveryWorld {
+    user: CloudUser,
+    da: DesignatedAgency,
+    server_public: VerifierPublic,
+    // lint: allow(transport, reason=the harness composes the resilient stack by hand)
+    transport: ResilientTransport<FaultyChannel<WireServer>>,
+}
+
+fn wrap_resilient(w: World, seed: u64) -> RecoveryWorld {
+    let World {
+        user,
+        da,
+        channel,
+        server_public,
+    } = w;
+    let transport = ResilientTransport::new(channel, RetryPolicy::default(), &seed.to_be_bytes());
+    RecoveryWorld {
+        user,
+        da,
+        server_public,
+        transport,
+    }
+}
+
+/// Recovery sweep, computation path: a burst of every fault kind on the
+/// compute and audit endpoints is fully masked against an honest server —
+/// where the raw-channel sweep surfaces the same faults as typed errors or
+/// spurious detections, the resilient driver must end every cell `Clean`.
+#[test]
+fn recovery_sweep_computation_honest_bursts_fully_masked() {
+    let base = seed_from_env();
+    let mut matrix = Vec::new();
+    for (e_idx, endpoint) in [Endpoint::Compute, Endpoint::Audit].into_iter().enumerate() {
+        for (i, &kind) in FaultKind::ALL.iter().enumerate() {
+            let seed = base.wrapping_add(1 + 100 * e_idx as u64 + i as u64);
+            let mut w = world(b"recovery-comp", Behavior::Honest, seed);
+            computation_warmup(&mut w);
+            let mut rw = wrap_resilient(w, seed);
+            rw.transport.inner_mut().set_forced_burst(endpoint, kind, 2);
+            let res = run_job_resilient(
+                &mut rw.da,
+                &mut rw.transport,
+                &rw.user,
+                &request(5, 4),
+                4,
+                0,
+            );
+            let AuditResolution::Clean { stats, .. } = res else {
+                panic!("{endpoint:?}/{kind:?}: honest server not recovered: {res:?}");
+            };
+            matrix.push((
+                endpoint,
+                kind,
+                format!(
+                    "clean (rounds {}, transient {}, escalations {}, final t {})",
+                    stats.audit_rounds,
+                    stats.transient_faults,
+                    stats.escalations,
+                    stats.final_sample_size
+                ),
+            ));
+        }
+    }
+    print_matrix(
+        "recovery sweep: compute/audit endpoints, honest server, burst of 2",
+        &matrix,
+    );
+}
+
+/// Recovery sweep, storage path: retrieve bursts are masked inside the
+/// resilient storage audit, and store bursts are healed by caller-level
+/// re-upload (ingest verifies per block and overwrites by index, so
+/// re-sending is idempotent) — every cell ends healthy.
+#[test]
+fn recovery_sweep_storage_honest_bursts_fully_masked() {
+    let base = seed_from_env();
+    let mut matrix = Vec::new();
+    for (i, &kind) in FaultKind::ALL.iter().enumerate() {
+        // Retrieve burst: the per-position retry loop must absorb it.
+        let seed = base.wrapping_add(300 + i as u64);
+        let mut w = world(b"recovery-retrieve", Behavior::Honest, seed);
+        upload(&mut w, 0..4).expect("clean upload");
+        let _ = w.channel.rpc_retrieve(w.user.identity(), 0);
+        let _ = w.channel.rpc_retrieve(w.user.identity(), 1);
+        w.channel.advance_epoch();
+        upload(&mut w, 4..N_BLOCKS).expect("clean upload");
+        let _ = w.channel.rpc_retrieve(w.user.identity(), 2);
+        let _ = w.channel.rpc_retrieve(w.user.identity(), 3);
+        let mut rw = wrap_resilient(w, seed);
+        rw.transport
+            .inner_mut()
+            .set_forced_burst(Endpoint::Retrieve, kind, 2);
+        let res = storage_audit_resilient(
+            &mut rw.da,
+            &mut rw.transport,
+            &rw.user,
+            N_BLOCKS,
+            N_BLOCKS as usize,
+        );
+        assert!(
+            res.verdict.is_healthy(),
+            "Retrieve/{kind:?}: spurious storage failure: {res:?}"
+        );
+        matrix.push((
+            Endpoint::Retrieve,
+            kind,
+            format!(
+                "healthy (rounds {}, retried {})",
+                res.stats.audit_rounds, res.stats.transient_faults
+            ),
+        ));
+
+        // Store burst: retry the upload until every block is accepted.
+        let seed = base.wrapping_add(400 + i as u64);
+        let mut w = world(b"recovery-upload", Behavior::Honest, seed);
+        upload(&mut w, 0..4).expect("clean upload");
+        w.channel.advance_epoch();
+        upload(&mut w, 4..6).expect("clean upload");
+        upload(&mut w, 6..8).expect("clean upload");
+        let mut rw = wrap_resilient(w, seed);
+        rw.transport
+            .inner_mut()
+            .set_forced_burst(Endpoint::Store, kind, 2);
+        let blocks: Vec<DataBlock> = (8..N_BLOCKS).map(block).collect();
+        let signed = rw
+            .user
+            .sign_blocks(&blocks, &[&rw.server_public, rw.da.public()]);
+        let body = encode_store_body(&signed);
+        let expected = N_BLOCKS - 8;
+        let mut accepted_on = None;
+        for attempt in 0..4 {
+            match rw.transport.rpc_store(rw.user.identity(), &body) {
+                Ok(n) if n == expected => {
+                    accepted_on = Some(attempt);
+                    break;
+                }
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        assert!(
+            accepted_on.is_some(),
+            "Store/{kind:?}: upload not recovered within the burst"
+        );
+        let res = storage_audit_resilient(
+            &mut rw.da,
+            &mut rw.transport,
+            &rw.user,
+            N_BLOCKS,
+            N_BLOCKS as usize,
+        );
+        assert!(
+            res.verdict.is_healthy(),
+            "Store/{kind:?}: recovered upload does not audit healthy: {res:?}"
+        );
+        matrix.push((
+            Endpoint::Store,
+            kind,
+            format!(
+                "healthy (upload accepted on attempt {})",
+                accepted_on.unwrap_or(9)
+            ),
+        ));
+    }
+    print_matrix(
+        "recovery sweep: store/retrieve endpoints, honest server, burst of 2",
+        &matrix,
+    );
+}
+
+/// Recovery sweep, adversarial side: the same bursts must not launder a
+/// cheater. A CSC = 0 computation cheater ends `Detected` (pinned evidence
+/// survives escalation and re-dispatch) and an SSC = 0 storage corrupter
+/// never audits healthy, under every fault kind.
+#[test]
+fn recovery_sweep_cheaters_stay_detected_under_bursts() {
+    let base = seed_from_env();
+    let mut matrix = Vec::new();
+    for (i, &kind) in FaultKind::ALL.iter().enumerate() {
+        // Computation cheater with an audit-endpoint burst.
+        let seed = base.wrapping_add(500 + i as u64);
+        let mut w = world(
+            b"recovery-cheat",
+            Behavior::ComputationCheater {
+                csc: 0.0,
+                guess_range: None,
+            },
+            seed,
+        );
+        computation_warmup(&mut w);
+        let mut rw = wrap_resilient(w, seed);
+        rw.transport
+            .inner_mut()
+            .set_forced_burst(Endpoint::Audit, kind, 2);
+        let res = run_job_resilient(
+            &mut rw.da,
+            &mut rw.transport,
+            &rw.user,
+            &request(5, 4),
+            4,
+            0,
+        );
+        assert!(
+            res.is_detected(),
+            "Audit/{kind:?}: CSC=0 cheater escaped the resilient driver: {res:?}"
+        );
+        matrix.push((
+            Endpoint::Audit,
+            kind,
+            format!(
+                "detected (rounds {}, byzantine {})",
+                res.stats().audit_rounds,
+                res.stats().byzantine_evidence
+            ),
+        ));
+
+        // Storage corrupter with a retrieve-endpoint burst.
+        let seed = base.wrapping_add(600 + i as u64);
+        let mut w = world(
+            b"recovery-corrupt",
+            Behavior::StorageCheater {
+                ssc: 0.0,
+                attack: StorageAttack::Corrupt,
+            },
+            seed,
+        );
+        upload(&mut w, 0..N_BLOCKS).expect("clean upload");
+        let mut rw = wrap_resilient(w, seed);
+        rw.transport
+            .inner_mut()
+            .set_forced_burst(Endpoint::Retrieve, kind, 2);
+        let res = storage_audit_resilient(
+            &mut rw.da,
+            &mut rw.transport,
+            &rw.user,
+            N_BLOCKS,
+            N_BLOCKS as usize,
+        );
+        assert!(
+            !res.verdict.is_healthy(),
+            "Retrieve/{kind:?}: SSC=0 corrupter audited healthy through retries"
+        );
+        matrix.push((
+            Endpoint::Retrieve,
+            kind,
+            format!(
+                "unhealthy ({} invalid, {} missing of {})",
+                res.verdict.invalid.len(),
+                res.verdict.missing.len(),
+                res.verdict.sampled.len()
+            ),
+        ));
+    }
+    print_matrix("recovery sweep: bursts cannot launder cheaters", &matrix);
+}
+
+/// The recovery schedule replays bit-identically from its seed: stats,
+/// virtual clock and the injected fault plan all match across runs.
+#[test]
+fn recovery_sweep_replays_identically_from_its_seed() {
+    let base = seed_from_env();
+    let run = || {
+        let mut w = world(b"recovery-replay", Behavior::Honest, base);
+        computation_warmup(&mut w);
+        let mut rw = wrap_resilient(w, base);
+        rw.transport
+            .inner_mut()
+            .set_forced_burst(Endpoint::Audit, FaultKind::ReplayPrevious, 2);
+        let res = run_job_resilient(
+            &mut rw.da,
+            &mut rw.transport,
+            &rw.user,
+            &request(5, 4),
+            4,
+            0,
+        );
+        assert!(res.is_clean(), "{res:?}");
+        (
+            res.stats().clone(),
+            rw.transport.clock().now_ms(),
+            rw.transport.inner().plan().clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// The batch-level guarantee: a dead pool member produces per-job
+/// `Degraded` verdicts via failover — never a batch-wide error, and never
+/// an abort of jobs routed to healthy servers. Once the dead server's
+/// breaker opens, later batches skip it without sending it any traffic.
+#[test]
+fn pool_failover_degrades_per_job_never_batchwide() {
+    let seed = seed_from_env().wrapping_add(700);
+    let mut sio_seed = b"recovery-pool".to_vec();
+    sio_seed.extend_from_slice(&seed.to_be_bytes());
+    let sio = Sio::new(&sio_seed);
+    let user = sio.register("alice");
+    let mut da = DesignatedAgency::new(&sio, "da", b"agency");
+    let servers: Vec<CloudServer> = (0..2)
+        .map(|i| CloudServer::new(&sio, &format!("cs-{i}"), Behavior::Honest, b"srv"))
+        .collect();
+    let blocks: Vec<DataBlock> = (0..N_BLOCKS).map(block).collect();
+    let verifier_list: Vec<VerifierPublic> = servers.iter().map(|s| s.public().clone()).collect();
+    let mut refs: Vec<&VerifierPublic> = verifier_list.iter().collect();
+    refs.push(da.public());
+    let signed = user.sign_blocks(&blocks, &refs);
+    let body = encode_store_body(&signed);
+    let endpoints: Vec<_> = servers
+        .into_iter()
+        .enumerate()
+        .map(|(i, server)| {
+            // lint: allow(transport, reason=the harness composes the resilient stack by hand)
+            let channel = FaultyChannel::new(WireServer::new(server), seed + i as u64, 0.0);
+            let mut t = ResilientTransport::new(
+                channel,
+                RetryPolicy::default(),
+                &[&seed.to_be_bytes()[..], &[i as u8]].concat(),
+            );
+            assert_eq!(
+                t.rpc_store(user.identity(), &body).expect("replica seeded"),
+                N_BLOCKS
+            );
+            t
+        })
+        .collect();
+    let mut pool = ResilientPool::new(endpoints);
+    // Server 0 goes permanently dead on its compute endpoint.
+    pool.endpoint_mut(0)
+        .expect("in range")
+        .inner_mut()
+        .set_forced(Some((Endpoint::Compute, FaultKind::Truncate)));
+
+    let jobs = [
+        PoolJob {
+            request: request(3, 4),
+            route: vec![0, 1],
+            sample_size: 4,
+        },
+        PoolJob {
+            request: request(4, 4),
+            route: vec![1],
+            sample_size: 4,
+        },
+    ];
+    let verdicts = pool.audit_many(&mut da, &user, &jobs, 0);
+    assert_eq!(
+        verdicts.len(),
+        2,
+        "one verdict per job, never a batch error"
+    );
+    let PoolVerdict::Degraded {
+        server,
+        failed_over,
+        ..
+    } = &verdicts[0]
+    else {
+        panic!(
+            "expected Degraded for the dead primary, got {:?}",
+            verdicts[0]
+        );
+    };
+    assert_eq!(*server, 1);
+    assert_eq!(failed_over, &[0]);
+    assert!(
+        matches!(&verdicts[1], PoolVerdict::Clean { server: 1, .. }),
+        "healthy job unaffected: {:?}",
+        verdicts[1]
+    );
+
+    // The grind tripped server 0's breaker; the next batch must fail over
+    // without burning any traffic on the dead endpoint.
+    assert_eq!(pool.open_breakers(), vec![0]);
+    let attempts_before = pool
+        .endpoint(0)
+        .expect("in range")
+        .stats(seccloud::resilience::Op::Compute)
+        .attempts;
+    let second = pool.audit_many(&mut da, &user, &jobs, 0);
+    assert!(
+        second[0].answered() && second[1].answered(),
+        "second batch still answers every job: {second:?}"
+    );
+    assert_eq!(
+        pool.endpoint(0)
+            .expect("in range")
+            .stats(seccloud::resilience::Op::Compute)
+            .attempts,
+        attempts_before,
+        "open breaker means zero traffic to the dead endpoint"
     );
 }
