@@ -19,11 +19,22 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== seccloud-lint (panic-freedom / secret hygiene / constant-time / transport discipline) =="
-cargo run --release -p analyzer --bin seccloud-lint
-
-echo "== tier-1: cargo build --release && cargo test -q =="
+echo "== tier-1 build: cargo build --release (lint below reuses the artifact) =="
 cargo build --release
+
+echo "== seccloud-lint (token rules + interprocedural taint / panic_path / arith / dispatch) =="
+./target/release/seccloud-lint
+
+echo "== seccloud-lint baseline drift vs crates/baselines (SARIF artifact in target/) =="
+./target/release/seccloud-lint --format sarif > target/seccloud-lint.sarif
+./target/release/seccloud-lint --baseline > target/seccloud-lint-baseline.json
+if ! diff -u crates/baselines/seccloud-lint-baseline.json target/seccloud-lint-baseline.json; then
+    echo "lint baseline drifted — new findings or allowances must be committed deliberately"
+    echo "(regenerate with: ./target/release/seccloud-lint --baseline > crates/baselines/seccloud-lint-baseline.json)"
+    exit 1
+fi
+
+echo "== tier-1: cargo test -q =="
 cargo test -q
 
 echo "== resilience unit suite (clock/policy/breaker/transport/driver/pool) =="

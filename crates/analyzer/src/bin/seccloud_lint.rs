@@ -1,7 +1,7 @@
 //! The `seccloud-lint` binary — the workspace's static-analysis gate.
 //!
 //! ```text
-//! seccloud-lint [--baseline] [PATH]
+//! seccloud-lint [--baseline] [--format json|sarif] [PATH]
 //! ```
 //!
 //! * With no `PATH`: lints the workspace rooted at the current directory
@@ -9,27 +9,54 @@
 //! * With a directory `PATH`: same, rooted there.
 //! * With a file `PATH`: lints that one file with **all** rules enabled
 //!   (used by the fixture self-tests and for spot checks).
-//! * `--baseline`: prints machine-readable JSON `(rule, file, line,
-//!   message)` instead of the human report and always exits 0, so future
-//!   PRs can record and diff findings.
+//! * `--baseline`: prints the machine-readable baseline document —
+//!   `{"findings": […], "allowances": […]}` — and always exits 0, so CI
+//!   can diff it against the committed copy in `crates/baselines/`.
+//! * `--format sarif`: prints a SARIF 2.1.0 document instead of the human
+//!   report (exit status unchanged); `--format json` prints the findings
+//!   array.
 //!
 //! Exit status: 0 when clean (or `--baseline`), 1 on findings, 2 on usage
-//! or I/O errors.
+//! or I/O errors. The human report always ends with the finding count, so
+//! a red CI log is diagnosable without re-running.
 #![forbid(unsafe_code)]
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use analyzer::{lint_single_file, lint_workspace, render_json, Report};
+use analyzer::{
+    lint_single_file, lint_workspace, render_baseline_json, render_json, render_sarif, Report,
+};
+
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut baseline = false;
+    let mut format = Format::Human;
     let mut target: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline = true,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!(
+                            "seccloud-lint: --format expects `json` or `sarif`, got {}",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                eprintln!("usage: seccloud-lint [--baseline] [PATH]");
+                eprintln!("usage: seccloud-lint [--baseline] [--format json|sarif] [PATH]");
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with('-') => {
@@ -60,11 +87,15 @@ fn main() -> ExitCode {
     };
 
     if baseline {
-        print!("{}", render_json(&report));
+        print!("{}", render_baseline_json(&report));
         return ExitCode::SUCCESS;
     }
 
-    render_human(&report);
+    match format {
+        Format::Human => render_human(&report),
+        Format::Json => print!("{}", render_json(&report)),
+        Format::Sarif => print!("{}", render_sarif(&report)),
+    }
     if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {

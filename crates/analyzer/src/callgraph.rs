@@ -1,0 +1,739 @@
+//! Workspace symbol table, call graph, and transitive panic reachability.
+//!
+//! [`Workspace`] flattens every parsed file's functions into one table
+//! with (type, method) and free-function indexes, infers receiver types
+//! from parameter/`let`/field declarations, and resolves call edges. On
+//! top of that, [`check_panic_path`] implements the `panic_path` rule:
+//! a protocol-path function whose call graph *reaches* a panic source
+//! (`.unwrap()` / `.expect()` / panic macro / non-literal index) through
+//! at least one call edge is a finding — the single-line `panic` rule
+//! cannot see a panic laundered through a helper, which is exactly how
+//! reproductions drift from their panic-freedom claims.
+//!
+//! Crates `pairing`, `bigint`, `hash` and `parallel` are *trusted
+//! leaves*: constant-size field/curve arithmetic indexes fixed-length
+//! arrays pervasively, is covered by its own property tests, and takes
+//! no attacker-controlled lengths, so their bodies are neither scanned
+//! for sources nor traversed for edges. An `// lint: allow(panic,
+//! reason=…)` at a source line removes that source from the can-panic
+//! set, so one documented invariant silences the whole caller chain.
+
+use std::collections::HashMap;
+
+use crate::ast::{Ast, Expr, FnDecl, Item, Param};
+use crate::rules::{FileCtx, Finding, Report, RULE_PANIC, RULE_PANIC_PATH};
+
+/// Protocol-path prefixes whose functions are `panic_path` roots.
+const PANIC_PATH_ROOTS: [&str; 6] = [
+    "crates/ibs/src/",
+    "crates/merkle/src/",
+    "crates/core/src/",
+    "crates/cloudsim/src/",
+    "crates/resilience/src/",
+    "crates/analyzer/src/",
+];
+
+/// Crates treated as non-panicking leaves (see module docs). `testkit` is
+/// here because its fault injector *deliberately* mangles payloads with
+/// bounded random indexing — it is test harness, not protocol path.
+const TRUSTED_CRATES: [&str; 5] = [
+    "crates/pairing/",
+    "crates/bigint/",
+    "crates/hash/",
+    "crates/parallel/",
+    "crates/testkit/",
+];
+
+/// Macros that panic when reached (kept in sync with the token rule).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// One function in the flattened workspace table.
+pub struct FnNode {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Owning type for methods/associated fns (`impl` head or trait).
+    pub owner: Option<String>,
+    /// Parameters (receiver included as `self: Self`).
+    pub params: Vec<Param>,
+    /// Return type text.
+    pub ret: Option<String>,
+    /// Body expression tree (`None` for trait signatures).
+    pub body: Option<Expr>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Test-only functions are excluded from roots and sources.
+    pub is_test: bool,
+}
+
+/// The whole-workspace symbol table and call graph.
+pub struct Workspace {
+    /// Workspace-relative file paths, parallel to the parse inputs.
+    pub files: Vec<String>,
+    /// Flattened function table.
+    pub fns: Vec<FnNode>,
+    /// Struct name → field name → field type text.
+    pub struct_fields: HashMap<String, HashMap<String, String>>,
+    /// `(type, method)` → fn indices.
+    by_type_method: HashMap<(String, String), Vec<usize>>,
+    /// Free functions by name.
+    free_by_name: HashMap<String, Vec<usize>>,
+    /// All methods by name (for unresolved receivers).
+    methods_by_name: HashMap<String, Vec<usize>>,
+    /// Per-fn resolved call edges `(callee fn, call line)`.
+    edges: Vec<Vec<(usize, u32)>>,
+}
+
+impl Workspace {
+    /// Builds the symbol table and call graph from parsed files.
+    pub fn build(parsed: Vec<(String, Ast)>) -> Self {
+        let mut ws = Workspace {
+            files: Vec::with_capacity(parsed.len()),
+            fns: Vec::new(),
+            struct_fields: HashMap::new(),
+            by_type_method: HashMap::new(),
+            free_by_name: HashMap::new(),
+            methods_by_name: HashMap::new(),
+            edges: Vec::new(),
+        };
+        for (path, ast) in parsed {
+            let file_idx = ws.files.len();
+            ws.files.push(path);
+            flatten_items(ast.items, file_idx, None, false, &mut ws);
+        }
+        for (i, f) in ws.fns.iter().enumerate() {
+            match &f.owner {
+                Some(owner) => {
+                    ws.by_type_method
+                        .entry((owner.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                    ws.methods_by_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(i);
+                }
+                None => ws.free_by_name.entry(f.name.clone()).or_default().push(i),
+            }
+        }
+        ws.edges = (0..ws.fns.len()).map(|i| ws.resolve_edges(i)).collect();
+        ws
+    }
+
+    /// The file path of a fn.
+    pub fn path_of(&self, fn_idx: usize) -> &str {
+        self.fns
+            .get(fn_idx)
+            .and_then(|f| self.files.get(f.file))
+            .map_or("", String::as_str)
+    }
+
+    /// Resolved call edges of a fn: `(callee index, call line)`.
+    pub fn edges_of(&self, fn_idx: usize) -> &[(usize, u32)] {
+        self.edges.get(fn_idx).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves the functions a `Type::name` / free-name call can reach.
+    pub fn resolve_call(&self, segs: &[String], owner: Option<&str>) -> Vec<usize> {
+        let Some(name) = segs.last() else {
+            return Vec::new();
+        };
+        if segs.len() >= 2 {
+            let ty = segs
+                .get(segs.len().wrapping_sub(2))
+                .map_or("", String::as_str);
+            let ty = if ty == "Self" {
+                owner.unwrap_or(ty)
+            } else {
+                ty
+            };
+            if let Some(v) = self.by_type_method.get(&(ty.to_string(), name.clone())) {
+                return v.clone();
+            }
+            // Module-qualified free fn (`seccloud_hash::sha256`): the
+            // qualifier is lowercase, the name resolves to free fns.
+            if ty.chars().next().is_some_and(char::is_lowercase) {
+                if let Some(v) = self.free_by_name.get(name) {
+                    return v.clone();
+                }
+            }
+            return Vec::new();
+        }
+        self.free_by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Resolves a method call: exact `(receiver type, name)` when the
+    /// receiver type is inferable, otherwise the union of same-named
+    /// workspace methods.
+    pub fn resolve_method(&self, recv_ty: Option<&str>, name: &str) -> Vec<usize> {
+        if let Some(ty) = recv_ty {
+            if let Some(v) = self.by_type_method.get(&(ty.to_string(), name.to_string())) {
+                return v.clone();
+            }
+            // A typed receiver that has no such method: a std/primitive
+            // method (`.min()`, `.push()`) — no workspace edge.
+            if self.struct_fields.contains_key(ty) {
+                return Vec::new();
+            }
+        }
+        self.methods_by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    fn resolve_edges(&self, fn_idx: usize) -> Vec<(usize, u32)> {
+        let Some(f) = self.fns.get(fn_idx) else {
+            return Vec::new();
+        };
+        let Some(body) = &f.body else {
+            return Vec::new();
+        };
+        let typer = Typer::for_fn(self, f);
+        let mut out = Vec::new();
+        body.walk(&mut |e| match e {
+            Expr::Call { callee, line, .. } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    for t in self.resolve_call(segs, f.owner.as_deref()) {
+                        out.push((t, *line));
+                    }
+                }
+            }
+            Expr::MethodCall {
+                recv, name, line, ..
+            } => {
+                let recv_ty = typer.infer(recv);
+                for t in self.resolve_method(recv_ty.as_deref(), name) {
+                    out.push((t, *line));
+                }
+            }
+            _ => {}
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Moves items into the flat fn table, tracking impl owner and test
+/// gating.
+fn flatten_items(
+    items: Vec<Item>,
+    file_idx: usize,
+    _owner: Option<&str>,
+    under_test: bool,
+    ws: &mut Workspace,
+) {
+    for item in items {
+        match item {
+            Item::Fn(decl) => push_fn(decl, file_idx, None, under_test, ws),
+            Item::Impl { type_name, fns, .. } => {
+                for decl in fns {
+                    push_fn(decl, file_idx, Some(type_name.clone()), under_test, ws);
+                }
+            }
+            Item::Trait { name, fns } => {
+                for decl in fns {
+                    push_fn(decl, file_idx, Some(name.clone()), under_test, ws);
+                }
+            }
+            Item::Mod { items, is_test, .. } => {
+                flatten_items(items, file_idx, None, under_test || is_test, ws);
+            }
+            Item::Struct { name, fields, .. } => {
+                let entry = ws.struct_fields.entry(name).or_default();
+                for (fname, fty) in fields {
+                    entry.insert(fname, fty);
+                }
+            }
+            Item::Enum { name, .. } => {
+                // Register the type so `resolve_method` knows a typed
+                // receiver with no matching method is a std method.
+                ws.struct_fields.entry(name).or_default();
+            }
+            Item::Other => {}
+        }
+    }
+}
+
+fn push_fn(
+    decl: FnDecl,
+    file_idx: usize,
+    owner: Option<String>,
+    under_test: bool,
+    ws: &mut Workspace,
+) {
+    let is_test = decl.is_test || under_test;
+    ws.fns.push(FnNode {
+        file: file_idx,
+        name: decl.name,
+        owner,
+        params: decl.params,
+        ret: decl.ret,
+        body: decl.body,
+        line: decl.line,
+        is_test,
+    });
+}
+
+/// The head type name of a type string: `&mut HmacDrbg` → `HmacDrbg`,
+/// `seccloud_hash::HmacDrbg` → `HmacDrbg`, `Option<Server>` → `Option`.
+pub fn type_head(ty: &str) -> String {
+    let mut rest = ty.trim();
+    loop {
+        let trimmed = rest
+            .trim_start_matches('&')
+            .trim_start_matches("'static")
+            .trim_start()
+            .trim_start_matches("mut ")
+            .trim_start_matches("dyn ")
+            .trim_start();
+        if trimmed == rest {
+            break;
+        }
+        rest = trimmed;
+    }
+    // Walk `seg::seg::Head<…>` to the last segment before generics.
+    let mut head: &str;
+    let mut cur = rest;
+    loop {
+        let end = cur
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+            .map_or(cur.len(), |(i, _)| i);
+        head = cur.get(..end).unwrap_or(cur);
+        match cur.get(end..).and_then(|r| r.strip_prefix("::")) {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    head.to_string()
+}
+
+/// Local type environment for one fn: resolves receiver expressions to
+/// type heads using params, annotated/inferable `let`s, and struct
+/// fields. Shared by the call graph and the taint engine.
+pub struct Typer<'w> {
+    ws: &'w Workspace,
+    owner: Option<String>,
+    locals: HashMap<String, String>,
+}
+
+impl<'w> Typer<'w> {
+    /// Builds the environment for `f`: parameter types plus every
+    /// resolvable `let` binding in the body (flat — shadowing across
+    /// scopes keeps the innermost annotation, which is the common case).
+    pub fn for_fn(ws: &'w Workspace, f: &FnNode) -> Self {
+        let mut t = Typer {
+            ws,
+            owner: f.owner.clone(),
+            locals: HashMap::new(),
+        };
+        for p in &f.params {
+            let head = if p.name == "self" {
+                f.owner.clone().unwrap_or_else(|| "Self".to_string())
+            } else {
+                type_head(&p.ty)
+            };
+            t.locals.insert(p.name.clone(), head);
+        }
+        if let Some(body) = &f.body {
+            // Two passes so a `let` referring to a later-typed local still
+            // resolves (rare but free).
+            for _ in 0..2 {
+                body.walk(&mut |e| {
+                    if let Expr::Let {
+                        bindings, ty, init, ..
+                    } = e
+                    {
+                        if let (Some(name), 1) = (bindings.first(), bindings.len()) {
+                            let resolved = match ty {
+                                Some(t_str) => Some(type_head(t_str)),
+                                None => init.as_ref().and_then(|i| t.infer(i)),
+                            };
+                            if let Some(head) = resolved {
+                                if !head.is_empty() {
+                                    t.locals.insert(name.clone(), head);
+                                }
+                            }
+                        }
+                    }
+                    // `for s in [&mut a, &mut b]` — a homogeneous array
+                    // literal types its loop binding.
+                    if let Expr::For { bindings, iter, .. } = e {
+                        if let (Some(name), 1) = (bindings.first(), bindings.len()) {
+                            if let Some(head) = t.infer_elem(iter) {
+                                t.locals.insert(name.clone(), head);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        t
+    }
+
+    /// Infers the head type of an expression, if the environment can.
+    pub fn infer(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Path { segs, .. } => match segs.as_slice() {
+                [one] => self.locals.get(one).cloned(),
+                _ => None,
+            },
+            Expr::Field { base, name, .. } => {
+                let base_ty = self.infer(base)?;
+                let fields = self.ws.struct_fields.get(&base_ty)?;
+                Some(type_head(fields.get(name)?))
+            }
+            Expr::Call { callee, .. } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    let targets = self.ws.resolve_call(segs, self.owner.as_deref());
+                    self.ret_head(&targets, segs.get(segs.len().wrapping_sub(2)))
+                } else {
+                    None
+                }
+            }
+            Expr::MethodCall { recv, name, .. } => {
+                let recv_ty = self.infer(recv);
+                let targets = self.ws.resolve_method(recv_ty.as_deref(), name);
+                // Only trust an exact-receiver resolution for typing.
+                if recv_ty.is_some() && !targets.is_empty() {
+                    self.ret_head(&targets, recv_ty.as_ref())
+                } else {
+                    None
+                }
+            }
+            Expr::StructLit { segs, .. } => segs.last().cloned(),
+            Expr::Cast { ty, .. } => Some(type_head(ty)),
+            Expr::Group { children, .. } => match children.as_slice() {
+                [one] => self.infer(one),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The element type of an iterated expression, when it is an array
+    /// literal (possibly behind `.iter()`/`.iter_mut()`/`.into_iter()`)
+    /// whose elements all infer to the same head.
+    fn infer_elem(&self, iter: &Expr) -> Option<String> {
+        let inner = match iter {
+            Expr::MethodCall { recv, name, .. }
+                if matches!(name.as_str(), "iter" | "iter_mut" | "into_iter") =>
+            {
+                recv.as_ref()
+            }
+            other => other,
+        };
+        let Expr::Group { children, .. } = inner else {
+            return None;
+        };
+        let first = self.infer(children.first()?)?;
+        children
+            .iter()
+            .all(|c| self.infer(c).as_deref() == Some(&first))
+            .then_some(first)
+    }
+
+    /// The shared return-type head of resolved callees (`Self` resolved
+    /// against `self_ty`).
+    fn ret_head(&self, targets: &[usize], self_ty: Option<&String>) -> Option<String> {
+        let first = targets.first().and_then(|i| self.ws.fns.get(*i))?;
+        let ret = first.ret.as_deref()?;
+        let head = type_head(ret);
+        if head == "Self" {
+            return first.owner.clone().or_else(|| self_ty.cloned());
+        }
+        if head == "Option" || head == "Result" {
+            // `Result<Self, E>` constructors: peel one generic level.
+            let inner = ret.split_once('<').map(|(_, r)| r)?;
+            let inner_head = type_head(inner);
+            if inner_head == "Self" {
+                return first.owner.clone().or_else(|| self_ty.cloned());
+            }
+            return Some(head);
+        }
+        Some(head)
+    }
+}
+
+// --- panic reachability ---------------------------------------------------
+
+/// A direct panic source inside a fn.
+struct PanicSource {
+    line: u32,
+    what: String,
+}
+
+fn is_trusted(path: &str) -> bool {
+    TRUSTED_CRATES.iter().any(|p| path.starts_with(p))
+}
+
+fn literal_index(index: &Expr) -> bool {
+    match index {
+        Expr::Lit { is_int, .. } => *is_int,
+        Expr::Range { lo, hi, .. } => {
+            let ok = |side: &Option<Box<Expr>>| {
+                side.as_ref()
+                    .is_none_or(|e| matches!(e.as_ref(), Expr::Lit { is_int: true, .. }))
+            };
+            ok(lo) && ok(hi)
+        }
+        _ => false,
+    }
+}
+
+/// Collects the direct panic sources of one fn, honoring
+/// `// lint: allow(panic, …)` at the source line.
+fn panic_sources(f: &FnNode, ctx: Option<&FileCtx>) -> Vec<PanicSource> {
+    let mut out = Vec::new();
+    let Some(body) = &f.body else {
+        return out;
+    };
+    let line_allowed = |line: u32| {
+        ctx.is_some_and(|c| c.rule_allowed(RULE_PANIC, line) || c.test_lines.contains(&line))
+    };
+    body.walk(&mut |e| match e {
+        Expr::MethodCall { name, line, .. }
+            if (name == "unwrap" || name == "expect") && !line_allowed(*line) =>
+        {
+            out.push(PanicSource {
+                line: *line,
+                what: format!(".{name}()"),
+            });
+        }
+        Expr::MacroCall { name, line, .. }
+            if PANIC_MACROS.contains(&name.as_str()) && !line_allowed(*line) =>
+        {
+            out.push(PanicSource {
+                line: *line,
+                what: format!("{name}!"),
+            });
+        }
+        Expr::Index { index, line, .. } if !literal_index(index) && !line_allowed(*line) => {
+            out.push(PanicSource {
+                line: *line,
+                what: "non-literal index".to_string(),
+            });
+        }
+        _ => {}
+    });
+    out
+}
+
+/// The `panic_path` rule: protocol-path fns that transitively reach a
+/// panic source through at least one call edge. `ctxs` must be keyed by
+/// the same paths the workspace was built from.
+pub fn check_panic_path(
+    ws: &Workspace,
+    ctxs: &HashMap<&str, &FileCtx>,
+    all_rules: bool,
+    report: &mut Report,
+) {
+    let n = ws.fns.len();
+    let mut direct: Vec<Option<PanicSource>> = Vec::with_capacity(n);
+    for (i, f) in ws.fns.iter().enumerate() {
+        let path = ws.path_of(i);
+        if f.is_test || (!all_rules && is_trusted(path)) {
+            direct.push(None);
+            continue;
+        }
+        let mut sources = panic_sources(f, ctxs.get(path).copied());
+        direct.push(if sources.is_empty() {
+            None
+        } else {
+            Some(sources.swap_remove(0))
+        });
+    }
+    // Fixpoint: reach[f] = ∃ edge f→g with direct[g] or reach[g]. Trusted
+    // and test fns contribute no edges.
+    let mut reach = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if reach.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+            let skip = ws.fns.get(i).is_some_and(|f| f.is_test)
+                || (!all_rules && is_trusted(ws.path_of(i)));
+            if skip {
+                continue;
+            }
+            let hits = ws.edges_of(i).iter().any(|(g, _)| {
+                direct.get(*g).is_some_and(Option::is_some)
+                    || reach.get(*g).copied().unwrap_or(false)
+            });
+            if hits {
+                if let Some(slot) = reach.get_mut(i) {
+                    *slot = true;
+                }
+                changed = true;
+            }
+        }
+    }
+    for (i, f) in ws.fns.iter().enumerate() {
+        let path = ws.path_of(i);
+        if f.is_test || !reach.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !all_rules && !PANIC_PATH_ROOTS.iter().any(|p| path.starts_with(p)) {
+            continue;
+        }
+        let ctx = ctxs.get(path).copied();
+        if ctx.is_some_and(|c| {
+            c.rule_allowed(RULE_PANIC_PATH, f.line) || c.test_lines.contains(&f.line)
+        }) {
+            continue;
+        }
+        let chain = witness_chain(ws, &direct, i);
+        report.findings.push(Finding {
+            rule: RULE_PANIC_PATH,
+            file: path.to_string(),
+            line: f.line,
+            message: format!(
+                "`{}` can reach a panic: {chain} — make the callee total or annotate the \
+                 source `// lint: allow(panic, reason=...)`",
+                qualified(f)
+            ),
+        });
+    }
+}
+
+fn qualified(f: &FnNode) -> String {
+    match &f.owner {
+        Some(o) => format!("{o}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// Shortest call chain from `root` to a fn with a direct source, rendered
+/// as `root → callee → … → .unwrap() (file:line)`.
+fn witness_chain(ws: &Workspace, direct: &[Option<PanicSource>], root: usize) -> String {
+    // BFS over edges.
+    let n = ws.fns.len();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    if let Some(s) = seen.get_mut(root) {
+        *s = true;
+    }
+    queue.push_back(root);
+    let mut hit = None;
+    'bfs: while let Some(cur) = queue.pop_front() {
+        for (g, _) in ws.edges_of(cur) {
+            if seen.get(*g).copied().unwrap_or(true) {
+                continue;
+            }
+            if let Some(s) = seen.get_mut(*g) {
+                *s = true;
+            }
+            if let Some(p) = prev.get_mut(*g) {
+                *p = Some(cur);
+            }
+            if direct.get(*g).is_some_and(Option::is_some) {
+                hit = Some(*g);
+                break 'bfs;
+            }
+            queue.push_back(*g);
+        }
+    }
+    let Some(mut cur) = hit else {
+        return "(call chain unavailable)".to_string();
+    };
+    let mut names = Vec::new();
+    let tail = match (ws.fns.get(cur), direct.get(cur).and_then(Option::as_ref)) {
+        (Some(f), Some(src)) => format!(
+            "{} ({} at {}:{})",
+            qualified(f),
+            src.what,
+            ws.path_of(cur),
+            src.line
+        ),
+        _ => "?".to_string(),
+    };
+    names.push(tail);
+    while let Some(p) = prev.get(cur).copied().flatten() {
+        if p == root {
+            break;
+        }
+        if let Some(f) = ws.fns.get(p) {
+            names.push(qualified(f));
+        }
+        cur = p;
+    }
+    names.reverse();
+    let mut chain = ws.fns.get(root).map(qualified).unwrap_or_default();
+    for n in names {
+        chain.push_str(" → ");
+        chain.push_str(&n);
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    fn build(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| ((*p).to_string(), parse(&lex(s).0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn free_and_method_edges_resolve() {
+        let ws = build(&[(
+            "crates/core/src/a.rs",
+            "struct S;\n\
+             impl S { fn helper(&self) { free(); } }\n\
+             fn free() {}\n\
+             fn root(s: S) { s.helper(); }",
+        )]);
+        let root = ws.fns.iter().position(|f| f.name == "root").unwrap();
+        let helper = ws.fns.iter().position(|f| f.name == "helper").unwrap();
+        let free = ws.fns.iter().position(|f| f.name == "free").unwrap();
+        assert_eq!(ws.edges_of(root), &[(helper, 4)]);
+        assert_eq!(ws.edges_of(helper), &[(free, 2)]);
+    }
+
+    #[test]
+    fn self_field_receivers_resolve_via_struct_fields() {
+        let ws = build(&[(
+            "crates/core/src/a.rs",
+            "struct Inner;\n\
+             impl Inner { fn go(&self) {} }\n\
+             struct Outer { inner: Inner }\n\
+             impl Outer { fn run(&self) { self.inner.go(); } }",
+        )]);
+        let run = ws.fns.iter().position(|f| f.name == "run").unwrap();
+        let go = ws.fns.iter().position(|f| f.name == "go").unwrap();
+        assert_eq!(ws.edges_of(run), &[(go, 4)]);
+    }
+
+    #[test]
+    fn typed_receiver_without_matching_method_gets_no_union_edge() {
+        // `v.push(…)` on a known workspace type that lacks `push` must not
+        // link to some other type's `push`.
+        let ws = build(&[(
+            "crates/core/src/a.rs",
+            "struct Buf;\n\
+             struct Other;\n\
+             impl Other { fn push(&mut self) { panic!(\"boom\") } }\n\
+             fn root(b: Buf) { b.push(); }",
+        )]);
+        let root = ws.fns.iter().position(|f| f.name == "root").unwrap();
+        assert!(ws.edges_of(root).is_empty());
+    }
+
+    #[test]
+    fn type_head_handles_refs_paths_and_generics() {
+        assert_eq!(type_head("&mut HmacDrbg"), "HmacDrbg");
+        assert_eq!(type_head("seccloud_hash::HmacDrbg"), "HmacDrbg");
+        assert_eq!(type_head("Option<Server>"), "Option");
+        assert_eq!(type_head("&[u8]"), "");
+    }
+}

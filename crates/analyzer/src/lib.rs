@@ -24,13 +24,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+mod astrules;
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+mod taint;
 
 pub use rules::{
-    lint_files, Allowance, Finding, Report, RULE_ANNOTATION, RULE_CT, RULE_INDEX, RULE_PANIC,
-    RULE_SECRET, RULE_UNSAFE,
+    lint_files, Allowance, Finding, Report, ALL_RULES, RULE_ANNOTATION, RULE_ARITH, RULE_CT,
+    RULE_DISPATCH, RULE_INDEX, RULE_PANIC, RULE_PANIC_PATH, RULE_SECRET, RULE_TAINT, RULE_UNSAFE,
 };
+pub use sarif::render_sarif;
 
 use std::fs;
 use std::io;
@@ -102,9 +108,8 @@ pub fn lint_single_file(path: &Path) -> io::Result<Report> {
     ))
 }
 
-/// Renders the findings as machine-readable JSON (the `--baseline` output):
-/// a sorted array of `{"rule", "file", "line", "message"}` objects that
-/// future PRs can diff.
+/// Renders the findings as machine-readable JSON: a sorted array of
+/// `{"rule", "file", "line", "message"}` objects that future PRs can diff.
 #[must_use]
 pub fn render_json(report: &Report) -> String {
     let mut out = String::from("[\n");
@@ -123,6 +128,34 @@ pub fn render_json(report: &Report) -> String {
         ));
     }
     out.push_str("]\n");
+    out
+}
+
+/// Renders the full `--baseline` document: the findings array (same shape
+/// as [`render_json`]) plus every allowance with its reason. CI diffs this
+/// against the committed baseline in `crates/baselines/`, so a new
+/// allowance (or a dropped one) fails the gate until committed
+/// deliberately.
+#[must_use]
+pub fn render_baseline_json(report: &Report) -> String {
+    let mut out = String::from("{\n\"findings\": ");
+    out.push_str(render_json(report).trim_end());
+    out.push_str(",\n\"allowances\": [\n");
+    for (i, a) in report.allowances.iter().enumerate() {
+        let sep = if i + 1 == report.allowances.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"reason\":\"{}\"}}{sep}\n",
+            json_escape(&a.rule),
+            json_escape(&a.file),
+            a.line,
+            json_escape(&a.reason),
+        ));
+    }
+    out.push_str("]\n}\n");
     out
 }
 

@@ -35,18 +35,41 @@ use crate::lexer::{lex, Comment, Tok, TokKind};
 
 /// Rule id: panic-freedom in protocol paths.
 pub const RULE_PANIC: &str = "panic";
+/// Rule id: transitive panic reachability over the call graph.
+pub const RULE_PANIC_PATH: &str = "panic_path";
 /// Rule id: no bare indexing in decode paths.
 pub const RULE_INDEX: &str = "index";
 /// Rule id: secret hygiene.
 pub const RULE_SECRET: &str = "secret";
+/// Rule id: interprocedural secret taint flow.
+pub const RULE_TAINT: &str = "taint";
 /// Rule id: constant-time discipline.
 pub const RULE_CT: &str = "ct";
+/// Rule id: overflow-safe sampling/backoff arithmetic.
+pub const RULE_ARITH: &str = "arith";
+/// Rule id: exhaustive wire dispatch.
+pub const RULE_DISPATCH: &str = "dispatch";
 /// Rule id: unsafe audit.
 pub const RULE_UNSAFE: &str = "unsafe";
 /// Rule id: raw-transport discipline.
 pub const RULE_TRANSPORT: &str = "transport";
 /// Rule id: malformed `lint:` annotations.
 pub const RULE_ANNOTATION: &str = "annotation";
+
+/// Every rule id, in reporting order (drives the SARIF rule catalogue).
+pub const ALL_RULES: [&str; 11] = [
+    RULE_PANIC,
+    RULE_PANIC_PATH,
+    RULE_INDEX,
+    RULE_SECRET,
+    RULE_TAINT,
+    RULE_CT,
+    RULE_ARITH,
+    RULE_DISPATCH,
+    RULE_UNSAFE,
+    RULE_TRANSPORT,
+    RULE_ANNOTATION,
+];
 
 /// One finding: a rule violation at a location.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -125,9 +148,9 @@ const CT_SEGMENTS: [&str; 5] = ["digest", "tag", "mac", "hmac", "root"];
 /// Macros that panic when reached.
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
-/// Macros whose arguments are formatted — a secret type name appearing in
-/// one of these is a leak vector.
-const FORMAT_MACROS: [&str; 18] = [
+/// Macros whose arguments are formatted — a secret value reaching one of
+/// these is a leak vector (shared with the taint engine).
+pub(crate) const FORMAT_MACROS: [&str; 18] = [
     "format",
     "format_args",
     "print",
@@ -148,17 +171,30 @@ const FORMAT_MACROS: [&str; 18] = [
     "debug_assert_ne",
 ];
 
-/// A lexed file plus the structural facts rules need.
-struct FileCtx {
-    path: String,
-    toks: Vec<Tok>,
-    comments: Vec<Comment>,
+/// A lexed file plus the structural facts rules need. The AST-backed
+/// rules ([`crate::callgraph`], [`crate::taint`]) consume it for the
+/// annotation and test-line maps.
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The lexed token stream.
+    pub toks: Vec<Tok>,
+    /// All comments (the annotation carrier).
+    pub comments: Vec<Comment>,
     /// Lines inside `#[cfg(test)]` / `#[test]` items.
-    test_lines: HashSet<u32>,
+    pub test_lines: HashSet<u32>,
     /// rule → lines on which it is allowed.
-    allows: HashMap<String, HashSet<u32>>,
+    pub allows: HashMap<String, HashSet<u32>>,
     /// Lines whose vicinity carries a `SAFETY:` comment.
-    safety_lines: HashSet<u32>,
+    pub safety_lines: HashSet<u32>,
+}
+
+impl FileCtx {
+    /// Is `rule` allowed (via `// lint: allow`) on `line`?
+    #[must_use]
+    pub fn rule_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(rule).is_some_and(|s| s.contains(&line))
+    }
 }
 
 /// A type marked `// lint: secret`.
@@ -205,13 +241,30 @@ pub fn lint_files(inputs: &[(String, String)], all_rules: bool) -> Report {
         check_ct(ctx, all_rules, &mut report);
         check_unsafe(ctx, all_rules, &mut report);
         check_transport(ctx, all_rules, &mut report);
-        check_secret_leaks(ctx, &secrets, &mut report);
     }
     check_secret_types(&ctxs, &secrets, &mut report);
 
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    // AST-backed interprocedural rules: parse every file, build the
+    // workspace call graph, then run panic reachability, taint flow,
+    // arithmetic, and dispatch analyses over it.
+    let parsed: Vec<(String, crate::ast::Ast)> = ctxs
+        .iter()
+        .map(|c| (c.path.clone(), crate::ast::parse(&c.toks)))
+        .collect();
+    let ws = crate::callgraph::Workspace::build(parsed);
+    let ctx_map: HashMap<&str, &FileCtx> = ctxs.iter().map(|c| (c.path.as_str(), c)).collect();
+    crate::callgraph::check_panic_path(&ws, &ctx_map, all_rules, &mut report);
+    let secret_names: HashSet<String> = secrets.iter().map(|s| s.name.clone()).collect();
+    crate::taint::check_taint(&ws, &ctx_map, &secret_names, all_rules, &mut report);
+    crate::astrules::check_arith(&ws, &ctx_map, all_rules, &mut report);
+    crate::astrules::check_dispatch(&ws, &ctx_map, all_rules, &mut report);
+
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    report.findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.message == b.message
+    });
     report
         .allowances
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -286,9 +339,13 @@ fn parse_allow(s: &str) -> Option<(String, String)> {
     let rule = rule.trim();
     let known = [
         RULE_PANIC,
+        RULE_PANIC_PATH,
         RULE_INDEX,
         RULE_SECRET,
+        RULE_TAINT,
         RULE_CT,
+        RULE_ARITH,
+        RULE_DISPATCH,
         RULE_UNSAFE,
         RULE_TRANSPORT,
     ];
@@ -310,8 +367,8 @@ fn allowed(ctx: &FileCtx, rule: &str, line: u32) -> bool {
 fn test_item_lines(toks: &[Tok]) -> HashSet<u32> {
     let mut lines = HashSet::new();
     let mut i = 0;
-    while i < toks.len() {
-        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+    while let Some(tok) = toks.get(i) {
+        if tok.text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
             let (attr_toks, after) = attribute_span(toks, i);
             // `#[test]` / `#[cfg(test)]` / `#[cfg(all(test, …))]` — but not
             // `#[cfg(not(test))]`, which guards *production* code.
@@ -320,15 +377,16 @@ fn test_item_lines(toks: &[Tok]) -> HashSet<u32> {
             if is_test_attr {
                 // Skip any further attributes, then brace-match the item.
                 let mut j = after;
-                while j < toks.len()
-                    && toks[j].text == "#"
+                while toks.get(j).is_some_and(|t| t.text == "#")
                     && toks.get(j + 1).is_some_and(|t| t.text == "[")
                 {
                     j = attribute_span(toks, j).1;
                 }
                 if let Some((open, close)) = item_body(toks, j) {
-                    for l in toks[open].line..=toks[close].line {
-                        lines.insert(l);
+                    if let (Some(o), Some(c)) = (toks.get(open), toks.get(close)) {
+                        for l in o.line..=c.line {
+                            lines.insert(l);
+                        }
                     }
                     i = close + 1;
                     continue;
@@ -347,20 +405,20 @@ fn test_item_lines(toks: &[Tok]) -> HashSet<u32> {
 fn attribute_span(toks: &[Tok], start: usize) -> (&[Tok], usize) {
     let mut depth = 0usize;
     let mut i = start + 1;
-    while i < toks.len() {
-        match toks[i].text.as_str() {
+    while let Some(tok) = toks.get(i) {
+        match tok.text.as_str() {
             "[" => depth += 1,
             "]" => {
-                depth -= 1;
+                depth = depth.saturating_sub(1);
                 if depth == 0 {
-                    return (&toks[start + 2..i], i + 1);
+                    return (toks.get(start + 2..i).unwrap_or(&[]), i + 1);
                 }
             }
             _ => {}
         }
         i += 1;
     }
-    (&toks[start + 1..], toks.len())
+    (toks.get(start + 1..).unwrap_or(&[]), toks.len())
 }
 
 /// From `start`, finds the item's `{ … }` body: scans to the first `{` at
@@ -369,8 +427,8 @@ fn attribute_span(toks: &[Tok], start: usize) -> (&[Tok], usize) {
 fn item_body(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
     let mut i = start;
     let mut paren = 0i32;
-    while i < toks.len() {
-        match toks[i].text.as_str() {
+    while let Some(tok) = toks.get(i) {
+        match tok.text.as_str() {
             "(" | "[" => paren += 1,
             ")" | "]" => paren -= 1,
             ";" if paren == 0 => return None,
@@ -384,8 +442,8 @@ fn item_body(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
     }
     let open = i;
     let mut depth = 0i32;
-    while i < toks.len() {
-        match toks[i].text.as_str() {
+    while let Some(tok) = toks.get(i) {
+        match tok.text.as_str() {
             "{" => depth += 1,
             "}" => {
                 depth -= 1;
@@ -415,7 +473,10 @@ fn check_panic(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
         if t.kind != TokKind::Ident || ctx.test_lines.contains(&t.line) {
             continue;
         }
-        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let prev = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .map(|t| t.text.as_str());
         let next = toks.get(i + 1).map(|n| n.text.as_str());
         let hit = match t.text.as_str() {
             "unwrap" | "expect" => (prev == Some(".") || prev == Some("::")) && next == Some("("),
@@ -457,15 +518,18 @@ fn check_index(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
             continue;
         }
         // Postfix position: the previous token ends an expression.
-        let postfix = i.checked_sub(1).is_some_and(|p| {
-            let prev = &toks[p];
-            matches!(prev.kind, TokKind::Ident | TokKind::Number | TokKind::Str)
-                || matches!(prev.text.as_str(), ")" | "]" | "?")
-        });
+        let postfix = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|prev| {
+                matches!(prev.kind, TokKind::Ident | TokKind::Number | TokKind::Str)
+                    || matches!(prev.text.as_str(), ")" | "]" | "?")
+            });
         // `foo!["…"]` and `#[attr]` are not index expressions.
         let macro_or_attr = i
             .checked_sub(1)
-            .is_some_and(|p| matches!(toks[p].text.as_str(), "!" | "#"));
+            .and_then(|p| toks.get(p))
+            .is_some_and(|t| matches!(t.text.as_str(), "!" | "#"));
         if !postfix || macro_or_attr {
             continue;
         }
@@ -532,7 +596,8 @@ fn check_ct(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
         let mut j = i;
         while j > 0 {
             j -= 1;
-            let text = toks[j].text.as_str();
+            let Some(tok) = toks.get(j) else { break };
+            let text = tok.text.as_str();
             match text {
                 ")" | "]" => depth += 1,
                 "(" | "[" => {
@@ -544,15 +609,15 @@ fn check_ct(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
                 _ if depth == 0 && operand_stop(text) => break,
                 _ => {}
             }
-            if toks[j].kind == TokKind::Ident && digest_like(text) {
+            if tok.kind == TokKind::Ident && digest_like(text) {
                 suspicious = Some(text.to_string());
             }
         }
         // Right operand: walk forwards.
         let mut depth = 0i32;
         let mut j = i + 1;
-        while j < toks.len() {
-            let text = toks[j].text.as_str();
+        while let Some(tok) = toks.get(j) {
+            let text = tok.text.as_str();
             match text {
                 "(" | "[" => depth += 1,
                 ")" | "]" => {
@@ -564,7 +629,7 @@ fn check_ct(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
                 _ if depth == 0 && operand_stop(text) => break,
                 _ => {}
             }
-            if toks[j].kind == TokKind::Ident && digest_like(text) {
+            if tok.kind == TokKind::Ident && digest_like(text) {
                 suspicious.get_or_insert_with(|| text.to_string());
             }
             j += 1;
@@ -684,8 +749,7 @@ fn collect_secret_types(ctx: &FileCtx) -> Vec<SecretType> {
         let mut name = None;
         let mut line = c.line;
         let mut i = ctx.toks.partition_point(|t| t.line <= c.end_line);
-        while i < ctx.toks.len() && ctx.toks[i].line <= c.end_line + 15 {
-            let t = &ctx.toks[i];
+        while let Some(t) = ctx.toks.get(i).filter(|t| t.line <= c.end_line + 15) {
             if t.text == "#" && ctx.toks.get(i + 1).is_some_and(|n| n.text == "[") {
                 let (attr, after) = attribute_span(&ctx.toks, i);
                 if attr.first().is_some_and(|a| a.text == "derive") {
@@ -758,10 +822,14 @@ fn check_secret_types(ctxs: &[FileCtx], secrets: &[SecretType], report: &mut Rep
 fn impls_drop(toks: &[Tok], name: &str) -> bool {
     for (i, t) in toks.iter().enumerate() {
         if t.text == "Drop" && toks.get(i + 1).is_some_and(|n| n.text == "for") {
-            let impl_before = toks[i.saturating_sub(6)..i]
+            let impl_before = toks
+                .get(i.saturating_sub(6)..i)
+                .unwrap_or(&[])
                 .iter()
                 .any(|p| p.text == "impl");
-            let named_after = toks[i + 2..toks.len().min(i + 8)]
+            let named_after = toks
+                .get(i + 2..toks.len().min(i + 8))
+                .unwrap_or(&[])
                 .iter()
                 .any(|n| n.text == name);
             if impl_before && named_after {
@@ -770,65 +838,6 @@ fn impls_drop(toks: &[Tok], name: &str) -> bool {
         }
     }
     false
-}
-
-/// Flags secret type names appearing inside `format!`-family macro calls.
-fn check_secret_leaks(ctx: &FileCtx, secrets: &[SecretType], report: &mut Report) {
-    if secrets.is_empty() {
-        return;
-    }
-    let toks = &ctx.toks;
-    let mut i = 0;
-    while i < toks.len() {
-        let t = &toks[i];
-        let is_fmt = t.kind == TokKind::Ident
-            && FORMAT_MACROS.contains(&t.text.as_str())
-            && toks.get(i + 1).is_some_and(|n| n.text == "!");
-        if !is_fmt {
-            i += 1;
-            continue;
-        }
-        let Some(open) = toks.get(i + 2) else { break };
-        let (open_text, close_text) = match open.text.as_str() {
-            "(" => ("(", ")"),
-            "[" => ("[", "]"),
-            "{" => ("{", "}"),
-            _ => {
-                i += 1;
-                continue;
-            }
-        };
-        let mut depth = 0i32;
-        let mut j = i + 2;
-        while j < toks.len() {
-            let text = toks[j].text.as_str();
-            if text == open_text {
-                depth += 1;
-            } else if text == close_text {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            } else if toks[j].kind == TokKind::Ident && !ctx.test_lines.contains(&toks[j].line) {
-                if let Some(s) = secrets.iter().find(|s| s.name == text) {
-                    if !allowed(ctx, RULE_SECRET, toks[j].line) {
-                        report.findings.push(Finding {
-                            rule: RULE_SECRET,
-                            file: ctx.path.clone(),
-                            line: toks[j].line,
-                            message: format!(
-                                "secret type `{}` used inside `{}!` — secrets must never \
-                                 reach a format sink",
-                                s.name, t.text
-                            ),
-                        });
-                    }
-                }
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
 }
 
 #[cfg(test)]
@@ -1010,7 +1019,10 @@ mod tests {
     }
 
     #[test]
-    fn secret_in_format_macro_fires() {
+    fn secret_in_format_macro_fires_via_taint() {
+        // The same-line leak heuristic of PR 3 is now the taint rule's
+        // base case. `crates/core` keeps the sink reportable (the hash
+        // crate itself declassifies).
         let src = r#"
             // lint: secret
             #[derive(Clone)]
@@ -1018,8 +1030,8 @@ mod tests {
             impl Drop for KeyMaterial { fn drop(&mut self) {} }
             fn leak(k: &KeyMaterial) -> String { format!("{:?}", KeyMaterial::clone(k)) }
         "#;
-        let r = lint_one("crates/hash/src/k.rs", src);
-        assert_eq!(rules_of(&r), vec![RULE_SECRET]);
+        let r = lint_one("crates/core/src/k.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_TAINT]);
         assert!(r.findings[0].message.contains("format"));
     }
 

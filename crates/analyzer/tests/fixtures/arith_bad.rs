@@ -1,0 +1,13 @@
+//! Bad fixture for the `arith` rule: sampling-escalation math written
+//! with raw operators that overflow silently in release builds.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub fn escalate(t: usize, s: u32, n: usize) -> usize {
+    let scale = 1usize << s;
+    let next = t * scale;
+    if next > n {
+        n
+    } else {
+        next
+    }
+}

@@ -1,0 +1,8 @@
+//! Clean fixture for the `arith` rule: the same escalation math written
+//! with explicit overflow behavior.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub fn escalate(t: usize, s: u32, n: usize) -> usize {
+    let scale = 1usize.checked_shl(s.min(63)).unwrap_or(usize::MAX);
+    t.saturating_mul(scale).min(n)
+}

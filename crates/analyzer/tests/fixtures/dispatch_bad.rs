@@ -1,0 +1,16 @@
+//! Bad fixture for the `dispatch` rule: a handler that hides unknown
+//! wire-error variants behind a catch-all arm.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub enum WireError {
+    Truncated,
+    BadMagic,
+    BadLength,
+}
+
+pub fn describe(e: &WireError) -> &'static str {
+    match e {
+        WireError::Truncated => "truncated",
+        _ => "other",
+    }
+}

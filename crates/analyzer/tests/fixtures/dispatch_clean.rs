@@ -1,0 +1,27 @@
+//! Clean fixture for the `dispatch` rule: every wire-error variant named
+//! explicitly, plus a guarded wildcard (allowed — guards are logic, not
+//! variant suppression).
+//! Never compiled — lexed by the analyzer self-tests only.
+
+pub enum WireError {
+    Truncated,
+    BadMagic,
+    BadLength,
+}
+
+pub fn describe(e: &WireError) -> &'static str {
+    match e {
+        WireError::Truncated => "truncated",
+        WireError::BadMagic => "bad magic",
+        WireError::BadLength => "bad length",
+    }
+}
+
+pub fn code(e: &WireError, strict: bool) -> u8 {
+    match e {
+        WireError::Truncated => 1,
+        _ if strict => 2,
+        WireError::BadMagic => 3,
+        WireError::BadLength => 4,
+    }
+}

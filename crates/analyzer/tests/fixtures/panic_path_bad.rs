@@ -1,0 +1,15 @@
+//! Bad fixture for the `panic_path` rule: a protocol entry point whose
+//! call chain bottoms out in an `.unwrap()` two hops away.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+fn inner(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+fn middle(v: Option<u64>) -> u64 {
+    inner(v)
+}
+
+pub fn verify_response(v: Option<u64>) -> u64 {
+    middle(v)
+}

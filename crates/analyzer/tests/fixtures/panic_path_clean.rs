@@ -1,0 +1,15 @@
+//! Clean fixture for the `panic_path` rule: the same chain shape as
+//! `panic_path_bad.rs`, but every fallible step propagates its error.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+fn inner(v: Option<u64>) -> Result<u64, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+fn middle(v: Option<u64>) -> Result<u64, String> {
+    inner(v)
+}
+
+pub fn verify_response(v: Option<u64>) -> Result<u64, String> {
+    middle(v)
+}

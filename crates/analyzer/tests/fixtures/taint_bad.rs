@@ -1,0 +1,34 @@
+//! Bad fixture for the `taint` rule: a secret scalar laundered through a
+//! getter and a helper before reaching format and wire-encode sinks.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+// lint: secret
+pub struct UserKey {
+    sk: u64,
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {}
+}
+
+impl UserKey {
+    fn scalar(&self) -> u64 {
+        self.sk
+    }
+}
+
+struct Enc;
+
+impl Enc {
+    fn put_u64(&mut self, _v: u64) {}
+}
+
+fn trace(v: u64) -> String {
+    format!("derived {v}")
+}
+
+pub fn leak(w: &mut Enc, k: &UserKey) -> String {
+    let x = k.scalar();
+    w.put_u64(x);
+    trace(x)
+}

@@ -1,0 +1,29 @@
+//! Clean fixture for the `taint` rule: the same shapes as `taint_bad.rs`
+//! but only public, non-secret-derived values reach the sinks.
+//! Never compiled — lexed by the analyzer self-tests only.
+
+// lint: secret
+pub struct UserKey {
+    sk: u64,
+    id: String,
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {}
+}
+
+struct Enc;
+
+impl Enc {
+    fn put_u64(&mut self, _v: u64) {}
+}
+
+fn trace(v: usize) -> String {
+    format!("count {v}")
+}
+
+pub fn emit(w: &mut Enc, items: &[u64]) -> String {
+    let n = items.len();
+    w.put_u64(n as u64);
+    trace(n)
+}

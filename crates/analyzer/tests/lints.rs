@@ -49,12 +49,99 @@ fn index_fixture_trips_index_rule() {
 }
 
 #[test]
-fn secret_fixture_trips_secret_rule() {
+fn secret_fixture_trips_secret_and_taint_rules() {
     let report = lint_fixture("secret.rs");
-    assert_eq!(rules_hit(&report), ["secret"]);
-    // Debug derive + missing Drop + format-site leak.
+    // Debug derive + missing Drop fire `secret`; the format-site leak is
+    // now interprocedural and fires `taint`.
+    assert_eq!(rules_hit(&report), ["secret", "taint"]);
     assert!(
         report.findings.len() >= 3,
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn taint_fixture_trips_taint_rule() {
+    let report = lint_fixture("taint_bad.rs");
+    assert_eq!(rules_hit(&report), ["taint"], "{:?}", report.findings);
+    // The laundered scalar reaches a wire-encode sink and a format sink.
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("wire-encode")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("format")), "{msgs:?}");
+}
+
+#[test]
+fn taint_clean_fixture_is_silent() {
+    let report = lint_fixture("taint_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn panic_path_fixture_trips_panic_and_panic_path() {
+    let report = lint_fixture("panic_path_bad.rs");
+    // The `.unwrap()` itself is a `panic` finding; both callers that
+    // reach it transitively are `panic_path` findings.
+    assert_eq!(rules_hit(&report), ["panic", "panic_path"]);
+    let paths: Vec<&_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic_path")
+        .collect();
+    assert_eq!(paths.len(), 2, "{:?}", report.findings);
+    // The witness chain names the panic source.
+    assert!(
+        paths.iter().all(|f| f.message.contains("unwrap")),
+        "{paths:?}"
+    );
+}
+
+#[test]
+fn panic_path_clean_fixture_is_silent() {
+    let report = lint_fixture("panic_path_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn arith_fixture_trips_arith_rule() {
+    let report = lint_fixture("arith_bad.rs");
+    assert_eq!(rules_hit(&report), ["arith"], "{:?}", report.findings);
+    // `1usize << s` and `t * scale`.
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+}
+
+#[test]
+fn arith_clean_fixture_is_silent() {
+    let report = lint_fixture("arith_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn dispatch_fixture_trips_dispatch_rule() {
+    let report = lint_fixture("dispatch_bad.rs");
+    assert_eq!(rules_hit(&report), ["dispatch"], "{:?}", report.findings);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("WireError"));
+}
+
+#[test]
+fn dispatch_clean_fixture_is_silent() {
+    let report = lint_fixture("dispatch_clean.rs");
+    assert!(
+        report.findings.is_empty(),
         "findings: {:?}",
         report.findings
     );
@@ -105,6 +192,10 @@ fn binary_fails_on_each_bad_fixture() {
         "ct.rs",
         "unsafe.rs",
         "transport.rs",
+        "taint_bad.rs",
+        "panic_path_bad.rs",
+        "arith_bad.rs",
+        "dispatch_bad.rs",
     ] {
         let path = fixture_path(name);
         let out = run_binary(&[path.to_str().unwrap()]);
@@ -118,26 +209,60 @@ fn binary_fails_on_each_bad_fixture() {
 }
 
 #[test]
-fn binary_passes_on_clean_fixture() {
-    let path = fixture_path("clean.rs");
-    let out = run_binary(&[path.to_str().unwrap()]);
-    assert_eq!(
-        out.status.code(),
-        Some(0),
-        "clean.rs should exit 0: {}",
-        String::from_utf8_lossy(&out.stdout)
-    );
+fn binary_passes_on_clean_fixtures() {
+    for name in [
+        "clean.rs",
+        "taint_clean.rs",
+        "panic_path_clean.rs",
+        "arith_clean.rs",
+        "dispatch_clean.rs",
+    ] {
+        let path = fixture_path(name);
+        let out = run_binary(&[path.to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} should exit 0: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
 }
 
 #[test]
-fn binary_baseline_emits_json() {
+fn binary_baseline_emits_findings_and_allowances() {
     let path = fixture_path("ct.rs");
     let out = run_binary(&["--baseline", path.to_str().unwrap()]);
     // Baseline mode always exits 0 — it reports, it does not gate.
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"allowances\""), "stdout: {stdout}");
     assert!(stdout.contains("\"rule\":\"ct\""), "stdout: {stdout}");
     assert!(stdout.contains("\"line\""), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_format_sarif_emits_sarif_and_still_gates() {
+    let path = fixture_path("dispatch_bad.rs");
+    let out = run_binary(&["--format", "sarif", path.to_str().unwrap()]);
+    // SARIF changes the output shape, not the exit contract.
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"version\": \"2.1.0\""),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"ruleId\": \"dispatch\""),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"startLine\""), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_rejects_unknown_format() {
+    let out = run_binary(&["--format", "xml"]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

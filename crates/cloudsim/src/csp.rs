@@ -143,7 +143,9 @@ impl Csp {
         for (i, block) in blocks.iter().enumerate() {
             for r in 0..self.sla.replication.min(n) {
                 let target = (i + r) % n;
-                accepted += self.servers[target].store(owner, vec![block.clone()]);
+                if let Some(server) = self.servers.get_mut(target) {
+                    accepted += server.store(owner, vec![block.clone()]);
+                }
             }
         }
         accepted
@@ -220,18 +222,24 @@ impl Csp {
             let server_index = (0..n)
                 .map(|off| (default_index + off) % n)
                 .find(|&idx| {
-                    positions
-                        .iter()
-                        .all(|&p| self.servers[idx].retrieve(owner_identity, p).is_some())
+                    self.servers.get(idx).is_some_and(|srv| {
+                        positions
+                            .iter()
+                            .all(|&p| srv.retrieve(owner_identity, p).is_some())
+                    })
                 })
                 .unwrap_or(default_index);
-            per_server[server_index].push((slot, slice, item_indices));
+            if let Some(bucket) = per_server.get_mut(server_index) {
+                bucket.push((slot, slice, item_indices));
+            }
         }
         // Dispatch pass: one worker per server, each executing its slices
         // in plan order against its exclusively-borrowed server.
         let owner_id = owner_identity.to_string();
         let grouped = seccloud_parallel::parallel_map_mut(&mut self.servers, |i, server| {
-            per_server[i]
+            per_server
+                .get(i)
+                .map_or(&[][..], Vec::as_slice)
                 .iter()
                 .map(|(slot, slice, item_indices)| {
                     let result = server.handle_computation(&owner_id, slice, auditor);

@@ -69,7 +69,7 @@ pub fn run(experiment: &Experiment, seed: &[u8]) -> ExperimentResult {
     let mut escapes = 0usize;
     for _ in 0..trials {
         if trial_escapes(&params, n, t, &mut drbg) {
-            escapes += 1;
+            escapes = escapes.saturating_add(1);
         }
     }
     finish(params, t, trials, escapes)
@@ -255,7 +255,7 @@ pub fn run_crypto(csc: f64, guess_range: Option<u64>, n: usize, t: usize, trials
             // lint: allow(panic, reason=simulator invariant, warrant was issued for this request)
             .expect("warranted audit");
         if !verdict.detected {
-            escapes += 1;
+            escapes = escapes.saturating_add(1);
         }
     }
     escapes as f64 / trials as f64

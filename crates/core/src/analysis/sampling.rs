@@ -114,11 +114,11 @@ pub fn required_sample_size(params: &CheatParams, epsilon: f64) -> Option<u32> {
     // Sufficient bound: 2·worstᵗ < ε  ⇒  t > ln(ε/2)/ln(worst). Then walk
     // down to the exact minimum (the bound overshoots by ≤ a few samples).
     let mut t = ((epsilon / 2.0).ln() / worst.ln()).ceil().max(1.0) as u32;
-    while t > 1 && cheat_probability(params, t - 1) < epsilon {
-        t -= 1;
+    while t > 1 && cheat_probability(params, t.saturating_sub(1)) < epsilon {
+        t = t.saturating_sub(1);
     }
     while cheat_probability(params, t) >= epsilon {
-        t += 1;
+        t = t.saturating_add(1);
     }
     Some(t)
 }

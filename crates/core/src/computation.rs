@@ -291,8 +291,9 @@ impl CommitmentSession {
     ) -> Self {
         let leaves: Vec<Vec<u8>> = results
             .iter()
+            .zip(&request.items)
             .enumerate()
-            .map(|(i, &y)| leaf_bytes(i, &request.items[i].positions, y))
+            .map(|(i, (&y, item))| leaf_bytes(i, &item.positions, y))
             .collect();
         let tree = MerkleTree::from_data(leaves.iter().map(Vec::as_slice));
         Self {

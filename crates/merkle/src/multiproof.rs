@@ -40,25 +40,23 @@ impl MultiProof {
         let mut known: Vec<usize> = indices.to_vec();
         known.sort_unstable();
         known.dedup();
-        if *known.last().expect("nonempty") >= tree.leaf_count() {
+        if known.last().is_none_or(|&l| l >= tree.leaf_count()) {
             return None;
         }
 
         let mut nodes = Vec::new();
         for level_idx in 0..tree.height() - 1 {
             let level = tree.level(level_idx);
-            let width = level.len();
             let mut next_known = Vec::new();
             let mut i = 0;
-            while i < known.len() {
-                let pos = known[i];
+            while let Some(&pos) = known.get(i) {
                 let sib = pos ^ 1;
-                if sib < width {
-                    if i + 1 < known.len() && known[i + 1] == sib {
+                if let Some(&sib_node) = level.get(sib) {
+                    if known.get(i + 1) == Some(&sib) {
                         // Sibling is also a claimed/known node: no extra data.
                         i += 1;
                     } else {
-                        nodes.push(level[sib]);
+                        nodes.push(sib_node);
                     }
                 }
                 next_known.push(pos / 2);
@@ -100,13 +98,11 @@ impl MultiProof {
         while width > 1 {
             let mut next = Vec::with_capacity(known.len());
             let mut i = 0;
-            while i < known.len() {
-                let (pos, hash) = known[i];
+            while let Some(&(pos, hash)) = known.get(i) {
                 let sib = pos ^ 1;
                 let parent = if sib >= width {
                     hash // promoted
-                } else if i + 1 < known.len() && known[i + 1].0 == sib {
-                    let (_, sib_hash) = known[i + 1];
+                } else if let Some(&(_, sib_hash)) = known.get(i + 1).filter(|&&(p, _)| p == sib) {
                     i += 1;
                     node_hash(&hash, &sib_hash)
                 } else {

@@ -56,16 +56,22 @@ impl MerkleTree {
     pub fn from_leaves(leaves: Vec<Node>) -> Self {
         assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
         let mut levels = vec![leaves];
-        while levels.last().expect("nonempty").len() > 1 {
-            let prev = levels.last().expect("nonempty");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                match pair {
-                    [l, r] => next.push(node_hash(l, r)),
-                    [one] => next.push(*one), // promote
-                    _ => unreachable!("chunks(2) yields 1..=2 items"),
+        loop {
+            let next = {
+                let Some(prev) = levels.last() else { break };
+                if prev.len() <= 1 {
+                    break;
                 }
-            }
+                let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+                for pair in prev.chunks(2) {
+                    match (pair.first(), pair.get(1)) {
+                        (Some(l), Some(r)) => next.push(node_hash(l, r)),
+                        (Some(one), None) => next.push(*one), // promote
+                        (None, _) => {}
+                    }
+                }
+                next
+            };
             levels.push(next);
         }
         Self { levels }
@@ -108,21 +114,27 @@ impl MerkleTree {
         const PARALLEL_THRESHOLD: usize = 512;
         assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
         let threads = seccloud_parallel::num_threads();
-        let parent = |level: &[Node], i: usize| match (&level[2 * i], level.get(2 * i + 1)) {
-            (l, Some(r)) => node_hash(l, r),
-            (l, None) => *l, // promote
+        let parent = |level: &[Node], i: usize| match (level.get(2 * i), level.get(2 * i + 1)) {
+            (Some(l), Some(r)) => node_hash(l, r),
+            (Some(l), None) => *l, // promote
+            (None, _) => [0; 32],  // out of range: `i` is always < parent count
         };
         let mut levels = vec![leaves];
-        while levels.last().expect("nonempty").len() > 1 {
-            let prev = levels.last().expect("nonempty");
-            let parents = prev.len().div_ceil(2);
-            let next = if threads > 1 && parents >= PARALLEL_THRESHOLD {
-                seccloud_parallel::parallel_ranges(parents, threads, |range| {
-                    range.map(|i| parent(prev, i)).collect::<Vec<Node>>()
-                })
-                .concat()
-            } else {
-                (0..parents).map(|i| parent(prev, i)).collect()
+        loop {
+            let next = {
+                let Some(prev) = levels.last() else { break };
+                if prev.len() <= 1 {
+                    break;
+                }
+                let parents = prev.len().div_ceil(2);
+                if threads > 1 && parents >= PARALLEL_THRESHOLD {
+                    seccloud_parallel::parallel_ranges(parents, threads, |range| {
+                        range.map(|i| parent(prev, i)).collect::<Vec<Node>>()
+                    })
+                    .concat()
+                } else {
+                    (0..parents).map(|i| parent(prev, i)).collect()
+                }
             };
             levels.push(next);
         }
@@ -131,7 +143,11 @@ impl MerkleTree {
 
     /// The committed root `R`.
     pub fn root(&self) -> Node {
-        self.levels.last().expect("nonempty")[0]
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or([0; 32])
     }
 
     /// Number of leaves.
@@ -153,7 +169,8 @@ impl MerkleTree {
         }
         let mut siblings = Vec::new();
         let mut pos = index;
-        for level in &self.levels[..self.levels.len() - 1] {
+        let (_, inner) = self.levels.split_last()?;
+        for level in inner {
             let sibling_pos = pos ^ 1;
             if let Some(sib) = level.get(sibling_pos) {
                 siblings.push((*sib, sibling_pos < pos));
@@ -177,7 +194,7 @@ impl MerkleTree {
     /// Direct access to a whole level (level 0 = leaves). Used by tests and
     /// the multi-proof generator.
     pub(crate) fn level(&self, i: usize) -> &[Node] {
-        &self.levels[i]
+        self.levels.get(i).map_or(&[][..], Vec::as_slice)
     }
 
     /// Number of levels including the root level.

@@ -42,6 +42,19 @@ mod tests {
     }
 
     #[test]
+    fn overflow_and_exact_clamp_edges() {
+        // t = 0 still escalates from the 1-sample floor.
+        assert_eq!(escalate_sample_size(0, 7, 3), 7, "1·2³ = 8 clamps to n = 7");
+        // 2^s·t landing exactly on n: the clamp is inclusive.
+        assert_eq!(escalate_sample_size(2, 16, 3), 16);
+        // 2^63·t overflows usize: saturating_mul pins to usize::MAX, min() to n.
+        assert_eq!(escalate_sample_size(3, 1_000_000, 63), 1_000_000);
+        // Shift counts at and past the word size are pinned, not UB.
+        assert_eq!(escalate_sample_size(2, 500, 64), 500);
+        assert_eq!(escalate_sample_size(1, usize::MAX, 63), 1usize << 63);
+    }
+
+    #[test]
     fn one_step_squares_the_fcs_escape_bound() {
         // Pr[FCS] = base^t, so t' = 2t gives base^(2t) = (base^t)².
         let params = CheatParams::new(0.5, 1.0);

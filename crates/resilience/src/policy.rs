@@ -51,7 +51,7 @@ impl RetryPolicy {
         let exp = attempt.saturating_sub(1).min(32);
         let raw = self
             .base_backoff_ms
-            .saturating_mul(1u64 << exp)
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
             .min(self.max_backoff_ms);
         let jitter = if self.jitter_ms == 0 {
             0

@@ -204,7 +204,9 @@ impl<T: WireTransport> ResilientPool<T> {
                 run_job_resilient(da, endpoint, owner, &job.request, job.sample_size, now);
             match resolution {
                 AuditResolution::Clean { .. } => {
-                    let failed_over: Vec<usize> = attempted[..attempted.len() - 1].to_vec();
+                    let failed_over: Vec<usize> = attempted
+                        .split_last()
+                        .map_or_else(Vec::new, |(_, rest)| rest.to_vec());
                     return if failed_over.is_empty() {
                         PoolVerdict::Clean { server, resolution }
                     } else {
@@ -218,7 +220,9 @@ impl<T: WireTransport> ResilientPool<T> {
                 AuditResolution::Detected { .. } => {
                     return PoolVerdict::Detected {
                         server,
-                        failed_over: attempted[..attempted.len() - 1].to_vec(),
+                        failed_over: attempted
+                            .split_last()
+                            .map_or_else(Vec::new, |(_, rest)| rest.to_vec()),
                         resolution,
                     };
                 }

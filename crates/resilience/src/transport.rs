@@ -154,7 +154,7 @@ impl<T: WireTransport> ResilientTransport<T> {
 
     /// Counters for one endpoint.
     pub fn stats(&self, op: Op) -> OpStats {
-        self.stats[op.idx()]
+        self.stats.get(op.idx()).copied().unwrap_or_default()
     }
 
     /// Total authenticated-misbehaviour marks across all endpoints. Any
@@ -167,7 +167,9 @@ impl<T: WireTransport> ResilientTransport<T> {
     /// Records authenticated misbehaviour against `op`. Deliberately does
     /// **not** touch the breaker — see the module docs.
     pub fn note_byzantine(&mut self, op: Op) {
-        self.stats[op.idx()].byzantine_marks += 1;
+        if let Some(s) = self.stats.get_mut(op.idx()) {
+            s.byzantine_marks += 1;
+        }
     }
 
     /// The wrapped channel.
@@ -210,7 +212,9 @@ impl<T: WireTransport> ResilientTransport<T> {
         mut attempt: impl FnMut(&mut T) -> Attempt<R>,
     ) -> Result<R, RpcError> {
         if !self.breaker.allow(self.clock.now_ms()) {
-            self.stats[op.idx()].transient_faults += 1;
+            if let Some(s) = self.stats.get_mut(op.idx()) {
+                s.transient_faults += 1;
+            }
             return Err(RpcError::ChannelUnavailable);
         }
         let mut last = RpcError::ChannelUnavailable;
@@ -219,19 +223,25 @@ impl<T: WireTransport> ResilientTransport<T> {
                 let wait = self.policy.backoff_ms(attempt_no - 1, &mut self.drbg);
                 self.clock.advance(wait);
             }
-            self.stats[op.idx()].attempts += 1;
+            if let Some(s) = self.stats.get_mut(op.idx()) {
+                s.attempts += 1;
+            }
             let outcome = match self.charge_latency() {
                 Err(timeout) => Attempt::Transient(timeout),
                 Ok(()) => attempt(&mut self.inner),
             };
             match outcome {
                 Attempt::Ok(value) => {
-                    self.stats[op.idx()].successes += 1;
+                    if let Some(s) = self.stats.get_mut(op.idx()) {
+                        s.successes += 1;
+                    }
                     self.breaker.on_success();
                     return Ok(value);
                 }
                 Attempt::Transient(e) => {
-                    self.stats[op.idx()].transient_faults += 1;
+                    if let Some(s) = self.stats.get_mut(op.idx()) {
+                        s.transient_faults += 1;
+                    }
                     last = e;
                 }
                 Attempt::Fatal(e) => {

@@ -204,8 +204,9 @@ impl<T: WireTransport> FaultyChannel<T> {
             }
             None => {
                 if self.fault_rate > 0.0 && self.drbg.next_f64() < self.fault_rate {
-                    let k = FaultKind::ALL[self.drbg.next_below(8) as usize];
-                    Some(k)
+                    FaultKind::ALL
+                        .get(self.drbg.next_below(8) as usize)
+                        .copied()
                 } else {
                     None
                 }
