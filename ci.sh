@@ -34,8 +34,17 @@ if ! diff -u crates/baselines/seccloud-lint-baseline.json target/seccloud-lint-b
     exit 1
 fi
 
-echo "== tier-1: cargo test -q =="
+echo "== tier-1: cargo test -q (auto-detected arithmetic backend) =="
 cargo test -q
+
+echo "== arithmetic backend sweep: pairing + equivalence suites per SECCLOUD_ARCH =="
+# The full workspace already ran under the auto-detected backend above; the
+# sweep pins each portable backend and re-runs the crate that dispatches on
+# it (unit tests + the cross-backend property suite).
+for arch in reference generic; do
+    echo "-- SECCLOUD_ARCH=${arch} --"
+    SECCLOUD_ARCH="${arch}" cargo test -q -p seccloud-pairing
+done
 
 echo "== resilience unit suite (clock/policy/breaker/transport/driver/pool) =="
 cargo test -q -p seccloud-resilience

@@ -653,11 +653,26 @@ fn check_ct(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
 
 // --- rule: unsafe audit ---------------------------------------------------
 
-/// Is this path a crate root that must carry `#![forbid(unsafe_code)]`?
+/// Crate roots allowed to downgrade `forbid(unsafe_code)` to
+/// `deny(unsafe_code)` so that *one* sanctioned module can opt back in with
+/// `allow(unsafe_code)` (a `forbid` cannot be overridden further down).
+const UNSAFE_DENY_ROOTS: &[&str] = &["crates/pairing/src/lib.rs"];
+
+/// Files permitted to *contain* `unsafe` at all: the parallelism crate and
+/// the pairing crate's arch-intrinsics module. Every occurrence still needs
+/// a `SAFETY:` comment.
+const UNSAFE_ALLOWED_FILES: &[&str] = &["crates/pairing/src/arch/x86_64.rs"];
+
+fn unsafe_allowed_file(path: &str) -> bool {
+    path.starts_with("crates/parallel/") || UNSAFE_ALLOWED_FILES.contains(&path)
+}
+
+/// Is this path a crate root that must carry `#![forbid(unsafe_code)]`
+/// (or, for [`UNSAFE_DENY_ROOTS`], at least `#![deny(unsafe_code)]`)?
 fn is_guarded_crate_root(path: &str) -> bool {
     if path.starts_with("crates/parallel/") {
-        // The one crate permitted to contain `unsafe` (each block still
-        // needs a `SAFETY:` comment, checked below).
+        // The one crate permitted to contain `unsafe` throughout (each
+        // block still needs a `SAFETY:` comment, checked below).
         return false;
     }
     path.ends_with("src/lib.rs")
@@ -665,12 +680,12 @@ fn is_guarded_crate_root(path: &str) -> bool {
         || (path.contains("src/bin/") && path.ends_with(".rs"))
 }
 
-fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+fn has_unsafe_gate(toks: &[Tok], lint: &str) -> bool {
     toks.windows(8).any(|w| {
         w[0].text == "#"
             && w[1].text == "!"
             && w[2].text == "["
-            && w[3].text == "forbid"
+            && w[3].text == lint
             && w[4].text == "("
             && w[5].text == "unsafe_code"
             && w[6].text == ")"
@@ -684,16 +699,37 @@ fn check_unsafe(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
     } else {
         is_guarded_crate_root(&ctx.path)
     };
-    if root_check && !has_forbid_unsafe(&ctx.toks) {
-        report.findings.push(Finding {
-            rule: RULE_UNSAFE,
-            file: ctx.path.clone(),
-            line: 1,
-            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-        });
+    if root_check && !has_unsafe_gate(&ctx.toks, "forbid") {
+        // Roots on the deny list may use the weaker gate; everyone else
+        // must forbid.
+        let deny_ok =
+            UNSAFE_DENY_ROOTS.contains(&ctx.path.as_str()) && has_unsafe_gate(&ctx.toks, "deny");
+        if !deny_ok {
+            report.findings.push(Finding {
+                rule: RULE_UNSAFE,
+                file: ctx.path.clone(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
     }
     for t in &ctx.toks {
-        if t.kind == TokKind::Ident && t.text == "unsafe" && !ctx.safety_lines.contains(&t.line) {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // Scope check: `unsafe` may only appear in the sanctioned modules
+        // (skipped in single-file fixture mode, where paths are synthetic).
+        if !all_rules && !unsafe_allowed_file(&ctx.path) {
+            report.findings.push(Finding {
+                rule: RULE_UNSAFE,
+                file: ctx.path.clone(),
+                line: t.line,
+                message: "`unsafe` outside the sanctioned modules (crates/parallel, \
+                          crates/pairing/src/arch/x86_64.rs)"
+                    .to_string(),
+            });
+        }
+        if !ctx.safety_lines.contains(&t.line) {
             report.findings.push(Finding {
                 rule: RULE_UNSAFE,
                 file: ctx.path.clone(),
@@ -965,6 +1001,41 @@ mod tests {
         // parallel is exempt from the forbid requirement…
         let par = lint_one("crates/parallel/src/lib.rs", "pub fn f() {}");
         assert!(par.findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_deny_root_is_accepted_only_for_the_pairing_crate() {
+        // pairing's root may downgrade to `deny` (its arch-intrinsics
+        // module opts back in with `allow`, which `forbid` would reject).
+        let ok = lint_one(
+            "crates/pairing/src/lib.rs",
+            "#![deny(unsafe_code)]\npub mod arch;",
+        );
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        // Any other root must still forbid.
+        let bad = lint_one(
+            "crates/hash/src/lib.rs",
+            "#![deny(unsafe_code)]\npub fn f() {}",
+        );
+        assert_eq!(rules_of(&bad), vec![RULE_UNSAFE]);
+        // And an ungated pairing root still fires.
+        let none = lint_one("crates/pairing/src/lib.rs", "pub fn f() {}");
+        assert_eq!(rules_of(&none), vec![RULE_UNSAFE]);
+    }
+
+    #[test]
+    fn unsafe_outside_sanctioned_modules_fires_even_with_safety_comment() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for reads.\n    unsafe { *p }\n}";
+        let r = lint_one("crates/core/src/foo.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_UNSAFE], "{:?}", r.findings);
+        // The pairing arch-intrinsics module and parallel are sanctioned.
+        for path in [
+            "crates/pairing/src/arch/x86_64.rs",
+            "crates/parallel/src/scope.rs",
+        ] {
+            let ok = lint_one(path, src);
+            assert!(ok.findings.is_empty(), "{path}: {:?}", ok.findings);
+        }
     }
 
     #[test]

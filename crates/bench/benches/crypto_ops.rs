@@ -25,7 +25,16 @@ fn bench_table1_ops() {
     g.bench("g2_generator_mul_fixed_base", || g2_generator_mul(&k));
     // Ablation: wNAF windowed multiplication vs plain double-and-add.
     let limbs = *k.to_u256().limbs();
-    g.bench("g1_mul_double_and_add", || g1.mul_limbs(&limbs));
+    g.bench("g1_mul_double_and_add", || {
+        let mut acc = G1::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = acc.add(&g1);
+            }
+        }
+        acc
+    });
     g.bench("g1_mul_wnaf", || g1.mul_limbs_wnaf(&limbs));
     let unprepared = g.bench("pairing", || pairing(&p, &q));
     // Ablation: prepared (cached line coefficients) vs unprepared pairing
@@ -52,6 +61,8 @@ fn bench_field_tower() {
     let b2 = Fp::from_hash(b"fp", b"b");
     g.bench("fp_mul", || a.mul(&b2));
     g.bench("fp_inverse", || a.inverse());
+    // Ablation: binary-xgcd vartime inverse vs the constant-time ladder.
+    g.bench("fp_inverse_vartime", || a.inverse_vartime());
 
     let x2 = Fp2::from_hash(b"fp2", b"x");
     let y2 = Fp2::from_hash(b"fp2", b"y");

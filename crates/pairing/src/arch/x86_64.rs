@@ -1,0 +1,123 @@
+//! The x86_64 accelerated backend: the [`super::generic`] algorithms
+//! recompiled with `#[target_feature(enable = "bmi2,adx")]` so LLVM can
+//! lower the `mac`/`adc` carry chains to MULX + ADCX/ADOX (two independent
+//! carry flags, no flag-renaming stalls).
+//!
+//! This is the **only** module in the crate allowed to contain `unsafe`
+//! (the crate root is `#![deny(unsafe_code)]`; seccloud-lint enforces that
+//! the allowance extends to exactly this file). The unsafety is confined to
+//! `#[target_feature]` monomorphisations of already-tested safe code: no
+//! raw pointers, no assembly, no transmutes. Every public wrapper
+//! re-checks [`supported`] and falls back to the portable generic backend,
+//! so even a forced `SECCLOUD_ARCH=x86_64` on a CPU without BMI2/ADX stays
+//! sound (it just runs at generic speed).
+
+use std::sync::OnceLock;
+
+use super::generic;
+
+/// Whether this CPU supports the BMI2 + ADX features the accelerated
+/// kernels are compiled for. Detection is cached after the first call.
+pub fn supported() -> bool {
+    static SUPPORTED: OnceLock<bool> = OnceLock::new();
+    *SUPPORTED.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("bmi2") && std::arch::is_x86_feature_detected!("adx")
+    })
+}
+
+/// Montgomery product on the BMI2/ADX code path.
+#[inline]
+pub fn mont_mul(a: &[u64; 4], b: &[u64; 4], m: &[u64; 4], inv: u64) -> [u64; 4] {
+    if supported() {
+        // SAFETY: `supported()` just verified the CPU reports BMI2 and ADX,
+        // the exact features `mont_mul_adx` is compiled for.
+        unsafe { mont_mul_adx(a, b, m, inv) }
+    } else {
+        generic::mont_mul(a, b, m, inv)
+    }
+}
+
+/// `Fp2` lazy-reduction product on the BMI2/ADX code path.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn fp2_mul(
+    a0: &[u64; 4],
+    a1: &[u64; 4],
+    b0: &[u64; 4],
+    b1: &[u64; 4],
+    m: &[u64; 4],
+    m2: &[u64; 8],
+    inv: u64,
+) -> ([u64; 4], [u64; 4]) {
+    if supported() {
+        // SAFETY: `supported()` just verified the CPU reports BMI2 and ADX,
+        // the exact features `fp2_mul_adx` is compiled for.
+        unsafe { fp2_mul_adx(a0, a1, b0, b1, m, m2, inv) }
+    } else {
+        generic::fp2_mul(a0, a1, b0, b1, m, m2, inv)
+    }
+}
+
+/// `Fp2` square on the BMI2/ADX code path.
+#[inline]
+pub fn fp2_sqr(a0: &[u64; 4], a1: &[u64; 4], m: &[u64; 4], inv: u64) -> ([u64; 4], [u64; 4]) {
+    if supported() {
+        // SAFETY: `supported()` just verified the CPU reports BMI2 and ADX,
+        // the exact features `fp2_sqr_adx` is compiled for.
+        unsafe { fp2_sqr_adx(a0, a1, m, inv) }
+    } else {
+        generic::fp2_sqr(a0, a1, m, inv)
+    }
+}
+
+// --- target_feature monomorphisations --------------------------------------
+//
+// Each function below simply calls the corresponding `generic` kernel; as
+// those are `#[inline(always)]`-chained down to `mac`/`adc`/`sbb`, LLVM
+// recompiles the whole carry chain inside the `target_feature` context and
+// emits MULX/ADCX/ADOX. No new logic lives here — the instruction selection
+// is the entire difference.
+
+/// # Safety
+///
+/// The CPU must support BMI2 and ADX (checked by callers via [`supported`]).
+// SAFETY: declaration-site unsafety only — the body is safe arithmetic; the
+// target_feature precondition is discharged by every caller's `supported()`.
+#[target_feature(enable = "bmi2,adx")]
+unsafe fn mont_mul_adx(a: &[u64; 4], b: &[u64; 4], m: &[u64; 4], inv: u64) -> [u64; 4] {
+    generic::mont_mul(a, b, m, inv)
+}
+
+/// # Safety
+///
+/// The CPU must support BMI2 and ADX (checked by callers via [`supported`]).
+#[target_feature(enable = "bmi2,adx")]
+#[allow(clippy::too_many_arguments)]
+// SAFETY: declaration-site unsafety only — the body is safe arithmetic; the
+// target_feature precondition is discharged by every caller's `supported()`.
+unsafe fn fp2_mul_adx(
+    a0: &[u64; 4],
+    a1: &[u64; 4],
+    b0: &[u64; 4],
+    b1: &[u64; 4],
+    m: &[u64; 4],
+    m2: &[u64; 8],
+    inv: u64,
+) -> ([u64; 4], [u64; 4]) {
+    generic::fp2_mul(a0, a1, b0, b1, m, m2, inv)
+}
+
+/// # Safety
+///
+/// The CPU must support BMI2 and ADX (checked by callers via [`supported`]).
+// SAFETY: declaration-site unsafety only — the body is safe arithmetic; the
+// target_feature precondition is discharged by every caller's `supported()`.
+#[target_feature(enable = "bmi2,adx")]
+unsafe fn fp2_sqr_adx(
+    a0: &[u64; 4],
+    a1: &[u64; 4],
+    m: &[u64; 4],
+    inv: u64,
+) -> ([u64; 4], [u64; 4]) {
+    generic::fp2_sqr(a0, a1, m, inv)
+}

@@ -44,9 +44,12 @@ impl Fp2 {
         Self::new(Fp::from_u64(9), Fp::one())
     }
 
-    /// Multiplies by the non-residue `ξ`.
+    /// Multiplies by the non-residue `ξ = 9 + u` without a full `Fp2`
+    /// multiplication: `(c0 + c1·u)(9 + u) = (9c0 − c1) + (9c1 + c0)·u`,
+    /// with `9x` computed as `8x + x` by doublings.
     pub fn mul_by_xi(&self) -> Self {
-        self.mul(&Self::xi())
+        let nine = |x: &Fp| x.double().double().double().add(x);
+        Self::new(nine(&self.c0).sub(&self.c1), nine(&self.c1).add(&self.c0))
     }
 
     /// Complex conjugation `c0 − c1·u`; equals the Frobenius map `x ↦ xᵖ`
@@ -63,6 +66,17 @@ impl Fp2 {
     /// Norm `c0² + c1²` (an `Fp` element).
     pub fn norm(&self) -> Fp {
         self.c0.square().add(&self.c1.square())
+    }
+
+    /// Multiplicative inverse via [`Fp::inverse_vartime`] on the norm —
+    /// **variable-time**, for *public* operands only (Miller-loop slopes,
+    /// affine conversions of public points).
+    pub fn inverse_vartime(&self) -> Option<Self> {
+        let norm_inv = self.norm().inverse_vartime()?;
+        Some(Self::new(
+            self.c0.mul(&norm_inv),
+            self.c1.mul(&norm_inv).neg(),
+        ))
     }
 
     /// Computes a square root if one exists (`p ≡ 3 mod 4` algorithm of
@@ -144,19 +158,25 @@ impl FieldElement for Fp2 {
     }
 
     fn mul(&self, rhs: &Self) -> Self {
-        // Karatsuba over u² = −1:
-        let aa = self.c0.mul(&rhs.c0);
-        let bb = self.c1.mul(&rhs.c1);
-        let sum = self.c0.add(&self.c1).mul(&rhs.c0.add(&rhs.c1));
-        Self::new(aa.sub(&bb), sum.sub(&aa).sub(&bb))
+        // Karatsuba over u² = −1, delegated whole to the active backend so
+        // the lazy-reduction kernels can batch the reductions.
+        let (c0, c1) = crate::arch::fp2_mul(
+            self.c0.repr(),
+            self.c1.repr(),
+            rhs.c0.repr(),
+            rhs.c1.repr(),
+            &Fp::MODULUS,
+            &Fp::M2,
+            Fp::NEG_INV,
+        );
+        Self::new(Fp::from_repr_unchecked(c0), Fp::from_repr_unchecked(c1))
     }
 
     fn square(&self) -> Self {
-        // (a + bu)² = (a+b)(a−b) + 2ab·u
-        let plus = self.c0.add(&self.c1);
-        let minus = self.c0.sub(&self.c1);
-        let cross = self.c0.mul(&self.c1);
-        Self::new(plus.mul(&minus), cross.double())
+        // (a + bu)² = (a+b)(a−b) + 2ab·u, on the active backend.
+        let (c0, c1) =
+            crate::arch::fp2_sqr(self.c0.repr(), self.c1.repr(), &Fp::MODULUS, Fp::NEG_INV);
+        Self::new(Fp::from_repr_unchecked(c0), Fp::from_repr_unchecked(c1))
     }
 
     fn inverse(&self) -> Option<Self> {

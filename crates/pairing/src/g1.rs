@@ -27,7 +27,11 @@ pub type G1 = Point<G1Params>;
 pub type G1Affine = Affine<G1Params>;
 
 impl G1 {
-    /// Scalar multiplication by an `Fr` scalar.
+    /// Scalar multiplication by an `Fr` scalar, using the GLV endomorphism
+    /// split (`k = k₁ + λ·k₂` with half-length `k₁, k₂` — see the `glv`
+    /// module); `G1` is the one group where the curve automorphism
+    /// `(x, y) ↦ (βx, y)` acts by a scalar, so only this entry point takes
+    /// the fast path.
     ///
     /// # Examples
     ///
@@ -38,7 +42,7 @@ impl G1 {
     /// assert_eq!(two_g, g.double());
     /// ```
     pub fn mul_fr(&self, k: &Fr) -> Self {
-        self.mul_limbs_wnaf(k.to_u256().limbs())
+        crate::glv::mul_glv(self, k)
     }
 }
 

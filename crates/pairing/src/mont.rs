@@ -42,6 +42,95 @@ pub const fn mont_neg_inv(m0: u64) -> u64 {
     x.wrapping_neg()
 }
 
+/// Computes the full 512-bit square `m²` of a 4-limb modulus at compile
+/// time. The lazy-reduction backends add `m²` to keep `a₀b₀ − a₁b₁`
+/// non-negative before a single Montgomery reduction (see `arch::generic`).
+pub const fn mont_m2(m: [u64; 4]) -> [u64; 8] {
+    let mut t = [0u64; 8];
+    let mut i = 0;
+    while i < 4 {
+        let mut carry = 0u128;
+        let mut j = 0;
+        while j < 4 {
+            let acc = (t[i + j] as u128) + (m[i] as u128) * (m[j] as u128) + carry;
+            t[i + j] = acc as u64;
+            carry = acc >> 64;
+            j += 1;
+        }
+        t[i + 4] = carry as u64;
+        i += 1;
+    }
+    t
+}
+
+/// Halves `x` modulo an odd `m` (both `< 2²⁵⁵`): `x/2` when even, else
+/// `(x + m)/2` — the carry out of the addition cannot occur because
+/// `x < m < 2²⁵⁵`.
+fn half_mod(x: &seccloud_bigint::U256, m: &seccloud_bigint::U256) -> seccloud_bigint::U256 {
+    if x.is_odd() {
+        x.wrapping_add(m).shr(1)
+    } else {
+        x.shr(1)
+    }
+}
+
+/// `a − b mod m` for operands already reduced below `m`.
+fn sub_mod_u256(
+    a: &seccloud_bigint::U256,
+    b: &seccloud_bigint::U256,
+    m: &seccloud_bigint::U256,
+) -> seccloud_bigint::U256 {
+    let (d, borrow) = a.overflowing_sub(b);
+    if borrow {
+        d.wrapping_add(m)
+    } else {
+        d
+    }
+}
+
+/// Inverse of `a` modulo an odd `m < 2²⁵⁵` via binary extended Euclid.
+///
+/// Allocation-free and ~an order of magnitude faster than a Fermat ladder,
+/// but **variable-time** in `a` — callers must restrict it to public
+/// operands. Returns `None` when `a` is zero or shares a factor with `m`
+/// (never for prime `m` and `0 < a < m`).
+pub fn modinv_odd(
+    a: &seccloud_bigint::U256,
+    m: &seccloud_bigint::U256,
+) -> Option<seccloud_bigint::U256> {
+    use seccloud_bigint::U256;
+    if a.is_zero() || !m.is_odd() {
+        return None;
+    }
+    // Invariants: u ≡ x1·a and v ≡ x2·a (mod m); x1, x2 < m.
+    let mut u = *a;
+    let mut v = *m;
+    let mut x1 = U256::ONE;
+    let mut x2 = U256::ZERO;
+    while u != U256::ONE && v != U256::ONE {
+        while !u.is_odd() {
+            u = u.shr(1);
+            x1 = half_mod(&x1, m);
+        }
+        while !v.is_odd() {
+            v = v.shr(1);
+            x2 = half_mod(&x2, m);
+        }
+        // Both odd now; subtract the smaller to strip more factors of two.
+        if u >= v {
+            u = u.wrapping_sub(&v);
+            x1 = sub_mod_u256(&x1, &x2, m);
+        } else {
+            v = v.wrapping_sub(&u);
+            x2 = sub_mod_u256(&x2, &x1, m);
+        }
+        if u.is_zero() || v.is_zero() {
+            return None; // gcd(a, m) = v (resp. u) ≠ 1
+        }
+    }
+    Some(if u == U256::ONE { x1 } else { x2 })
+}
+
 /// Computes `2⁵¹² mod m` (the Montgomery `R²`) for a 4-limb modulus with
 /// `2²⁵³ ≤ m < 2²⁵⁵` by 512 modular doublings.
 pub const fn mont_r2(m: [u64; 4]) -> [u64; 4] {
@@ -118,7 +207,12 @@ macro_rules! mont_field {
         impl $name {
             /// The field modulus as little-endian limbs.
             pub const MODULUS: [u64; 4] = $crate::mont::parse_hex_limbs($modulus_hex);
-            const NEG_INV: u64 = $crate::mont::mont_neg_inv(Self::MODULUS[0]);
+            /// The Montgomery constant `-m⁻¹ mod 2⁶⁴` (backend plumbing).
+            #[doc(hidden)]
+            pub const NEG_INV: u64 = $crate::mont::mont_neg_inv(Self::MODULUS[0]);
+            /// The full 512-bit `m²` (lazy-reduction backend plumbing).
+            #[doc(hidden)]
+            pub const M2: [u64; 8] = $crate::mont::mont_m2(Self::MODULUS);
             const R2: [u64; 4] = $crate::mont::mont_r2(Self::MODULUS);
 
             /// The modulus as a [`seccloud_bigint::U256`].
@@ -212,40 +306,24 @@ macro_rules! mont_field {
             /// Field addition.
             #[inline]
             pub fn add(&self, rhs: &Self) -> Self {
-                let a = ::seccloud_bigint::U256::from_limbs(self.repr);
-                let b = ::seccloud_bigint::U256::from_limbs(rhs.repr);
-                let m = Self::modulus();
-                // a, b < m < 2²⁵⁵ so no carry out of 256 bits.
-                let mut s = a.wrapping_add(&b);
-                if s >= m {
-                    s = s.wrapping_sub(&m);
+                Self {
+                    repr: $crate::arch::add_mod(&self.repr, &rhs.repr, &Self::MODULUS),
                 }
-                Self { repr: *s.limbs() }
             }
 
             /// Field subtraction.
             #[inline]
             pub fn sub(&self, rhs: &Self) -> Self {
-                let a = ::seccloud_bigint::U256::from_limbs(self.repr);
-                let b = ::seccloud_bigint::U256::from_limbs(rhs.repr);
-                let (mut d, borrow) = a.overflowing_sub(&b);
-                if borrow {
-                    d = d.wrapping_add(&Self::modulus());
+                Self {
+                    repr: $crate::arch::sub_mod(&self.repr, &rhs.repr, &Self::MODULUS),
                 }
-                Self { repr: *d.limbs() }
             }
 
             /// Additive inverse.
             #[inline]
             pub fn neg(&self) -> Self {
-                if self.is_zero() {
-                    *self
-                } else {
-                    let m = Self::modulus();
-                    let v = ::seccloud_bigint::U256::from_limbs(self.repr);
-                    Self {
-                        repr: *m.wrapping_sub(&v).limbs(),
-                    }
+                Self {
+                    repr: $crate::arch::neg_mod(&self.repr, &Self::MODULUS),
                 }
             }
 
@@ -275,6 +353,10 @@ macro_rules! mont_field {
             }
 
             /// Multiplicative inverse via Fermat (`a^(m-2)`); `None` for 0.
+            ///
+            /// Fixed sequence of Montgomery multiplications — use this for
+            /// secret operands. For public data (curve points in pairing
+            /// computations) prefer [`Self::inverse_vartime`].
             pub fn inverse(&self) -> Option<Self> {
                 if self.is_zero() {
                     return None;
@@ -283,40 +365,44 @@ macro_rules! mont_field {
                 Some(self.pow(exp.limbs()))
             }
 
+            /// Multiplicative inverse via binary extended Euclid
+            /// ([`crate::mont::modinv_odd`]); `None` for 0. Several times
+            /// faster than the Fermat ladder but **variable-time** in the
+            /// operand — only for *public* values (Miller-loop line slopes,
+            /// affine conversions of public points), never key- or
+            /// scalar-dependent data.
+            pub fn inverse_vartime(&self) -> Option<Self> {
+                // Operating directly on the Montgomery residue aR yields
+                // (aR)⁻¹ = a⁻¹R⁻¹; two R² Montgomery factors lift it back
+                // to the Montgomery image a⁻¹R.
+                let raw = ::seccloud_bigint::U256::from_limbs(self.repr);
+                let inv = $crate::mont::modinv_odd(&raw, &Self::modulus())?;
+                let t = Self::mont_mul(inv.limbs(), &Self::R2);
+                Some(Self {
+                    repr: Self::mont_mul(&t, &Self::R2),
+                })
+            }
+
             #[inline]
             fn mont_mul(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
-                use ::seccloud_bigint::{adc, mac};
-                let m = &Self::MODULUS;
-                let mut t = [0u64; 6];
-                for i in 0..4 {
-                    let mut carry = 0;
-                    for j in 0..4 {
-                        let (lo, c) = mac(t[j], a[i], b[j], carry);
-                        t[j] = lo;
-                        carry = c;
-                    }
-                    let (lo, c) = adc(t[4], carry, 0);
-                    t[4] = lo;
-                    t[5] = c;
+                $crate::arch::mont_mul(a, b, &Self::MODULUS, Self::NEG_INV)
+            }
 
-                    let k = t[0].wrapping_mul(Self::NEG_INV);
-                    let (_, mut carry) = mac(t[0], k, m[0], 0);
-                    for j in 1..4 {
-                        let (lo, c) = mac(t[j], k, m[j], carry);
-                        t[j - 1] = lo;
-                        carry = c;
-                    }
-                    let (lo, c) = adc(t[4], carry, 0);
-                    t[3] = lo;
-                    t[4] = t[5] + c;
-                    t[5] = 0;
-                }
-                let mut out = ::seccloud_bigint::U256::from_limbs([t[0], t[1], t[2], t[3]]);
-                let modulus = Self::modulus();
-                if t[4] != 0 || out >= modulus {
-                    out = out.wrapping_sub(&modulus);
-                }
-                *out.limbs()
+            /// The raw Montgomery-form limbs (backend plumbing; always the
+            /// canonical representative `< m`).
+            #[doc(hidden)]
+            #[inline]
+            pub fn repr(&self) -> &[u64; 4] {
+                &self.repr
+            }
+
+            /// Rebuilds an element from raw Montgomery-form limbs. The
+            /// caller must pass a canonical (`< m`) representative, as
+            /// produced by every `arch` backend function.
+            #[doc(hidden)]
+            #[inline]
+            pub fn from_repr_unchecked(repr: [u64; 4]) -> Self {
+                Self { repr }
             }
         }
 

@@ -216,10 +216,44 @@ fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
     f
 }
 
+/// The hard part `f ↦ f^((p⁴−p²+1)/r)` for `f` in the cyclotomic subgroup,
+/// via the Devegili–Scott–Dominguez Frobenius addition chain: three
+/// `x`-power chains (64-bit exponents) plus a handful of Frobenius maps and
+/// conjugations replace one dense 762-bit exponentiation. Conjugation is a
+/// free inversion here because cyclotomic elements are unitary.
+///
+/// Equality with the plain exponentiation by the derived exponent is
+/// asserted in `hard_part_chain_matches_derived_exponent`.
+fn final_exp_hard_part_chain(f: &Fp12) -> Fp12 {
+    let x = seccloud_bigint::ApInt::from_u64(params::BN_X);
+    let fx = f.cyclotomic_pow(&x);
+    let fx2 = fx.cyclotomic_pow(&x);
+    let fx3 = fx2.cyclotomic_pow(&x);
+    let fp = f.frobenius_p();
+    let fp2 = f.frobenius_p2();
+    let fp3 = fp2.frobenius_p();
+
+    let y0 = fp.mul(&fp2).mul(&fp3);
+    let y1 = f.conjugate();
+    let y2 = fx2.frobenius_p2();
+    let y3 = fx.frobenius_p().conjugate();
+    let y4 = fx.mul(&fx2.frobenius_p()).conjugate();
+    let y5 = fx2.conjugate();
+    let y6 = fx3.mul(&fx3.frobenius_p()).conjugate();
+
+    let mut t0 = y6.cyclotomic_square().mul(&y4).mul(&y5);
+    let mut t1 = y3.mul(&y5).mul(&t0);
+    t0 = t0.mul(&y2);
+    t1 = t1.cyclotomic_square().mul(&t0).cyclotomic_square();
+    let t2 = t1.mul(&y1);
+    t1 = t1.mul(&y0);
+    t2.cyclotomic_square().mul(&t1)
+}
+
 /// The final exponentiation `f ↦ f^((p¹²−1)/r)`.
 ///
-/// Easy part via Frobenius (`(p⁶−1)(p²+1)`), hard part by plain
-/// exponentiation with the derived `(p⁴−p²+1)/r`.
+/// Easy part via Frobenius (`(p⁶−1)(p²+1)`), hard part by the
+/// Frobenius-assisted addition chain of [`final_exp_hard_part_chain`].
 pub fn final_exponentiation(f: &Fp12) -> Fp12 {
     // f^(p⁶ − 1) = conj(f) · f⁻¹
     let f = f
@@ -228,8 +262,8 @@ pub fn final_exponentiation(f: &Fp12) -> Fp12 {
     // f^(p² + 1) = frob²(f) · f
     let f = f.frobenius_p2().mul(&f);
     // Hard part: f is now in the cyclotomic subgroup, so Granger–Scott
-    // squarings apply (see `benches/crypto_ops.rs` for the ablation).
-    f.cyclotomic_pow(params::final_exp_hard_part())
+    // squarings and unitary inversion apply.
+    final_exp_hard_part_chain(&f)
 }
 
 /// Computes the workspace's default reduced pairing `ê(P, Q)` — the optimal
@@ -290,6 +324,33 @@ mod tests {
     use super::*;
     use crate::g1::{hash_to_g1, G1};
     use crate::g2::{hash_to_g2, G2};
+
+    #[test]
+    fn hard_part_chain_matches_derived_exponent() {
+        // The addition chain must equal plain exponentiation by the derived
+        // (p⁴−p²+1)/r on cyclotomic inputs (easy-part outputs).
+        for i in 0..3u32 {
+            let raw = Fp12::new(
+                Fp6::new(
+                    Fp2::from_hash(b"hp-a", &i.to_be_bytes()),
+                    Fp2::from_hash(b"hp-b", &i.to_be_bytes()),
+                    Fp2::from_hash(b"hp-c", &i.to_be_bytes()),
+                ),
+                Fp6::new(
+                    Fp2::from_hash(b"hp-d", &i.to_be_bytes()),
+                    Fp2::from_hash(b"hp-e", &i.to_be_bytes()),
+                    Fp2::from_hash(b"hp-f", &i.to_be_bytes()),
+                ),
+            );
+            let easy = raw.conjugate().mul(&raw.inverse().expect("nonzero"));
+            let cyc = easy.frobenius_p2().mul(&easy);
+            assert_eq!(
+                final_exp_hard_part_chain(&cyc),
+                cyc.cyclotomic_pow(params::final_exp_hard_part()),
+                "sample {i}"
+            );
+        }
+    }
 
     #[test]
     fn non_degenerate_on_generators() {

@@ -23,7 +23,6 @@ use crate::ate::{loop_count, twist_frobenius, twist_frobenius_sq};
 use crate::fp::Fp;
 use crate::fp12::Fp12;
 use crate::fp2::Fp2;
-use crate::fp6::Fp6;
 use crate::g1::G1Affine;
 use crate::g2::G2Affine;
 use crate::pairing::{final_exponentiation, Gt};
@@ -40,15 +39,14 @@ enum LineStep {
 }
 
 impl LineStep {
-    /// Evaluates the cached line at `P = (x_P, y_P)`, or `None` for a unit
-    /// contribution.
+    /// Evaluates the cached line at `P = (x_P, y_P)` to the sparse triple
+    /// consumed by [`Fp12::mul_by_014`], or `None` for a unit contribution.
     #[inline]
-    fn eval(&self, x_p: &Fp, y_p: &Fp) -> Option<Fp12> {
+    fn eval(&self, x_p: &Fp, y_p: &Fp) -> Option<(Fp2, Fp2, Fp2)> {
         match self {
-            LineStep::Line { neg_lambda, c1 } => Some(Fp12::new(
-                Fp6::from_fp2(Fp2::from_fp(*y_p)),
-                Fp6::new(neg_lambda.scale(x_p), *c1, Fp2::zero()),
-            )),
+            LineStep::Line { neg_lambda, c1 } => {
+                Some((Fp2::from_fp(*y_p), neg_lambda.scale(x_p), *c1))
+            }
             LineStep::One => None,
         }
     }
@@ -75,7 +73,7 @@ impl Recorder {
         let lambda = x
             .square()
             .scale(&Fp::from_u64(3))
-            .mul(&y.double().inverse().expect("y ≠ 0"));
+            .mul(&y.double().inverse_vartime().expect("y ≠ 0"));
         self.steps.push(LineStep::Line {
             neg_lambda: lambda.neg(),
             c1: lambda.mul(&x).sub(&y),
@@ -101,7 +99,9 @@ impl Recorder {
             self.steps.push(LineStep::One); // vertical
             return;
         }
-        let lambda = y2.sub(&y1).mul(&x2.sub(&x1).inverse().expect("x₂ ≠ x₁"));
+        let lambda = y2
+            .sub(&y1)
+            .mul(&x2.sub(&x1).inverse_vartime().expect("x₂ ≠ x₁"));
         self.steps.push(LineStep::Line {
             neg_lambda: lambda.neg(),
             c1: lambda.mul(&x1).sub(&y1),
@@ -208,8 +208,8 @@ pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> Gt {
     let mut cursor = 0usize;
     let absorb = |f: &mut Fp12, cursor: &mut usize| {
         for (x_p, y_p, steps) in &live {
-            if let Some(line) = steps[*cursor].eval(x_p, y_p) {
-                *f = f.mul(&line);
+            if let Some((a, b, c)) = steps[*cursor].eval(x_p, y_p) {
+                *f = f.mul_by_014(&a, &b, &c);
             }
         }
         *cursor += 1;

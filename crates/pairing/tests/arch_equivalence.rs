@@ -1,0 +1,230 @@
+//! Backend-equivalence property suite: every arithmetic backend must be
+//! bit-for-bit indistinguishable from the strict `Reference` oracle.
+//!
+//! The limb-level properties drive each backend through `arch::*_with`
+//! (explicit backend — no global state), so they exercise whichever
+//! backends this machine supports, including the MULX/ADCX path when the
+//! CPU has BMI2+ADX. Generators mix uniform residues with the adversarial
+//! edge values for lazy reduction: `0`, `1`, `2`, `p−1`, `p−2`, `(p−1)/2`
+//! and the Montgomery image of one. Non-canonical raw integers (`p ± ε`)
+//! are covered through the `from_u256` canonicalization property.
+//!
+//! Run the whole suite under a forced backend with e.g.
+//! `SECCLOUD_ARCH=generic cargo test` — the env override changes the
+//! auto-detected backend that all high-level code (`pairing`, GLV, the
+//! tower) dispatches through, while these properties still compare every
+//! available backend pairwise.
+
+use seccloud_bigint::U256;
+use seccloud_pairing::arch::{self, Backend};
+use seccloud_pairing::{
+    hash_to_g1, hash_to_g2, pairing, pairing_prepared, FieldElement, Fp, Fp12, Fp2, Fp6, Fr,
+    G2Prepared, G1,
+};
+use seccloud_testkit::{forall, Tape};
+
+/// A canonical residue mod `p`, biased heavily toward reduction edges.
+fn fp_limbs(t: &mut Tape) -> [u64; 4] {
+    let p = Fp::modulus();
+    match t.next_below(10) {
+        0 => [0u64; 4],
+        1 => [1, 0, 0, 0],
+        2 => [2, 0, 0, 0],
+        3 => *p.wrapping_sub(&U256::ONE).limbs(),
+        4 => *p.wrapping_sub(&U256::from_u64(2)).limbs(),
+        5 => *p.shr(1).limbs(),
+        6 => *Fp::one().repr(), // the Montgomery image R mod p
+        _ => {
+            let raw = U256::from_limbs(std::array::from_fn(|_| t.next_u64()));
+            *Fp::from_u256(&raw).repr()
+        }
+    }
+}
+
+#[test]
+fn mont_mul_matches_reference_on_every_backend() {
+    forall(
+        "arch/mont_mul",
+        |t| (fp_limbs(t), fp_limbs(t)),
+        |(a, b)| {
+            let m = &Fp::MODULUS;
+            let want = arch::mont_mul_with(Backend::Reference, a, b, m, Fp::NEG_INV);
+            for bk in Backend::available() {
+                let got = arch::mont_mul_with(bk, a, b, m, Fp::NEG_INV);
+                if got != want {
+                    return Err(format!("{bk:?}: {got:?} != reference {want:?}"));
+                }
+                if U256::from_limbs(got) >= Fp::modulus() {
+                    return Err(format!("{bk:?}: non-canonical output {got:?}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn add_sub_neg_match_reference_on_every_backend() {
+    forall(
+        "arch/add_sub_neg",
+        |t| (fp_limbs(t), fp_limbs(t)),
+        |(a, b)| {
+            let m = &Fp::MODULUS;
+            for bk in Backend::available() {
+                let trio = [
+                    (
+                        "add",
+                        arch::add_mod_with(bk, a, b, m),
+                        arch::add_mod_with(Backend::Reference, a, b, m),
+                    ),
+                    (
+                        "sub",
+                        arch::sub_mod_with(bk, a, b, m),
+                        arch::sub_mod_with(Backend::Reference, a, b, m),
+                    ),
+                    (
+                        "neg",
+                        arch::neg_mod_with(bk, a, m),
+                        arch::neg_mod_with(Backend::Reference, a, m),
+                    ),
+                ];
+                for (op, got, want) in trio {
+                    if got != want {
+                        return Err(format!("{bk:?} {op}: {got:?} != {want:?}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fp2_kernels_match_reference_on_every_backend() {
+    forall(
+        "arch/fp2_mul_sqr",
+        |t| (fp_limbs(t), fp_limbs(t), fp_limbs(t), fp_limbs(t)),
+        |(a0, a1, b0, b1)| {
+            let m = &Fp::MODULUS;
+            let want_mul =
+                arch::fp2_mul_with(Backend::Reference, a0, a1, b0, b1, m, &Fp::M2, Fp::NEG_INV);
+            let want_sqr = arch::fp2_sqr_with(Backend::Reference, a0, a1, m, Fp::NEG_INV);
+            for bk in Backend::available() {
+                let got_mul = arch::fp2_mul_with(bk, a0, a1, b0, b1, m, &Fp::M2, Fp::NEG_INV);
+                if got_mul != want_mul {
+                    return Err(format!("{bk:?} fp2_mul: {got_mul:?} != {want_mul:?}"));
+                }
+                let got_sqr = arch::fp2_sqr_with(bk, a0, a1, m, Fp::NEG_INV);
+                if got_sqr != want_sqr {
+                    return Err(format!("{bk:?} fp2_sqr: {got_sqr:?} != {want_sqr:?}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn from_u256_canonicalizes_out_of_range_inputs() {
+    // Non-canonical raw integers (p ± ε, 2p ± ε, MAX) must enter the field
+    // already reduced, so no lazy-reduction bound ever sees limbs ≥ p.
+    forall(
+        "arch/from_u256_canonical",
+        |t| {
+            let p = Fp::modulus();
+            let eps = U256::from_u64(t.next_below(4));
+            match t.next_below(5) {
+                0 => p.wrapping_add(&eps),
+                1 => p.wrapping_sub(&eps),
+                2 => p.shl(1).wrapping_add(&eps),
+                3 => U256::MAX.wrapping_sub(&eps),
+                _ => U256::from_limbs(std::array::from_fn(|_| t.next_u64())),
+            }
+        },
+        |raw| {
+            let x = Fp::from_u256(raw);
+            if U256::from_limbs(*x.repr()) >= Fp::modulus() {
+                return Err(format!("from_u256({raw:?}) left non-canonical limbs"));
+            }
+            // And the value is correct: x ≡ raw (mod p), checked additively.
+            let p = Fp::modulus();
+            let mut reduced = *raw;
+            while reduced >= p {
+                reduced = reduced.wrapping_sub(&p);
+            }
+            if x.to_u256() != reduced {
+                return Err(format!("from_u256({raw:?}) wrong residue"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn vartime_inverse_matches_fermat_inverse() {
+    // The Euclidean fast path used on public Miller-loop operands must
+    // agree with the constant-time Fermat ladder everywhere, including the
+    // reduction edge values.
+    forall(
+        "arch/inverse_vartime",
+        |t| (fp_limbs(t), fp_limbs(t)),
+        |(a, b)| {
+            let x = Fp::from_repr_unchecked(*a);
+            if x.inverse_vartime() != x.inverse() {
+                return Err(format!("Fp inverse mismatch for {x:?}"));
+            }
+            let x2 = Fp2::new(x, Fp::from_repr_unchecked(*b));
+            if x2.inverse_vartime() != x2.inverse() {
+                return Err(format!("Fp2 inverse mismatch for {x2:?}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Whole-protocol equivalence under each backend via the process-wide
+/// switch: pairings, the tower, and GLV must produce identical canonical
+/// values no matter which backend computed them. Runs in one test fn so
+/// the `set_backend` round-trip is not racing itself.
+#[test]
+fn full_pairing_and_glv_agree_across_backends() {
+    let initial = arch::active();
+    let p = hash_to_g1(b"arch-eq-p").to_affine();
+    let q = hash_to_g2(b"arch-eq-q").to_affine();
+    let q_prep = G2Prepared::from(&q);
+    let k = Fr::hash(b"arch-eq-k");
+    let x2 = Fp2::from_hash(b"arch-eq", b"x2");
+    let x12 = Fp12::new(
+        Fp6::new(x2, x2.square(), x2.neg()),
+        Fp6::new(x2.add(&x2), x2, x2.square().square()),
+    );
+
+    let mut results = Vec::new();
+    for bk in Backend::available() {
+        arch::set_backend(bk);
+        results.push((
+            bk,
+            pairing(&p, &q),
+            pairing_prepared(&p, &q_prep),
+            G1::generator().mul_fr(&k),
+            x12.mul(&x12.square()),
+            x12.inverse().expect("nonzero"),
+        ));
+    }
+    arch::set_backend(initial);
+
+    let (_, e0, ep0, g0, m0, i0) = &results[0];
+    for (bk, e, ep, g, m, i) in &results[1..] {
+        assert_eq!(e, e0, "pairing differs on {bk:?}");
+        assert_eq!(ep, ep0, "prepared pairing differs on {bk:?}");
+        assert_eq!(g, g0, "GLV scalar mul differs on {bk:?}");
+        assert_eq!(m, m0, "Fp12 mul differs on {bk:?}");
+        assert_eq!(i, i0, "Fp12 inverse differs on {bk:?}");
+    }
+    // And the pairing value is a genuine pairing (consistency, not just
+    // backend agreement): bilinearity spot-check on the first backend.
+    assert_eq!(
+        pairing(&G1::generator().mul_fr(&k).to_affine(), &q),
+        pairing(&G1::generator().to_affine(), &q).pow(&k),
+    );
+}

@@ -2,7 +2,22 @@
 //! pairing crate's public API.
 
 use seccloud_hash::HmacDrbg;
-use seccloud_pairing::{hash_to_g1, hash_to_g2, pairing, Fr, G1Affine, G2Affine, Gt, G1, G2};
+use seccloud_pairing::{
+    hash_to_g1, hash_to_g2, pairing, CurveParams, Fr, G1Affine, G2Affine, Gt, Point, G1, G2,
+};
+
+/// Textbook left-to-right double-and-add — the obviously-correct oracle the
+/// windowed (wNAF/GLV) production paths are compared against.
+fn naive_mul<C: CurveParams>(p: &Point<C>, scalar: &[u64]) -> Point<C> {
+    let mut acc = Point::<C>::identity();
+    for i in (0..scalar.len() * 64).rev() {
+        acc = acc.double();
+        if (scalar[i / 64] >> (i % 64)) & 1 == 1 {
+            acc = acc.add(p);
+        }
+    }
+    acc
+}
 
 #[test]
 fn g1_compression_round_trips() {
@@ -111,7 +126,7 @@ fn wnaf_equals_double_and_add_g1() {
     let p = hash_to_g1(b"wnaf-base");
     for _ in 0..16 {
         let limbs: [u64; 4] = std::array::from_fn(|_| d.next_u64());
-        assert_eq!(p.mul_limbs(&limbs), p.mul_limbs_wnaf(&limbs));
+        assert_eq!(naive_mul(&p, &limbs), p.mul_limbs_wnaf(&limbs));
     }
 }
 
@@ -121,7 +136,10 @@ fn wnaf_equals_double_and_add_g2() {
     let q = G2::generator();
     for _ in 0..16 {
         let k = d.next_u64();
-        assert_eq!(q.mul_limbs(&[k, 0, k, 1]), q.mul_limbs_wnaf(&[k, 0, k, 1]));
+        assert_eq!(
+            naive_mul(&q, &[k, 0, k, 1]),
+            q.mul_limbs_wnaf(&[k, 0, k, 1])
+        );
     }
 }
 
