@@ -46,11 +46,27 @@ for arch in reference generic; do
     SECCLOUD_ARCH="${arch}" cargo test -q -p seccloud-pairing
 done
 
-echo "== resilience unit suite (clock/policy/breaker/transport/driver/pool) =="
+echo "== resilience unit suite (clock/policy/breaker/transport/driver/pool/sharded) =="
 cargo test -q -p seccloud-resilience
 
+echo "== registry suite (sharding, commitments, fused cross-shard batch) =="
+cargo test -q -p seccloud-registry
+
+echo "== scale smoke bench + sharded/batch-user suites per SECCLOUD_ARCH =="
+# The smoke bench (≤10k simulated users) exercises enrollment, per-shard
+# commitments, epoch rotation and both cache arms end to end; the new
+# suites re-run under each pinned backend with a reduced case count (the
+# reference backend is ~20x slower per pairing).
+for arch in reference generic; do
+    echo "-- SECCLOUD_ARCH=${arch} --"
+    SECCLOUD_ARCH="${arch}" ./target/release/bench_scale --smoke \
+        --out "target/BENCH_scale_smoke_${arch}.json"
+    SECCLOUD_ARCH="${arch}" SECCLOUD_TESTKIT_CASES=25 cargo test -q --test batch_users
+    SECCLOUD_ARCH="${arch}" cargo test -q --test fault_injection sharded
+done
+
 echo "== fault/property/recovery suites: serial and 4-thread (${SECCLOUD_TESTKIT_CASES} cases) =="
-SECCLOUD_THREADS=1 cargo test -q --test fault_injection --test wire_roundtrip
-SECCLOUD_THREADS=4 cargo test -q --test fault_injection --test wire_roundtrip
+SECCLOUD_THREADS=1 cargo test -q --test fault_injection --test wire_roundtrip --test batch_users
+SECCLOUD_THREADS=4 cargo test -q --test fault_injection --test wire_roundtrip --test batch_users
 
 echo "CI OK"

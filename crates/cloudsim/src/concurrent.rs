@@ -71,37 +71,43 @@ impl DesignatedAgency {
             .collect();
 
         // Phase 2 (parallel): request responses and run Algorithm 1.
+        // Pairing each job with its prepared challenge up front keeps the
+        // worker closure total (no worker-side indexing).
         let da_key = self.credential().key();
         let da_identity = self.identity().to_owned();
-        seccloud_parallel::parallel_map_threads(jobs, threads, |i, job| {
-            let (challenge, warrant) = &prepared[i];
-            job.server
-                .handle_audit(
-                    job.handle.job_id,
-                    challenge,
-                    warrant,
-                    job.owner.public(),
-                    &da_identity,
-                    now,
-                )
-                .map(|response| {
-                    let outcome = verify_response(
-                        da_key,
-                        job.owner.public(),
-                        job.server.signer_public(),
-                        &job.handle.request,
+        let work: Vec<_> = jobs.iter().zip(prepared.iter()).collect();
+        seccloud_parallel::parallel_map_threads(
+            &work,
+            threads,
+            |_i, (job, (challenge, warrant))| {
+                job.server
+                    .handle_audit(
+                        job.handle.job_id,
                         challenge,
-                        &job.handle.commitment,
-                        &response,
-                    );
-                    let detected = !outcome.is_valid();
-                    AuditVerdict {
-                        challenge: challenge.clone(),
-                        outcome,
-                        detected,
-                    }
-                })
-        })
+                        warrant,
+                        job.owner.public(),
+                        &da_identity,
+                        now,
+                    )
+                    .map(|response| {
+                        let outcome = verify_response(
+                            da_key,
+                            job.owner.public(),
+                            job.server.signer_public(),
+                            &job.handle.request,
+                            challenge,
+                            &job.handle.commitment,
+                            &response,
+                        );
+                        let detected = !outcome.is_valid();
+                        AuditVerdict {
+                            challenge: challenge.clone(),
+                            outcome,
+                            detected,
+                        }
+                    })
+            },
+        )
     }
 }
 

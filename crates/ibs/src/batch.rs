@@ -103,11 +103,29 @@ impl BatchVerifier {
     ///
     /// An empty batch verifies trivially (`1 = 1`).
     pub fn verify(&self, verifier: &VerifierKey) -> bool {
+        self.verify_prepared(&verifier.sk_prepared())
+    }
+
+    /// The batch check against an explicit prepared key handle (callers
+    /// that amortize `sk_V` lookups through a
+    /// [`seccloud_pairing::cache::PreparedCache`] — e.g. the sharded epoch
+    /// verifier — resolve the handle once and reuse it).
+    pub fn verify_prepared(&self, prepared: &seccloud_pairing::G2Prepared) -> bool {
         match (&self.u_acc, &self.sigma_acc) {
-            (Some(u), Some(sigma)) => {
-                pairing_prepared(&u.to_affine(), verifier.sk_prepared()) == *sigma
-            }
+            (Some(u), Some(sigma)) => pairing_prepared(&u.to_affine(), prepared) == *sigma,
             _ => true,
+        }
+    }
+
+    /// The running aggregate `(U_A, Σ_A)`, or `None` for an empty batch.
+    ///
+    /// Exposing the fold lets a higher layer (the sharded registry's epoch
+    /// verifier) combine many per-shard batches into a *single*
+    /// `multi_miller_loop` call instead of one pairing per batch.
+    pub fn aggregate(&self) -> Option<(G1, Gt)> {
+        match (&self.u_acc, &self.sigma_acc) {
+            (Some(u), Some(sigma)) => Some((*u, *sigma)),
+            _ => None,
         }
     }
 

@@ -1,6 +1,6 @@
 //! System initialization and identity key extraction (paper Section V-A).
 
-use std::sync::OnceLock;
+use std::sync::Arc;
 
 use seccloud_hash::HmacDrbg;
 use seccloud_pairing::{hash_to_g1, hash_to_g2, Fr, G2Prepared, G1, G2};
@@ -112,10 +112,8 @@ impl MasterKey {
             public: VerifierPublic {
                 identity: identity.to_owned(),
                 q,
-                prepared: OnceLock::new(),
             },
             sk: q.mul_fr(&self.s),
-            prepared_sk: OnceLock::new(),
         }
     }
 }
@@ -196,13 +194,14 @@ impl UserKey {
 ///
 /// `Q_V` is a fixed pairing argument for the verifier's lifetime (every
 /// [`crate::designate`] call pairs against it), so its Miller-loop line
-/// coefficients are computed once on first use and cached.
-#[derive(Clone)]
+/// coefficients are resolved through the process-wide
+/// [`seccloud_pairing::cache`] LRU — *every* instance recomputed from the
+/// same identity (e.g. a fresh decode on each wire audit) shares one
+/// preparation, instead of each instance re-preparing privately.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VerifierPublic {
     identity: String,
     q: G2,
-    /// Lazily prepared form of `q` for fixed-argument pairings.
-    prepared: OnceLock<G2Prepared>,
 }
 
 impl VerifierPublic {
@@ -211,7 +210,6 @@ impl VerifierPublic {
         Self {
             identity: identity.to_owned(),
             q: hash_to_g2(identity.as_bytes()),
-            prepared: OnceLock::new(),
         }
     }
 
@@ -225,29 +223,11 @@ impl VerifierPublic {
         &self.q
     }
 
-    /// The prepared form of `Q_V` (computed on first use, then cached).
-    pub fn q_prepared(&self) -> &G2Prepared {
-        self.prepared
-            .get_or_init(|| G2Prepared::from(&self.q.to_affine()))
-    }
-}
-
-// Manual impls: the lazy cache is derived data and must not affect
-// equality or clutter `Debug`.
-impl PartialEq for VerifierPublic {
-    fn eq(&self, other: &Self) -> bool {
-        self.identity == other.identity && self.q == other.q
-    }
-}
-
-impl Eq for VerifierPublic {}
-
-impl std::fmt::Debug for VerifierPublic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("VerifierPublic")
-            .field("identity", &self.identity)
-            .field("q", &self.q)
-            .finish()
+    /// The prepared form of `Q_V`, shared through the process-wide
+    /// prepared-key cache (prepared on first use anywhere, then amortized
+    /// across every instance naming the same point).
+    pub fn q_prepared(&self) -> Arc<G2Prepared> {
+        seccloud_pairing::cache::global().get_or_prepare(&self.q.to_affine())
     }
 }
 
@@ -257,8 +237,6 @@ impl std::fmt::Debug for VerifierPublic {
 pub struct VerifierKey {
     public: VerifierPublic,
     sk: G2,
-    /// Lazily prepared form of `sk` — secret-derived, never printed.
-    prepared_sk: OnceLock<G2Prepared>,
 }
 
 impl Drop for VerifierKey {
@@ -276,11 +254,12 @@ impl std::fmt::Debug for VerifierKey {
 }
 
 impl VerifierKey {
-    /// Zeros the identity secret key and drops its prepared form; called
-    /// from `Drop`.
+    /// Zeros the identity secret key and drops its cached prepared form
+    /// from the process-wide cache (secret-derived line coefficients must
+    /// not outlive the key); called from `Drop`.
     fn wipe(&mut self) {
+        seccloud_pairing::cache::global().remove(&self.sk.to_affine());
         seccloud_hash::wipe_copy(&mut self.sk, G2::identity());
-        self.prepared_sk.take();
     }
 
     /// The public part.
@@ -300,12 +279,17 @@ impl VerifierKey {
         &self.sk
     }
 
-    /// The prepared form of `sk_V` (crate-internal). Every designated
-    /// verification pairs against the same `sk_V`, so the Miller-loop line
-    /// coefficients are computed once per key and reused.
-    pub(crate) fn sk_prepared(&self) -> &G2Prepared {
-        self.prepared_sk
-            .get_or_init(|| G2Prepared::from(&self.sk.to_affine()))
+    /// The prepared form of `sk_V`, resolved through the process-wide
+    /// prepared-key cache. Every designated verification pairs against the
+    /// same `sk_V`, so the Miller-loop line coefficients are prepared once
+    /// and amortized across calls (and across clones of this key).
+    ///
+    /// The handle is secret-derived: verification engines (batch
+    /// verifiers, the sharded epoch verifier) may hold it for the
+    /// verifier's own checks, but it must never be serialized or logged —
+    /// exactly like `sk_V` itself.
+    pub fn sk_prepared(&self) -> Arc<G2Prepared> {
+        seccloud_pairing::cache::global().get_or_prepare(&self.sk.to_affine())
     }
 }
 
@@ -384,7 +368,9 @@ mod tests {
         let mut m = MasterKey::from_seed(b"wipe-test");
         let mut u = m.extract_user("alice");
         let mut v = m.extract_verifier("cs");
-        v.sk_prepared(); // populate the lazy cache so wipe() has work to do
+        let sk_point = v.sk.to_affine();
+        let _ = v.sk_prepared(); // populate the shared cache so wipe() has work to do
+        assert!(seccloud_pairing::cache::global().contains(&sk_point));
 
         m.wipe();
         assert!(m.s.is_zero(), "master scalar must be zeroed on drop");
@@ -394,7 +380,10 @@ mod tests {
 
         v.wipe();
         assert!(v.sk.is_identity(), "verifier secret key must be cleared");
-        assert!(v.prepared_sk.get().is_none(), "prepared sk must be dropped");
+        assert!(
+            !seccloud_pairing::cache::global().contains(&sk_point),
+            "secret-derived prepared lines must be dropped from the cache"
+        );
     }
 
     #[test]

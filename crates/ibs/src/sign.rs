@@ -82,7 +82,7 @@ impl DesignatedSignature {
     pub fn verify(&self, verifier: &VerifierKey, signer: &UserPublic, message: &[u8]) -> bool {
         let h = challenge_hash(&self.u, message);
         let target = self.u.add(&signer.q().mul_fr(&h));
-        pairing_prepared(&target.to_affine(), verifier.sk_prepared()) == self.sigma
+        pairing_prepared(&target.to_affine(), &verifier.sk_prepared()) == self.sigma
     }
 
     /// What a *non-designated* third party can conclude from the signature:
@@ -99,7 +99,7 @@ impl DesignatedSignature {
         let h = challenge_hash(&self.u, message);
         let target = self.u.add(&signer.q().mul_fr(&h));
         // A third party can compute this value…
-        let guess = pairing_prepared(&target.to_affine(), verifier.q_prepared());
+        let guess = pairing_prepared(&target.to_affine(), &verifier.q_prepared());
         // …but it never equals Σ (unless s = 1): there is no public
         // equation linking Σ to the message.
         guess == self.sigma
@@ -149,7 +149,7 @@ pub fn sign_with_rng(user: &UserKey, message: &[u8], drbg: &mut HmacDrbg) -> Ibs
 pub fn designate(sig: &IbsSignature, verifier: &VerifierPublic) -> DesignatedSignature {
     DesignatedSignature {
         u: sig.u,
-        sigma: pairing_prepared(&sig.v.to_affine(), verifier.q_prepared()),
+        sigma: pairing_prepared(&sig.v.to_affine(), &verifier.q_prepared()),
     }
 }
 
@@ -167,7 +167,7 @@ pub fn simulate(
     let u = signer.q().mul_fr(&r);
     let h = challenge_hash(&u, message);
     let target = u.add(&signer.q().mul_fr(&h));
-    let sigma = pairing_prepared(&target.to_affine(), verifier.sk_prepared());
+    let sigma = pairing_prepared(&target.to_affine(), &verifier.sk_prepared());
     DesignatedSignature { u, sigma }
 }
 

@@ -1,0 +1,413 @@
+//! A bounded, thread-safe LRU cache of [`G2Prepared`] keys.
+//!
+//! Preparing a `G2` point (recording its Miller-loop line coefficients)
+//! costs roughly one unprepared Miller loop — about 0.7–1.25 ms depending
+//! on the arithmetic backend. A designated agency serving many tenants
+//! pairs against the *same* handful of verifier keys millions of times per
+//! epoch, so re-preparing per lookup is the difference between a few
+//! hundred and a few hundred thousand verifications per second. This
+//! module supplies the amortization layer: a capacity-bounded
+//! least-recently-used map from the point's canonical compressed encoding
+//! to its shared prepared form.
+//!
+//! Properties the rest of the workspace relies on:
+//!
+//! * **Canonical keys.** Entries are keyed by
+//!   [`G2Affine::to_compressed`], so two callers holding equal points (in
+//!   any coordinate representation) share one preparation — and points
+//!   from *different* deployments (different master keys) never collide.
+//! * **Determinism.** A cached entry is [`G2Prepared`]-equal to a fresh
+//!   preparation of the same point; eviction and re-insertion round-trips
+//!   are therefore observationally invisible (asserted in tests).
+//! * **No lock held while preparing.** A miss releases the map lock for
+//!   the expensive preparation, so concurrent lookups of *other* keys
+//!   proceed; two racing misses on the same key both prepare and the
+//!   later insert wins (both results are identical).
+//! * **Capacity 0 disables caching** — every lookup prepares fresh and
+//!   nothing is retained. The scale benchmark's "cache off" arm and the
+//!   unit tests use this to measure exactly what the cache buys.
+//!
+//! The process-wide instance behind [`global`] is what
+//! `seccloud-ibs` routes every `q_prepared`/`sk_prepared` lookup through;
+//! its capacity defaults to [`DEFAULT_GLOBAL_CAPACITY`] and can be pinned
+//! with the `SECCLOUD_PREPARED_CACHE` environment variable (read once, at
+//! first use).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::g2::G2Affine;
+use crate::prepared::G2Prepared;
+
+/// Capacity of the [`global`] cache when `SECCLOUD_PREPARED_CACHE` is
+/// unset: generous enough for thousands of co-resident verifier keys
+/// (shard agencies, cloud servers, epoch-rotated identities) at roughly
+/// 10 KiB of line coefficients each.
+pub const DEFAULT_GLOBAL_CAPACITY: usize = 4096;
+
+/// The canonical map key: a point's compressed encoding.
+type Key = [u8; 64];
+
+/// One resident entry: the shared prepared form and its recency stamp.
+struct Entry {
+    prepared: Arc<G2Prepared>,
+    last_used: u64,
+}
+
+/// The lock-protected state: the map plus a monotonically increasing
+/// use-stamp (recency order without any clock).
+struct Inner {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<Key, Entry>,
+}
+
+impl Inner {
+    /// Next recency stamp.
+    fn tick(&mut self) -> u64 {
+        self.stamp = self.stamp.wrapping_add(1);
+        self.stamp
+    }
+
+    /// Evicts least-recently-used entries until within capacity.
+    fn trim(&mut self, evictions: &AtomicU64) {
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            self.map.remove(&oldest);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A bounded LRU cache of prepared `G2` points (see module docs).
+pub struct PreparedCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PreparedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+impl PreparedCache {
+    /// A fresh cache holding at most `capacity` prepared points
+    /// (`capacity == 0` disables retention entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                capacity,
+                stamp: 0,
+                map: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the map; a poisoned lock is recovered, never propagated —
+    /// every entry is internally consistent at all times, so a panicking
+    /// holder cannot leave partial state behind.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The prepared form of `q`: a cache hit returns the shared entry and
+    /// refreshes its recency; a miss prepares (outside the lock), inserts,
+    /// and evicts the least-recently-used overflow.
+    pub fn get_or_prepare(&self, q: &G2Affine) -> Arc<G2Prepared> {
+        let key = q.to_compressed();
+        {
+            let mut inner = self.lock();
+            let stamp = inner.tick();
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = stamp;
+                let shared = Arc::clone(&entry.prepared);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return shared;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(G2Prepared::from(q));
+        let mut inner = self.lock();
+        if inner.capacity == 0 {
+            return prepared;
+        }
+        let stamp = inner.tick();
+        // A racing miss may have inserted meanwhile; both preparations are
+        // identical, so keeping ours (refreshing recency) is equivalent.
+        inner.map.insert(
+            key,
+            Entry {
+                prepared: Arc::clone(&prepared),
+                last_used: stamp,
+            },
+        );
+        inner.trim(&self.evictions);
+        prepared
+    }
+
+    /// The cached entry for `q`, if resident (refreshes recency).
+    pub fn get(&self, q: &G2Affine) -> Option<Arc<G2Prepared>> {
+        let key = q.to_compressed();
+        let mut inner = self.lock();
+        let stamp = inner.tick();
+        let entry = inner.map.get_mut(&key)?;
+        entry.last_used = stamp;
+        Some(Arc::clone(&entry.prepared))
+    }
+
+    /// Whether `q` is currently resident (does not touch recency).
+    pub fn contains(&self, q: &G2Affine) -> bool {
+        self.lock().map.contains_key(&q.to_compressed())
+    }
+
+    /// Drops the entry for `q`, if resident. Key-wipe paths call this so
+    /// secret-derived line coefficients do not outlive their key.
+    pub fn remove(&self, q: &G2Affine) {
+        self.lock().map.remove(&q.to_compressed());
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+
+    /// Re-bounds the cache, evicting LRU entries if shrinking. Capacity 0
+    /// clears the cache and disables retention until raised again.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity;
+        inner.trim(&self.evictions);
+    }
+
+    /// The current bound.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the map since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to prepare since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss/eviction counters (entries stay resident).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide prepared-key cache (see module docs). Capacity comes
+/// from `SECCLOUD_PREPARED_CACHE` (read at first use) or
+/// [`DEFAULT_GLOBAL_CAPACITY`]; benchmarks re-bound it at runtime with
+/// [`PreparedCache::set_capacity`].
+pub fn global() -> &'static PreparedCache {
+    static GLOBAL: OnceLock<PreparedCache> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let capacity = std::env::var("SECCLOUD_PREPARED_CACHE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_GLOBAL_CAPACITY);
+        PreparedCache::new(capacity)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g2::hash_to_g2;
+
+    fn point(i: u32) -> G2Affine {
+        hash_to_g2(format!("cache-point-{i}").as_bytes()).to_affine()
+    }
+
+    #[test]
+    fn hit_returns_the_shared_preparation() {
+        let cache = PreparedCache::new(4);
+        let q = point(0);
+        let a = cache.get_or_prepare(&q);
+        let b = cache.get_or_prepare(&q);
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the entry");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_entry_equals_fresh_preparation() {
+        let cache = PreparedCache::new(4);
+        let q = point(1);
+        let cached = cache.get_or_prepare(&q);
+        assert_eq!(*cached, G2Prepared::from(&q));
+    }
+
+    #[test]
+    fn capacity_evicts_in_lru_order() {
+        let cache = PreparedCache::new(2);
+        let (a, b, c) = (point(10), point(11), point(12));
+        cache.get_or_prepare(&a);
+        cache.get_or_prepare(&b);
+        // Touch `a` so `b` is now the least recently used.
+        cache.get_or_prepare(&a);
+        cache.get_or_prepare(&c);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&a), "recently used entry survives");
+        assert!(!cache.contains(&b), "LRU entry is evicted");
+        assert!(cache.contains(&c));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_disables_retention() {
+        let cache = PreparedCache::new(0);
+        let q = point(20);
+        let a = cache.get_or_prepare(&q);
+        let b = cache.get_or_prepare(&q);
+        assert_eq!(*a, *b, "uncached preparations still agree");
+        assert!(!Arc::ptr_eq(&a, &b), "nothing is shared at capacity 0");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn remove_and_clear_drop_entries() {
+        let cache = PreparedCache::new(4);
+        let (a, b) = (point(30), point(31));
+        cache.get_or_prepare(&a);
+        cache.get_or_prepare(&b);
+        cache.remove(&a);
+        assert!(!cache.contains(&a));
+        assert!(cache.contains(&b));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_to_the_new_bound() {
+        let cache = PreparedCache::new(4);
+        for i in 40..44 {
+            cache.get_or_prepare(&point(i));
+        }
+        cache.set_capacity(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&point(43)), "most recent entry survives");
+    }
+
+    #[test]
+    fn reinsertion_after_eviction_matches_fresh_preparation() {
+        let cache = PreparedCache::new(1);
+        let (a, b) = (point(60), point(61));
+        let first = cache.get_or_prepare(&a);
+        cache.get_or_prepare(&b); // evicts `a`
+        assert!(!cache.contains(&a));
+        let again = cache.get_or_prepare(&a); // miss: prepared from scratch
+        assert!(
+            !Arc::ptr_eq(&first, &again),
+            "re-insertion is a genuinely new preparation"
+        );
+        assert_eq!(
+            *first, *again,
+            "evict/re-insert round-trip is observationally invisible"
+        );
+        assert_eq!(*again, G2Prepared::from(&a));
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_stay_consistent() {
+        // Honors the CI knob: `SECCLOUD_THREADS=4` runs this with 4
+        // workers; unset it still exercises at least 4.
+        let threads = std::env::var("SECCLOUD_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(4)
+            .max(4);
+        const POINTS: u32 = 6;
+        const OPS: usize = 24;
+        // Capacity below the working set forces live eviction under
+        // contention, not just shared hits.
+        let cache = PreparedCache::new(POINTS as usize / 2);
+        let fresh: Vec<G2Prepared> = (0..POINTS).map(|i| G2Prepared::from(&point(i))).collect();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                let fresh = &fresh;
+                scope.spawn(move || {
+                    for op in 0..OPS {
+                        // Stride by a per-thread offset so threads collide
+                        // on some keys and diverge on others.
+                        let i = ((op + t * 7) % POINTS as usize) as u32;
+                        let got = cache.get_or_prepare(&point(i));
+                        assert_eq!(*got, fresh[i as usize], "corrupted entry for point {i}");
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= POINTS as usize / 2, "bound must hold");
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            (threads * OPS) as u64,
+            "every lookup is counted exactly once"
+        );
+        assert!(
+            cache.misses() >= u64::from(POINTS / 2),
+            "misses undercounted"
+        );
+    }
+
+    #[test]
+    fn global_cache_is_shared_and_bounded() {
+        let g = global();
+        assert!(g.capacity() > 0 || std::env::var("SECCLOUD_PREPARED_CACHE").is_ok());
+        let q = point(50);
+        let a = g.get_or_prepare(&q);
+        assert_eq!(*a, G2Prepared::from(&q));
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod arch;
 mod ate;
+pub mod cache;
 pub mod ec;
 mod fixed_base;
 mod fp;
@@ -56,6 +57,7 @@ mod prepared;
 pub mod traits;
 
 pub use ate::{multi_pairing_ate, pairing_ate};
+pub use cache::PreparedCache;
 pub use ec::{Affine, CurveParams, Point};
 pub use fixed_base::{g1_generator_mul, g2_generator_mul, FixedBaseTable};
 pub use fp::Fp;

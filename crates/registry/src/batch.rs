@@ -1,0 +1,219 @@
+//! Cross-user, cross-shard batch verification fused into one Miller loop.
+
+use std::sync::Arc;
+
+use seccloud_ibs::BatchVerifier;
+use seccloud_pairing::{multi_miller_loop, G2Prepared, Gt, G1};
+
+/// One shard's running aggregate in the sense of paper eq. (8): the sum
+/// `U_A = Σᵢⱼ (Uᵢⱼ + hᵢⱼ·Q_IDᵢ)` and the product `Σ_A = Πᵢⱼ Σᵢⱼ` over
+/// every audited signature in the shard.
+#[derive(Clone, Copy, Debug, Default)]
+struct Lane {
+    u: Option<G1>,
+    sigma: Option<Gt>,
+    folded: usize,
+}
+
+/// Accumulates per-shard `(U_A, Σ_A)` aggregates over an epoch and checks
+/// them all with a **single** [`multi_miller_loop`] call.
+///
+/// Each shard verifies against its own prepared key `sk_{V_s}` (shards
+/// have distinct designated verifiers), so the per-shard checks
+/// `ê(U_s, sk_{V_s}) = Σ_s` — paper eq. (9), one per shard — fuse into
+///
+/// ```text
+/// Π_s ê(U_s, sk_{V_s})  =  Π_s Σ_s
+/// ```
+///
+/// evaluated as one shared Miller loop and one final exponentiation,
+/// regardless of how many users, signatures or shards contributed. The
+/// marginal cost of an extra audited signature is a `G1` add plus a `GT`
+/// multiply at fold time; the marginal cost of an extra *shard* is one
+/// Miller-loop argument.
+///
+/// Soundness is the product relation: a forged `Σ` in one shard can only
+/// pass if another shard's aggregate is off by exactly the inverse error
+/// term, which requires breaking the underlying designated-verifier
+/// scheme (shards use independent verifier keys).
+#[derive(Clone, Debug)]
+pub struct EpochVerifier {
+    epoch: u64,
+    lanes: Vec<Lane>,
+}
+
+impl EpochVerifier {
+    /// An empty accumulator for `shards` shards (clamped to ≥ 1) in
+    /// `epoch`.
+    pub fn new(shards: u32, epoch: u64) -> Self {
+        Self {
+            epoch,
+            lanes: vec![Lane::default(); shards.max(1) as usize],
+        }
+    }
+
+    /// The epoch this accumulator covers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The number of shard lanes.
+    pub fn shard_count(&self) -> u32 {
+        self.lanes.len() as u32
+    }
+
+    /// Total signatures folded across all shards.
+    pub fn folded(&self) -> usize {
+        self.lanes.iter().map(|l| l.folded).sum()
+    }
+
+    /// Signatures folded into one shard's lane (0 if out of range).
+    pub fn shard_folded(&self, shard: u32) -> usize {
+        self.lanes.get(shard as usize).map_or(0, |l| l.folded)
+    }
+
+    /// Folds one signature's aggregate terms — `u = U + h·Q_ID` and
+    /// `sigma = Σ` — into `shard`'s lane, counting it as `count`
+    /// signatures (batched pushes fold pre-merged terms). Out-of-range
+    /// shards are ignored and reported as `false`.
+    pub fn fold_aggregate(&mut self, shard: u32, u: &G1, sigma: &Gt, count: usize) -> bool {
+        let Some(lane) = self.lanes.get_mut(shard as usize) else {
+            return false;
+        };
+        lane.u = Some(match &lane.u {
+            Some(acc) => acc.add(u),
+            None => *u,
+        });
+        lane.sigma = Some(match &lane.sigma {
+            Some(acc) => acc.mul(sigma),
+            None => *sigma,
+        });
+        lane.folded += count;
+        true
+    }
+
+    /// Folds a whole per-user [`BatchVerifier`] into `shard`'s lane. An
+    /// empty batch folds nothing (and returns `true` — there is nothing
+    /// to lose).
+    pub fn fold(&mut self, shard: u32, batch: &BatchVerifier) -> bool {
+        match batch.aggregate() {
+            Some((u, sigma)) => self.fold_aggregate(shard, &u, &sigma, batch.len()),
+            None => true,
+        }
+    }
+
+    /// Checks every folded aggregate in one fused pairing evaluation.
+    ///
+    /// `keys[s]` is shard `s`'s prepared verifier key `sk_{V_s}`; shards
+    /// that folded nothing are skipped, and a shard that folded
+    /// signatures but has no key fails the whole epoch (a missing key
+    /// must never silently skip real audits). An accumulator with no
+    /// folded signatures at all verifies vacuously.
+    pub fn verify(&self, keys: &[Arc<G2Prepared>]) -> bool {
+        let mut points = Vec::with_capacity(self.lanes.len());
+        let mut expected = Gt::one();
+        for (shard, lane) in self.lanes.iter().enumerate() {
+            let (Some(u), Some(sigma)) = (&lane.u, &lane.sigma) else {
+                continue;
+            };
+            let Some(key) = keys.get(shard) else {
+                return false;
+            };
+            points.push((u.to_affine(), Arc::clone(key)));
+            expected = expected.mul(sigma);
+        }
+        if points.is_empty() {
+            return true;
+        }
+        let pairs: Vec<(&seccloud_pairing::G1Affine, &G2Prepared)> =
+            points.iter().map(|(p, k)| (p, k.as_ref())).collect();
+        multi_miller_loop(&pairs) == expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seccloud_ibs::{designate, sign, MasterKey};
+
+    /// Builds `users` users spread over `shards` shards, each signing
+    /// `per_user` messages to its shard's own verifier, folded both into
+    /// an `EpochVerifier` and returned per-shard for cross-checking.
+    fn folded_epoch(
+        users: usize,
+        per_user: usize,
+        shards: u32,
+    ) -> (EpochVerifier, Vec<Arc<G2Prepared>>) {
+        let sio = MasterKey::from_seed(b"registry-batch-tests");
+        let verifiers: Vec<_> = (0..shards)
+            .map(|s| sio.extract_verifier(&format!("da/shard-{s}")))
+            .collect();
+        let keys: Vec<Arc<G2Prepared>> = verifiers.iter().map(|v| v.sk_prepared()).collect();
+        let mut epoch = EpochVerifier::new(shards, 1);
+        for i in 0..users {
+            let id = format!("tenant-{i}");
+            let user = sio.extract_user(&id);
+            let shard = crate::shard_of(&id, 1, shards);
+            let verifier = &verifiers[shard as usize];
+            let mut batch = BatchVerifier::new();
+            for j in 0..per_user {
+                let msg = format!("block {i}/{j}").into_bytes();
+                let nonce = format!("nonce {i}/{j}").into_bytes();
+                let designated = designate(&sign(&user, &msg, &nonce), verifier.public());
+                batch.push(user.public().clone(), msg, designated);
+            }
+            assert!(epoch.fold(shard, &batch));
+        }
+        (epoch, keys)
+    }
+
+    #[test]
+    fn fused_verification_accepts_honest_aggregates() {
+        let (epoch, keys) = folded_epoch(6, 2, 3);
+        assert_eq!(epoch.folded(), 12);
+        assert!(epoch.verify(&keys));
+    }
+
+    #[test]
+    fn one_bad_sigma_fails_the_fused_check() {
+        let (mut epoch, keys) = folded_epoch(4, 1, 2);
+        // Fold a forged sigma into shard 0: nothing knows the discrete
+        // log relation, so the product equation must break.
+        epoch.fold_aggregate(0, &G1::generator(), &Gt::one().invert(), 1);
+        assert!(!epoch.verify(&keys));
+    }
+
+    #[test]
+    fn empty_accumulator_is_vacuously_valid() {
+        let epoch = EpochVerifier::new(4, 0);
+        assert_eq!(epoch.folded(), 0);
+        assert!(epoch.verify(&[]));
+    }
+
+    #[test]
+    fn missing_key_for_a_live_shard_fails_closed() {
+        let (epoch, keys) = folded_epoch(6, 1, 3);
+        let truncated = &keys[..1];
+        assert!(!epoch.verify(truncated));
+    }
+
+    #[test]
+    fn fused_check_matches_per_shard_checks() {
+        let (epoch, keys) = folded_epoch(5, 2, 4);
+        assert!(epoch.verify(&keys));
+        // Swapping two shards' keys must fail even though the *set* of
+        // keys is unchanged — the fusion binds each lane to its shard.
+        let mut swapped = keys.clone();
+        swapped.swap(0, 1);
+        if epoch.shard_folded(0) > 0 || epoch.shard_folded(1) > 0 {
+            assert!(!epoch.verify(&swapped));
+        }
+    }
+
+    #[test]
+    fn out_of_range_shard_is_rejected() {
+        let mut epoch = EpochVerifier::new(2, 0);
+        assert!(!epoch.fold_aggregate(7, &G1::generator(), &Gt::one(), 1));
+        assert_eq!(epoch.folded(), 0);
+    }
+}

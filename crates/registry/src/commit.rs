@@ -1,0 +1,120 @@
+//! Shard commitment records and their total byte codec.
+
+/// Magic prefix of a serialized shard commitment (`SecCloud Shard
+/// Commitment, v1`).
+const MAGIC: [u8; 4] = *b"SCS1";
+
+/// Serialized length: magic ‖ shard:u32 ‖ epoch:u64 ‖ root:32.
+const WIRE_LEN: usize = 4 + 4 + 8 + 32;
+
+/// A shard's published set commitment: the Merkle root over its member
+/// records, bound to the shard index and the epoch it was built in.
+///
+/// The epoch binding is what makes replaying last epoch's (perfectly
+/// valid, correctly rooted) commitment detectable: after a rotation the
+/// member set *and* the epoch field both change, and
+/// [`UserRegistry::check_commitment`](crate::UserRegistry::check_commitment)
+/// rejects a stale epoch before even comparing roots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardCommitment {
+    /// The shard this commitment covers.
+    pub shard: u32,
+    /// The epoch the member set was committed in.
+    pub epoch: u64,
+    /// Merkle root over the shard's sorted member records.
+    pub root: [u8; 32],
+}
+
+impl ShardCommitment {
+    /// Serializes to the fixed 48-byte wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(WIRE_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.shard.to_be_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.root);
+        out
+    }
+
+    /// Total decode of the wire form: any length or magic mismatch is
+    /// `None`, never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != WIRE_LEN || bytes.get(..4)? != MAGIC {
+            return None;
+        }
+        let take4 = |at: usize| -> Option<[u8; 4]> { bytes.get(at..at + 4)?.try_into().ok() };
+        let take8 = |at: usize| -> Option<[u8; 8]> { bytes.get(at..at + 8)?.try_into().ok() };
+        let root: [u8; 32] = bytes.get(16..48)?.try_into().ok()?;
+        Some(Self {
+            shard: u32::from_be_bytes(take4(4)?),
+            epoch: u64::from_be_bytes(take8(8)?),
+            root,
+        })
+    }
+}
+
+/// The per-shard verdict of checking a presented commitment against the
+/// registry's own view (see
+/// [`UserRegistry::check_commitment`](crate::UserRegistry::check_commitment)).
+#[must_use = "an unexamined commitment verdict silently drops a detected fault"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitmentCheck {
+    /// Shard, epoch and root all match the registry's view.
+    Valid,
+    /// The bytes do not decode as a shard commitment.
+    Malformed,
+    /// The commitment names a different shard than the one it was
+    /// presented for (a cross-shard swap).
+    WrongShard {
+        /// The shard the commitment actually names.
+        presented: u32,
+    },
+    /// The commitment is from an earlier (or later) epoch than the
+    /// registry's current one (a stale replay).
+    WrongEpoch {
+        /// The epoch the commitment actually names.
+        presented: u64,
+    },
+    /// Shard and epoch match but the root differs: the member set itself
+    /// was tampered with.
+    WrongRoot,
+}
+
+impl CommitmentCheck {
+    /// Whether the presented commitment matched.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CommitmentCheck::Valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardCommitment {
+        ShardCommitment {
+            shard: 5,
+            epoch: 9,
+            root: [0xAB; 32],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        assert_eq!(ShardCommitment::from_bytes(&c.to_bytes()), Some(c));
+    }
+
+    #[test]
+    fn decode_is_total() {
+        let good = sample().to_bytes();
+        assert!(ShardCommitment::from_bytes(&[]).is_none());
+        assert!(ShardCommitment::from_bytes(&good[..47]).is_none());
+        let mut long = good.clone();
+        long.push(0);
+        assert!(ShardCommitment::from_bytes(&long).is_none());
+        let mut bad_magic = good;
+        bad_magic[0] ^= 0xFF;
+        assert!(ShardCommitment::from_bytes(&bad_magic).is_none());
+    }
+}

@@ -39,6 +39,7 @@ pub mod driver;
 pub mod escalation;
 pub mod policy;
 pub mod pool;
+pub mod sharded;
 pub mod transport;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -50,4 +51,5 @@ pub use driver::{
 pub use escalation::escalate_sample_size;
 pub use policy::RetryPolicy;
 pub use pool::{PoolJob, PoolVerdict, ResilientPool};
+pub use sharded::{audit_shards, fold_status, ShardLane, ShardOutcome, ShardStatus};
 pub use transport::{Op, OpStats, ResilientTransport};

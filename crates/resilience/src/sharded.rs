@@ -1,0 +1,217 @@
+//! Sharded multi-tenant audits: one resilient pool per registry shard,
+//! swept in parallel with per-shard verdicts.
+//!
+//! The registry (`seccloud-registry`) splits the tenant population into
+//! epoch-sharded sets, each with its own Merkle commitment and its own
+//! designated verifier. This module is the DA-side driver that audits the
+//! whole deployment shard by shard: every shard lane carries its own
+//! [`ResilientPool`] and job list, lanes run concurrently over
+//! [`seccloud_parallel::parallel_map_mut`], and each lane's outcome folds
+//! the presented set commitment check together with its audit verdicts.
+//!
+//! The fault-isolation contract mirrors the pool layer's: a compromised
+//! or stale shard is convicted *per shard* — a forged commitment or a
+//! cheating server in shard 3 must never degrade the verdict of a healthy
+//! shard 5, and a shard whose servers are merely unreachable is reported
+//! as such, not convicted.
+
+use seccloud_cloudsim::rpc::WireTransport;
+use seccloud_cloudsim::DesignatedAgency;
+use seccloud_core::CloudUser;
+use seccloud_registry::{CommitmentCheck, UserRegistry};
+
+use crate::pool::{PoolJob, PoolVerdict, ResilientPool};
+
+/// One shard's audit lane: the pool of that shard's servers, the
+/// designated agency and data owner driving the audit, the jobs to run,
+/// and the set commitment the shard's servers presented for this epoch.
+pub struct ShardLane<T> {
+    /// The registry shard this lane audits.
+    pub shard: u32,
+    /// The shard's resilient endpoint pool.
+    pub pool: ResilientPool<T>,
+    /// The agency auditing this shard.
+    pub da: DesignatedAgency,
+    /// The data owner whose blocks the jobs compute over.
+    pub owner: CloudUser,
+    /// The audit jobs routed across the shard's endpoints.
+    pub jobs: Vec<PoolJob>,
+    /// The shard commitment bytes presented by the shard's servers,
+    /// checked against the registry's own view before any verdict.
+    pub presented_commitment: Vec<u8>,
+}
+
+impl<T> std::fmt::Debug for ShardLane<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardLane")
+            .field("shard", &self.shard)
+            .field("jobs", &self.jobs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A shard's overall health after a sweep.
+#[must_use = "an unexamined shard status silently drops a detected compromise"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Commitment valid, every job answered by its primary, no cheating.
+    Clean,
+    /// Commitment valid and no cheating, but some job failed over to a
+    /// replica or came back unanswered — service-level trouble only.
+    Degraded,
+    /// Authenticated evidence against the shard: the presented set
+    /// commitment failed its check, or an audit pinned wrong results to
+    /// a server's signature.
+    Compromised,
+    /// Nothing could be concluded: every routed job was unreachable.
+    Unreachable,
+}
+
+/// The per-shard outcome of [`audit_shards`].
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The registry shard this outcome describes.
+    pub shard: u32,
+    /// The verdict on the shard's presented set commitment.
+    pub commitment: CommitmentCheck,
+    /// The per-job pool verdicts, in job order.
+    pub verdicts: Vec<PoolVerdict>,
+    /// The folded shard status (see [`ShardStatus`]).
+    pub status: ShardStatus,
+}
+
+/// Folds a commitment check and a lane's job verdicts into one status.
+///
+/// Priority order: authenticated evidence (bad commitment or a
+/// [`PoolVerdict::Detected`]) convicts the shard outright; otherwise a
+/// lane where *nothing* answered is `Unreachable`; otherwise any
+/// failover, unanswered job, or a lane with no jobs at all (no evidence
+/// of health) is `Degraded`; only a fully answered, fully clean lane
+/// with a valid commitment is `Clean`.
+pub fn fold_status(commitment: &CommitmentCheck, verdicts: &[PoolVerdict]) -> ShardStatus {
+    if !commitment.is_valid() || verdicts.iter().any(PoolVerdict::is_detected) {
+        return ShardStatus::Compromised;
+    }
+    if !verdicts.is_empty() && verdicts.iter().all(|v| !v.answered()) {
+        return ShardStatus::Unreachable;
+    }
+    let all_primary_clean = !verdicts.is_empty()
+        && verdicts
+            .iter()
+            .all(|v| matches!(v, PoolVerdict::Clean { .. }));
+    if all_primary_clean {
+        ShardStatus::Clean
+    } else {
+        ShardStatus::Degraded
+    }
+}
+
+/// Audits every lane against the registry's view of its shard, running
+/// lanes in parallel (up to [`seccloud_parallel::num_threads`] workers —
+/// each lane owns its pool, agency and jobs, so shards never contend).
+///
+/// Per lane: the presented commitment is checked against `registry`
+/// (stale epochs and cross-shard swaps are classified, not just
+/// rejected), the jobs run through [`ResilientPool::audit_many`], and
+/// [`fold_status`] combines both into the shard's status. Outcomes come
+/// back in lane order.
+pub fn audit_shards<T>(
+    registry: &UserRegistry,
+    lanes: &mut [ShardLane<T>],
+    now: u64,
+) -> Vec<ShardOutcome>
+where
+    T: WireTransport + Send,
+{
+    seccloud_parallel::parallel_map_mut(lanes, |_, lane| {
+        let commitment = registry.check_commitment(lane.shard, &lane.presented_commitment);
+        let verdicts = lane
+            .pool
+            .audit_many(&mut lane.da, &lane.owner, &lane.jobs, now);
+        let status = fold_status(&commitment, &verdicts);
+        ShardOutcome {
+            shard: lane.shard,
+            commitment,
+            verdicts,
+            status,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{AuditResolution, RecoveryStats};
+    use seccloud_cloudsim::AuditVerdict;
+    use seccloud_core::computation::{AuditChallenge, AuditOutcome};
+
+    fn clean_resolution() -> AuditResolution {
+        AuditResolution::Clean {
+            verdict: AuditVerdict {
+                challenge: AuditChallenge {
+                    indices: vec![0],
+                    nonce: 7,
+                },
+                outcome: AuditOutcome {
+                    root_sig_ok: true,
+                    nonce_ok: true,
+                    failures: vec![],
+                    checked: 1,
+                },
+                detected: false,
+            },
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    fn clean() -> PoolVerdict {
+        PoolVerdict::Clean {
+            server: 0,
+            resolution: clean_resolution(),
+        }
+    }
+
+    fn degraded() -> PoolVerdict {
+        PoolVerdict::Degraded {
+            server: 1,
+            failed_over: vec![0],
+            resolution: clean_resolution(),
+        }
+    }
+
+    fn unreachable() -> PoolVerdict {
+        PoolVerdict::Unreachable {
+            attempted: vec![0, 1],
+            reason: "test".into(),
+        }
+    }
+
+    #[test]
+    fn status_folding_priorities() {
+        let valid = CommitmentCheck::Valid;
+        let stale = CommitmentCheck::WrongEpoch { presented: 0 };
+        assert_eq!(fold_status(&valid, &[clean(), clean()]), ShardStatus::Clean);
+        assert_eq!(
+            fold_status(&valid, &[clean(), degraded()]),
+            ShardStatus::Degraded
+        );
+        assert_eq!(
+            fold_status(&valid, &[unreachable(), unreachable()]),
+            ShardStatus::Unreachable
+        );
+        assert_eq!(
+            fold_status(&valid, &[unreachable(), clean()]),
+            ShardStatus::Degraded,
+            "a partially reachable shard is degraded, not unreachable"
+        );
+        // A bad commitment convicts even with clean audits …
+        assert_eq!(
+            fold_status(&stale, &[clean(), clean()]),
+            ShardStatus::Compromised
+        );
+        // … and even with no jobs at all.
+        assert_eq!(fold_status(&stale, &[]), ShardStatus::Compromised);
+        // No jobs and a valid commitment proves nothing about servers.
+        assert_eq!(fold_status(&valid, &[]), ShardStatus::Degraded);
+    }
+}

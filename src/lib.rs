@@ -24,6 +24,9 @@
 //! * [`resilience`] — the resilient audit runtime: retries with backoff
 //!   over a deterministic virtual clock, per-server circuit breakers,
 //!   pool-level failover, and adaptive challenge escalation.
+//! * [`registry`] — the epoch-sharded multi-tenant user registry with
+//!   per-shard Merkle set commitments and cross-user batch verification
+//!   fused into a single Miller loop (paper eqs. 8–9 at fleet scale).
 //!
 //! # Quickstart
 //!
@@ -49,5 +52,6 @@ pub use seccloud_hash as hash;
 pub use seccloud_ibs as ibs;
 pub use seccloud_merkle as merkle;
 pub use seccloud_pairing as pairing;
+pub use seccloud_registry as registry;
 pub use seccloud_resilience as resilience;
 pub use seccloud_testkit as testkit;

@@ -35,9 +35,10 @@ use seccloud::core::warrant::Warrant;
 use seccloud::core::wire::WireMessage;
 use seccloud::core::{CloudUser, Sio};
 use seccloud::ibs::VerifierPublic;
+use seccloud::registry::{CommitmentCheck, UserRegistry};
 use seccloud::resilience::{
-    run_job_resilient, storage_audit_resilient, AuditResolution, PoolJob, PoolVerdict,
-    ResilientPool, ResilientTransport, RetryPolicy,
+    audit_shards, run_job_resilient, storage_audit_resilient, AuditResolution, PoolJob,
+    PoolVerdict, ResilientPool, ResilientTransport, RetryPolicy, ShardLane, ShardStatus,
 };
 use seccloud::testkit::{cases_from_env, seed_from_env, Endpoint, FaultKind, FaultyChannel};
 
@@ -907,4 +908,204 @@ fn pool_failover_degrades_per_job_never_batchwide() {
         attempts_before,
         "open breaker means zero traffic to the dead endpoint"
     );
+}
+
+// --- sharded-registry sweep -------------------------------------------------
+//
+// The fleet-level guarantee: auditing the whole deployment shard by shard,
+// a forged or stale set commitment — and a cheating server — convicts only
+// *its* shard, while healthy shards keep their Clean/Degraded verdicts.
+
+/// One shard's lane as the sweep builds it: a raw wire server wrapped in a
+/// seeded fault channel, driven by the resilient pool inside the lane.
+// lint: allow(transport, reason=the harness composes the sharded lanes by hand)
+type SweepLane = ShardLane<FaultyChannel<WireServer>>;
+
+/// Builds one shard's audit lane: a two-server pool (behavior per server)
+/// behind fault channels, seeded with the owner's blocks, plus two jobs
+/// routed `[0, 1]` and `[1]`.
+fn shard_lane(shard: u32, behaviors: [Behavior; 2], seed: u64) -> SweepLane {
+    let mut sio_seed = b"sharded-sweep".to_vec();
+    sio_seed.extend_from_slice(&seed.to_be_bytes());
+    sio_seed.push(shard as u8);
+    let sio = Sio::new(&sio_seed);
+    let owner = sio.register(&format!("owner-{shard}"));
+    let da = DesignatedAgency::new(&sio, &format!("da-{shard}"), b"agency");
+    let servers: Vec<CloudServer> = behaviors
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| CloudServer::new(&sio, &format!("cs-{shard}-{i}"), b, b"srv"))
+        .collect();
+    let blocks: Vec<DataBlock> = (0..N_BLOCKS).map(block).collect();
+    let verifier_list: Vec<VerifierPublic> = servers.iter().map(|s| s.public().clone()).collect();
+    let mut refs: Vec<&VerifierPublic> = verifier_list.iter().collect();
+    refs.push(da.public());
+    let signed = owner.sign_blocks(&blocks, &refs);
+    let body = encode_store_body(&signed);
+    let endpoints: Vec<_> = servers
+        .into_iter()
+        .enumerate()
+        .map(|(i, server)| {
+            // lint: allow(transport, reason=the harness composes the resilient stack by hand)
+            let channel = FaultyChannel::new(WireServer::new(server), seed + i as u64, 0.0);
+            let mut t = ResilientTransport::new(
+                channel,
+                RetryPolicy::default(),
+                &[&seed.to_be_bytes()[..], &[shard as u8, i as u8]].concat(),
+            );
+            assert_eq!(
+                t.rpc_store(owner.identity(), &body).expect("lane seeded"),
+                N_BLOCKS
+            );
+            t
+        })
+        .collect();
+    let jobs = vec![
+        PoolJob {
+            request: request(3 + u64::from(shard), 4),
+            route: vec![0, 1],
+            sample_size: 4,
+        },
+        PoolJob {
+            request: request(7 + u64::from(shard), 4),
+            route: vec![1],
+            sample_size: 4,
+        },
+    ];
+    ShardLane {
+        shard,
+        pool: ResilientPool::new(endpoints),
+        da,
+        owner,
+        jobs,
+        presented_commitment: Vec::new(),
+    }
+}
+
+/// The sharded sweep: five lanes over a five-shard registry —
+///
+/// * shard 0 presents shard 1's commitment (cross-swap),
+/// * shard 1 presents last epoch's commitment (stale replay),
+/// * shard 2 is fully healthy,
+/// * shard 3 has a dead primary (service degradation, valid commitment),
+/// * shard 4 runs a CSC = 0 computation cheater (byzantine evidence).
+///
+/// The compromised shards are convicted per shard with the exact
+/// commitment fault classified; the healthy shards end Clean/Degraded.
+#[test]
+fn sharded_sweep_convicts_per_shard_without_failing_healthy_shards() {
+    const SHARDS: u32 = 5;
+    let seed = seed_from_env().wrapping_add(800);
+
+    // The registry: tenants enrolled in epoch 1, then rotated to epoch 2
+    // so a genuine earlier-epoch commitment exists to replay.
+    let mut registry = UserRegistry::new(SHARDS, 1);
+    for i in 0..40 {
+        registry.enroll(seccloud::ibs::UserPublic::from_identity(&format!(
+            "tenant-{i}"
+        )));
+    }
+    let stale = registry.commitments();
+    registry.rotate_epoch();
+    let current = registry.commitments();
+
+    let cheater = Behavior::ComputationCheater {
+        csc: 0.0,
+        guess_range: None,
+    };
+    let mut lanes: Vec<SweepLane> = (0..SHARDS)
+        .map(|s| {
+            let behaviors = if s == 4 {
+                [cheater.clone(), cheater.clone()]
+            } else {
+                [Behavior::Honest, Behavior::Honest]
+            };
+            shard_lane(s, behaviors, seed + 10 * u64::from(s))
+        })
+        .collect();
+    lanes[0].presented_commitment = current[1].to_bytes(); // cross-swap
+    lanes[1].presented_commitment = stale[1].to_bytes(); // stale epoch
+    lanes[2].presented_commitment = current[2].to_bytes(); // honest
+    lanes[3].presented_commitment = current[3].to_bytes(); // honest, dead primary
+    lanes[4].presented_commitment = current[4].to_bytes(); // honest commitment, cheater pool
+    lanes[3]
+        .pool
+        .endpoint_mut(0)
+        .expect("in range")
+        .inner_mut()
+        .set_forced(Some((Endpoint::Compute, FaultKind::Truncate)));
+
+    let outcomes = audit_shards(&registry, &mut lanes, 0);
+    assert_eq!(outcomes.len(), SHARDS as usize);
+
+    assert_eq!(
+        outcomes[0].commitment,
+        CommitmentCheck::WrongShard { presented: 1 },
+        "cross-swap classified"
+    );
+    assert_eq!(outcomes[0].status, ShardStatus::Compromised);
+
+    assert_eq!(
+        outcomes[1].commitment,
+        CommitmentCheck::WrongEpoch { presented: 1 },
+        "stale replay classified"
+    );
+    assert_eq!(outcomes[1].status, ShardStatus::Compromised);
+
+    assert!(outcomes[2].commitment.is_valid());
+    assert_eq!(
+        outcomes[2].status,
+        ShardStatus::Clean,
+        "healthy shard stays clean next to compromised neighbours: {:?}",
+        outcomes[2].verdicts
+    );
+
+    assert!(outcomes[3].commitment.is_valid());
+    assert_eq!(
+        outcomes[3].status,
+        ShardStatus::Degraded,
+        "dead primary degrades, never convicts: {:?}",
+        outcomes[3].verdicts
+    );
+    assert!(
+        outcomes[3].verdicts.iter().all(|v| v.answered()),
+        "failover still answers every job in the degraded shard"
+    );
+
+    assert!(outcomes[4].commitment.is_valid());
+    assert_eq!(
+        outcomes[4].status,
+        ShardStatus::Compromised,
+        "cheating servers convict their shard: {:?}",
+        outcomes[4].verdicts
+    );
+    assert!(outcomes[4].verdicts.iter().any(|v| v.is_detected()));
+}
+
+/// Determinism: the sharded sweep replays identically from its seed —
+/// same statuses, same commitment classifications — under any
+/// `SECCLOUD_THREADS` (the lanes are independent).
+#[test]
+fn sharded_sweep_replays_identically() {
+    let seed = seed_from_env().wrapping_add(900);
+    let run = || {
+        let mut registry = UserRegistry::new(3, 1);
+        for i in 0..12 {
+            registry.enroll(seccloud::ibs::UserPublic::from_identity(&format!(
+                "tenant-{i}"
+            )));
+        }
+        let commitments = registry.commitments();
+        let mut lanes: Vec<SweepLane> = (0..3)
+            .map(|s| shard_lane(s, [Behavior::Honest, Behavior::Honest], seed + u64::from(s)))
+            .collect();
+        for (lane, c) in lanes.iter_mut().zip(&commitments) {
+            lane.presented_commitment = c.to_bytes();
+        }
+        audit_shards(&registry, &mut lanes, 0)
+            .into_iter()
+            .map(|o| format!("{}:{:?}:{:?}", o.shard, o.commitment, o.status))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
 }
