@@ -6,13 +6,14 @@
 //!
 //! The audit unit is the production ingest path: one aggregated user
 //! audit resolves its shard verifier's prepared key via
-//! `VerifierKey::sk_prepared()` (the process-wide LRU) and folds its
-//! `(U_A, Σ_A)` aggregate into the epoch accumulator; every
-//! `fuse_every` audits one fused `multi_miller_loop` check closes the
+//! `VerifierKey::sk_prepared()` (the secret-side prepared-key LRU,
+//! `seccloud_pairing::cache::secret()`) and folds its `(U_A, Σ_A)`
+//! aggregate into the epoch accumulator; every `fuse_every` audits one
+//! fused, small-exponent-randomized `multi_miller_loop` check closes the
 //! window (paper eqs. 8–9). The *cache-off* arm replays the pre-cache
 //! behaviour — every key resolution re-prepares the Miller-loop lines —
-//! by pinning the global cache's capacity to zero. The headline number
-//! is the cache-on / cache-off throughput ratio.
+//! by pinning both prepared-key caches' capacities to zero. The headline
+//! number is the cache-on / cache-off throughput ratio.
 //!
 //! Run with `cargo run --release -p seccloud-bench --bin bench_scale`.
 //! `--smoke` shrinks the run to CI size (≤ 10 k users); `--out PATH`
@@ -167,7 +168,9 @@ fn run_arm(
     epoch: u64,
     cache_label: &'static str,
 ) -> Arm {
-    let cache = seccloud_pairing::cache::global();
+    // `sk_prepared` resolves through the secret-side cache (never the
+    // shared public one), so that is where the arm's counters live.
+    let cache = seccloud_pairing::cache::secret();
     cache.reset_counters();
     // The fused check needs every shard's key handle; resolving them up
     // front is S cache operations against `audits` in the loop.
@@ -298,11 +301,15 @@ fn main() {
         p.active_users,
         p.sigs_per_audit,
     );
-    let cache = seccloud_pairing::cache::global();
-    let restore_capacity = cache.capacity();
-    cache.set_capacity(0);
+    let public_cache = seccloud_pairing::cache::global();
+    let secret_cache = seccloud_pairing::cache::secret();
+    let restore_public = public_cache.capacity();
+    let restore_secret = secret_cache.capacity();
+    public_cache.set_capacity(0);
+    secret_cache.set_capacity(0);
     let arm_off = run_arm(&p, &pool2, &verifiers2, 2, "off");
-    cache.set_capacity(restore_capacity);
+    public_cache.set_capacity(restore_public);
+    secret_cache.set_capacity(restore_secret);
     println!(
         "epoch 2 (cache off): {} audits in {:>8.0} ms  ({:>9.0} audits/s, {} misses)",
         arm_off.audits, arm_off.elapsed_ms, arm_off.audits_per_sec, arm_off.cache_misses

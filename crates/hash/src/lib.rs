@@ -30,12 +30,14 @@
 
 mod ct;
 mod drbg;
+mod entropy;
 mod hmac;
 mod sha256;
 mod zeroize;
 
 pub use ct::{ct_eq, hmac_verify};
 pub use drbg::HmacDrbg;
+pub use entropy::entropy_seed;
 pub use hmac::hmac_sha256;
 pub use sha256::{Digest, Sha256};
 pub use zeroize::{wipe, wipe_copy};

@@ -1,19 +1,37 @@
-//! Batch verification of designated signatures (paper Section VI).
+//! Batch verification of designated signatures (paper Section VI),
+//! hardened with small-exponent randomization.
 //!
 //! Given `ℓ` designated signatures `{(Uᵢⱼ, Σᵢⱼ)}` from `k` users, the
-//! verifier aggregates
+//! paper's eq. 8 aggregates
 //!
 //! ```text
 //! Σ_A = Πᵢⱼ Σᵢⱼ                      (GT multiplications)
 //! U_A = Σᵢⱼ (Uᵢⱼ + H2(Uᵢⱼ‖mᵢⱼ)·Q_IDᵢ)  (G1 additions)
 //! ```
 //!
-//! and accepts iff `ê(U_A, sk_V) = Σ_A` (eq. 8), whose correctness is the
-//! paper's eq. 9. Individual verification costs one pairing per signature;
-//! the batch costs one pairing total — the source of the constant-vs-linear
-//! gap in Fig. 5 and Table II.
+//! and accepts iff `ê(U_A, sk_V) = Σ_A`. That *unweighted* product is
+//! not sound on its own: two corruptions whose error terms multiply to
+//! one (`Σ₀·e` and `Σ₁·e⁻¹`) cancel inside the aggregate, so the batch
+//! accepts a pair of signatures that each fail individually. This
+//! verifier therefore draws a fresh random nonzero 64-bit weight `rᵢ`
+//! per signature **at verification time** (never before the batch is
+//! fixed, so a prover cannot grind against the weights) and checks the
+//! standard small-exponent (Bellare–Garay–Rabin) equation
+//!
+//! ```text
+//! ê(Σᵢⱼ rᵢⱼ·(Uᵢⱼ + hᵢⱼ·Q_IDᵢ), sk_V)  =  Πᵢⱼ Σᵢⱼ^{rᵢⱼ}
+//! ```
+//!
+//! A batch containing any invalid signature now survives with
+//! probability ≤ 2⁻⁶⁴ per verification attempt, coordinated or not.
+//! Individual verification costs one pairing per signature; the batch
+//! still costs one pairing total plus the weighted fold, whose marginal
+//! per-signature cost is a few `G1`/`GT` group operations via the shared
+//! bucket multi-exponentiation in [`seccloud_pairing::weighted_fold`] —
+//! the constant-vs-linear gap of Fig. 5 and Table II is preserved.
 
-use seccloud_pairing::{pairing_prepared, Fr, Gt, G1};
+use seccloud_hash::{entropy_seed, HmacDrbg};
+use seccloud_pairing::{pairing_prepared, weighted_fold, Fr, Gt, G1};
 
 use crate::keys::{UserPublic, VerifierKey};
 use crate::sign::{challenge_hash, DesignatedSignature};
@@ -30,8 +48,30 @@ pub struct BatchItem {
     pub signature: DesignatedSignature,
 }
 
+/// Draws one nonzero 64-bit batch weight per term, seeded from process
+/// entropy. Weights must be unpredictable to whoever assembled the batch
+/// — they are drawn here, at verification time, never stored.
+pub(crate) fn draw_weights(n: usize) -> Vec<u64> {
+    let mut drbg = HmacDrbg::new(&entropy_seed());
+    (0..n)
+        .map(|_| {
+            let r = drbg.next_u64();
+            if r == 0 {
+                1
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
 /// An incremental batch verifier ("the signature combination can be
 /// performed incrementally", Section VI).
+///
+/// Each pushed signature retains its *term* `(U + h·Q_ID, Σ)` so the
+/// verifier can weight every signature independently at check time; the
+/// memory cost is one `G1` point and one `GT` element per pending
+/// signature, released when the batch is dropped or drained.
 ///
 /// # Examples
 ///
@@ -50,12 +90,8 @@ pub struct BatchItem {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct BatchVerifier {
-    /// Running `U_A` accumulator.
-    u_acc: Option<G1>,
-    /// Running `Σ_A` accumulator.
-    sigma_acc: Option<Gt>,
-    /// Number of folded signatures.
-    len: usize,
+    /// One `(U + h·Q_ID, Σ)` term per folded signature, in push order.
+    terms: Vec<(G1, Gt)>,
 }
 
 impl BatchVerifier {
@@ -66,16 +102,16 @@ impl BatchVerifier {
 
     /// Number of signatures folded in so far.
     pub fn len(&self) -> usize {
-        self.len
+        self.terms.len()
     }
 
     /// Whether the batch is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.terms.is_empty()
     }
 
-    /// Folds one signature into the running aggregate (cheap: one `G1`
-    /// scalar-mul + addition and one `GT` multiplication — no pairing).
+    /// Folds one signature into the batch (cheap: one `G1` scalar-mul +
+    /// addition — no pairing).
     pub fn push(&mut self, signer: UserPublic, message: Vec<u8>, signature: DesignatedSignature) {
         self.push_item(&BatchItem {
             signer,
@@ -88,18 +124,11 @@ impl BatchVerifier {
     pub fn push_item(&mut self, item: &BatchItem) {
         let h: Fr = challenge_hash(item.signature.u(), &item.message);
         let term = item.signature.u().add(&item.signer.q().mul_fr(&h));
-        self.u_acc = Some(match &self.u_acc {
-            Some(acc) => acc.add(&term),
-            None => term,
-        });
-        self.sigma_acc = Some(match &self.sigma_acc {
-            Some(acc) => acc.mul(item.signature.sigma()),
-            None => *item.signature.sigma(),
-        });
-        self.len += 1;
+        self.terms.push((term, *item.signature.sigma()));
     }
 
-    /// Runs the single-pairing batch check `ê(U_A, sk_V) = Σ_A`.
+    /// Runs the randomized single-pairing batch check
+    /// `ê(Σ rᵢ·termᵢ, sk_V) = Π Σᵢ^{rᵢ}` with fresh weights.
     ///
     /// An empty batch verifies trivially (`1 = 1`).
     pub fn verify(&self, verifier: &VerifierKey) -> bool {
@@ -111,40 +140,44 @@ impl BatchVerifier {
     /// [`seccloud_pairing::cache::PreparedCache`] — e.g. the sharded epoch
     /// verifier — resolve the handle once and reuse it).
     pub fn verify_prepared(&self, prepared: &seccloud_pairing::G2Prepared) -> bool {
-        match (&self.u_acc, &self.sigma_acc) {
-            (Some(u), Some(sigma)) => pairing_prepared(&u.to_affine(), prepared) == *sigma,
-            _ => true,
+        if self.terms.is_empty() {
+            return true;
         }
+        let weights = draw_weights(self.terms.len());
+        let (u, sigma) = weighted_fold(&self.terms, &weights);
+        pairing_prepared(&u.to_affine(), prepared) == sigma
     }
 
-    /// The running aggregate `(U_A, Σ_A)`, or `None` for an empty batch.
+    /// The retained per-signature terms `[(U + h·Q_ID, Σ)]`, in push
+    /// order.
     ///
-    /// Exposing the fold lets a higher layer (the sharded registry's epoch
-    /// verifier) combine many per-shard batches into a *single*
-    /// `multi_miller_loop` call instead of one pairing per batch.
+    /// Exposing the terms lets a higher layer (the sharded registry's
+    /// epoch verifier) fold many per-user batches into a *single*
+    /// randomized `multi_miller_loop` check while still weighting each
+    /// signature independently.
+    pub fn terms(&self) -> &[(G1, Gt)] {
+        &self.terms
+    }
+
+    /// The unweighted aggregate `(U_A, Σ_A)` of paper eq. 8, or `None`
+    /// for an empty batch.
+    ///
+    /// This is the *transport* form — collapsing a sub-batch to one
+    /// `(G1, GT)` pair for wire transfer or coarse-grained folding. A
+    /// verifier consuming aggregates can only weight per *aggregate*, not
+    /// per signature, so whoever produced the aggregate vouches for its
+    /// internal consistency; prefer [`Self::terms`] when per-signature
+    /// soundness must survive aggregation.
     pub fn aggregate(&self) -> Option<(G1, Gt)> {
-        match (&self.u_acc, &self.sigma_acc) {
-            (Some(u), Some(sigma)) => Some((*u, *sigma)),
-            _ => None,
-        }
+        let mut iter = self.terms.iter();
+        let (u0, s0) = iter.next()?;
+        Some(iter.fold((*u0, *s0), |(u, s), (tu, ts)| (u.add(tu), s.mul(ts))))
     }
 
     /// Merges another batch into this one (useful when sub-batches are
     /// aggregated concurrently and combined at the end).
     pub fn merge(&mut self, other: &BatchVerifier) {
-        if let Some(u) = &other.u_acc {
-            self.u_acc = Some(match &self.u_acc {
-                Some(acc) => acc.add(u),
-                None => *u,
-            });
-        }
-        if let Some(s) = &other.sigma_acc {
-            self.sigma_acc = Some(match &self.sigma_acc {
-                Some(acc) => acc.mul(s),
-                None => *s,
-            });
-        }
-        self.len += other.len;
+        self.terms.extend_from_slice(&other.terms);
     }
 }
 
@@ -238,6 +271,44 @@ mod tests {
     }
 
     #[test]
+    fn coordinated_cancelling_corruptions_fail() {
+        // The attack the unweighted eq.-8 product accepts: scale Σ₀ by a
+        // nontrivial error e and Σ₁ by e⁻¹, so the *unweighted* product
+        // Π Σᵢ is unchanged while both items fail individually. The
+        // randomized weights give the pair Σ₀^{r₀}·Σ₁^{r₁} with r₀ ≠ r₁
+        // (w.h.p.), so the errors no longer cancel.
+        let (_, v, mut items) = make_items(4, 2, "cancel");
+        let e = pairing(&G1::generator().to_affine(), &v.public().q().to_affine());
+        let bump = |sig: &DesignatedSignature, factor: &Gt| {
+            DesignatedSignature::from_parts(*sig.u(), sig.sigma().mul(factor))
+        };
+        items[0].signature = bump(&items[0].signature, &e);
+        items[1].signature = bump(&items[1].signature, &e.invert());
+        // Sanity: both items are individually invalid, and the unweighted
+        // aggregate really is unchanged (the cancellation is real).
+        assert_eq!(verify_individually(&items, &v), Some(0));
+        let mut b = BatchVerifier::new();
+        for item in &items {
+            b.push_item(item);
+        }
+        let honest = {
+            let (_, v2, honest_items) = make_items(4, 2, "cancel");
+            assert_eq!(v2.public().q(), v.public().q());
+            let mut hb = BatchVerifier::new();
+            for item in &honest_items {
+                hb.push_item(item);
+            }
+            hb
+        };
+        assert_eq!(
+            b.aggregate().map(|(_, s)| s),
+            honest.aggregate().map(|(_, s)| s),
+            "test premise: errors cancel in the unweighted product"
+        );
+        assert!(!b.verify(&v), "weighted check must catch the coordination");
+    }
+
+    #[test]
     fn wrong_verifier_rejects_batch() {
         let (m, _, items) = make_items(4, 2, "wrongv");
         let other = m.extract_verifier("someone-else");
@@ -265,7 +336,8 @@ mod tests {
         }
         left.merge(&right);
         assert_eq!(left.len(), whole.len());
-        assert_eq!(left.verify(&v), whole.verify(&v));
+        assert_eq!(left.terms(), whole.terms());
+        assert_eq!(left.aggregate(), whole.aggregate());
         assert!(left.verify(&v));
     }
 
@@ -310,6 +382,7 @@ mod tests {
             rev.push_item(item);
         }
         assert!(fwd.verify(&v) && rev.verify(&v));
+        assert_eq!(fwd.aggregate(), rev.aggregate());
     }
 
     #[test]
@@ -324,5 +397,14 @@ mod tests {
         b.push_item(&items[0]);
         assert!(!b.verify(&v));
         let _ = Fr::zero().is_zero(); // keep FieldElement import exercised
+    }
+
+    #[test]
+    fn drawn_weights_are_nonzero_and_fresh() {
+        let a = draw_weights(64);
+        let b = draw_weights(64);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|&r| r != 0));
+        assert_ne!(a, b, "weights must differ across verification attempts");
     }
 }

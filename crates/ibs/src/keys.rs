@@ -255,10 +255,11 @@ impl std::fmt::Debug for VerifierKey {
 
 impl VerifierKey {
     /// Zeros the identity secret key and drops its cached prepared form
-    /// from the process-wide cache (secret-derived line coefficients must
-    /// not outlive the key); called from `Drop`.
+    /// from the secret prepared-key cache (the removed `G2Prepared` wipes
+    /// its line coefficients when the last handle drops); called from
+    /// `Drop`.
     fn wipe(&mut self) {
-        seccloud_pairing::cache::global().remove(&self.sk.to_affine());
+        seccloud_pairing::cache::secret().remove(&self.sk.to_affine());
         seccloud_hash::wipe_copy(&mut self.sk, G2::identity());
     }
 
@@ -279,17 +280,24 @@ impl VerifierKey {
         &self.sk
     }
 
-    /// The prepared form of `sk_V`, resolved through the process-wide
-    /// prepared-key cache. Every designated verification pairs against the
-    /// same `sk_V`, so the Miller-loop line coefficients are prepared once
-    /// and amortized across calls (and across clones of this key).
+    /// The prepared form of `sk_V`, resolved through the **secret**
+    /// prepared-key cache ([`seccloud_pairing::cache::secret`]) — never
+    /// the shared [`seccloud_pairing::cache::global`] instance that public
+    /// points flow through. Every designated verification pairs against
+    /// the same `sk_V`, so the Miller-loop line coefficients are prepared
+    /// once and amortized across calls (and across clones of this key);
+    /// eviction or [`Self::wipe`]-driven removal zeroizes the coefficients
+    /// when the last outstanding handle drops (`G2Prepared` wipes on
+    /// drop).
     ///
     /// The handle is secret-derived: verification engines (batch
     /// verifiers, the sharded epoch verifier) may hold it for the
     /// verifier's own checks, but it must never be serialized or logged —
-    /// exactly like `sk_V` itself.
+    /// exactly like `sk_V` itself. Callers that retain the `Arc` keep the
+    /// preparation alive past a `wipe()` of this key; drop the handle as
+    /// soon as the verification engine is done with it.
     pub fn sk_prepared(&self) -> Arc<G2Prepared> {
-        seccloud_pairing::cache::global().get_or_prepare(&self.sk.to_affine())
+        seccloud_pairing::cache::secret().get_or_prepare(&self.sk.to_affine())
     }
 }
 
@@ -369,8 +377,12 @@ mod tests {
         let mut u = m.extract_user("alice");
         let mut v = m.extract_verifier("cs");
         let sk_point = v.sk.to_affine();
-        let _ = v.sk_prepared(); // populate the shared cache so wipe() has work to do
-        assert!(seccloud_pairing::cache::global().contains(&sk_point));
+        let _ = v.sk_prepared(); // populate the secret cache so wipe() has work to do
+        assert!(seccloud_pairing::cache::secret().contains(&sk_point));
+        assert!(
+            !seccloud_pairing::cache::global().contains(&sk_point),
+            "the shared public cache must never hold secret-derived entries"
+        );
 
         m.wipe();
         assert!(m.s.is_zero(), "master scalar must be zeroed on drop");
@@ -381,7 +393,7 @@ mod tests {
         v.wipe();
         assert!(v.sk.is_identity(), "verifier secret key must be cleared");
         assert!(
-            !seccloud_pairing::cache::global().contains(&sk_point),
+            !seccloud_pairing::cache::secret().contains(&sk_point),
             "secret-derived prepared lines must be dropped from the cache"
         );
     }

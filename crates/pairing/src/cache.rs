@@ -26,14 +26,32 @@
 //! * **Capacity 0 disables caching** — every lookup prepares fresh and
 //!   nothing is retained. The scale benchmark's "cache off" arm and the
 //!   unit tests use this to measure exactly what the cache buys.
+//! * **O(log n) eviction.** Recency is indexed by a `BTreeMap` keyed on
+//!   the use-stamp, so each eviction pops the oldest stamp instead of
+//!   min-scanning the map — shrinking a full cache via
+//!   [`PreparedCache::set_capacity`] is O(n log n), not O(n²).
 //!
-//! The process-wide instance behind [`global`] is what
-//! `seccloud-ibs` routes every `q_prepared`/`sk_prepared` lookup through;
-//! its capacity defaults to [`DEFAULT_GLOBAL_CAPACITY`] and can be pinned
-//! with the `SECCLOUD_PREPARED_CACHE` environment variable (read once, at
-//! first use).
+//! Two process-wide instances exist, split by the sensitivity of what
+//! they hold:
+//!
+//! * [`global`] caches **public** points only — `seccloud-ibs` routes
+//!   `q_prepared` (verifier *public* key) lookups through it. Capacity
+//!   defaults to [`DEFAULT_GLOBAL_CAPACITY`], pinned with
+//!   `SECCLOUD_PREPARED_CACHE` (read once, at first use).
+//! * [`secret`] caches **secret-derived** preparations — `sk_prepared`
+//!   (the designated verifier's private key) routes here, and nothing
+//!   else shares the instance. Entries are [`G2Prepared`] values, which
+//!   wipe their line coefficients on drop, so LRU eviction, `clear()`
+//!   and `set_capacity(0)` all zeroize rather than merely free. Capacity
+//!   defaults to [`DEFAULT_SECRET_CAPACITY`], pinned with
+//!   `SECCLOUD_SECRET_PREPARED_CACHE`.
+//!
+//! Keeping the two populations in separate instances means public-key
+//! churn can never evict (or be used to probe) secret-derived entries,
+//! and secret material is never resident in the cache that general
+//! wire-handling code touches.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -46,6 +64,13 @@ use crate::prepared::G2Prepared;
 /// 10 KiB of line coefficients each.
 pub const DEFAULT_GLOBAL_CAPACITY: usize = 4096;
 
+/// Capacity of the [`secret`] cache when `SECCLOUD_SECRET_PREPARED_CACHE`
+/// is unset: sized for the handful of co-resident *private* verifier keys
+/// a process legitimately holds (per-shard designated agencies), kept
+/// deliberately small so secret-derived line coefficients have a bounded
+/// resident footprint.
+pub const DEFAULT_SECRET_CAPACITY: usize = 256;
+
 /// The canonical map key: a point's compressed encoding.
 type Key = [u8; 64];
 
@@ -55,30 +80,63 @@ struct Entry {
     last_used: u64,
 }
 
-/// The lock-protected state: the map plus a monotonically increasing
-/// use-stamp (recency order without any clock).
+/// The lock-protected state: the map, a monotonically increasing
+/// use-stamp (recency order without any clock), and a stamp-ordered index
+/// mirroring the map so the least-recently-used entry is always the
+/// index's first key.
 struct Inner {
     capacity: usize,
     stamp: u64,
     map: HashMap<Key, Entry>,
+    order: BTreeMap<u64, Key>,
 }
 
 impl Inner {
-    /// Next recency stamp.
+    /// Next recency stamp. Stamps are handed out once each, so they are
+    /// unique `order` keys for the lifetime of the process.
     fn tick(&mut self) -> u64 {
         self.stamp = self.stamp.wrapping_add(1);
         self.stamp
     }
 
-    /// Evicts least-recently-used entries until within capacity.
+    /// Refreshes `key`'s recency and returns its shared preparation, if
+    /// resident.
+    fn touch(&mut self, key: &Key) -> Option<Arc<G2Prepared>> {
+        let stamp = self.tick();
+        let entry = self.map.get_mut(key)?;
+        self.order.remove(&entry.last_used);
+        entry.last_used = stamp;
+        self.order.insert(stamp, *key);
+        Some(Arc::clone(&entry.prepared))
+    }
+
+    /// Inserts (or replaces) `key`'s entry at the freshest recency.
+    fn insert(&mut self, key: Key, prepared: Arc<G2Prepared>) {
+        let stamp = self.tick();
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                prepared,
+                last_used: stamp,
+            },
+        ) {
+            self.order.remove(&old.last_used);
+        }
+        self.order.insert(stamp, key);
+    }
+
+    /// Drops `key`'s entry and its recency-index mirror, if resident.
+    fn remove(&mut self, key: &Key) {
+        if let Some(entry) = self.map.remove(key) {
+            self.order.remove(&entry.last_used);
+        }
+    }
+
+    /// Evicts least-recently-used entries until within capacity — each
+    /// eviction is one `BTreeMap::pop_first`, O(log n).
     fn trim(&mut self, evictions: &AtomicU64) {
         while self.map.len() > self.capacity {
-            let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            else {
+            let Some((_, oldest)) = self.order.pop_first() else {
                 return;
             };
             self.map.remove(&oldest);
@@ -116,6 +174,7 @@ impl PreparedCache {
                 capacity,
                 stamp: 0,
                 map: HashMap::new(),
+                order: BTreeMap::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -140,10 +199,7 @@ impl PreparedCache {
         let key = q.to_compressed();
         {
             let mut inner = self.lock();
-            let stamp = inner.tick();
-            if let Some(entry) = inner.map.get_mut(&key) {
-                entry.last_used = stamp;
-                let shared = Arc::clone(&entry.prepared);
+            if let Some(shared) = inner.touch(&key) {
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return shared;
@@ -155,28 +211,16 @@ impl PreparedCache {
         if inner.capacity == 0 {
             return prepared;
         }
-        let stamp = inner.tick();
         // A racing miss may have inserted meanwhile; both preparations are
         // identical, so keeping ours (refreshing recency) is equivalent.
-        inner.map.insert(
-            key,
-            Entry {
-                prepared: Arc::clone(&prepared),
-                last_used: stamp,
-            },
-        );
+        inner.insert(key, Arc::clone(&prepared));
         inner.trim(&self.evictions);
         prepared
     }
 
     /// The cached entry for `q`, if resident (refreshes recency).
     pub fn get(&self, q: &G2Affine) -> Option<Arc<G2Prepared>> {
-        let key = q.to_compressed();
-        let mut inner = self.lock();
-        let stamp = inner.tick();
-        let entry = inner.map.get_mut(&key)?;
-        entry.last_used = stamp;
-        Some(Arc::clone(&entry.prepared))
+        self.lock().touch(&q.to_compressed())
     }
 
     /// Whether `q` is currently resident (does not touch recency).
@@ -187,12 +231,14 @@ impl PreparedCache {
     /// Drops the entry for `q`, if resident. Key-wipe paths call this so
     /// secret-derived line coefficients do not outlive their key.
     pub fn remove(&self, q: &G2Affine) {
-        self.lock().map.remove(&q.to_compressed());
+        self.lock().remove(&q.to_compressed());
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.lock().map.clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
     }
 
     /// Re-bounds the cache, evicting LRU entries if shrinking. Capacity 0
@@ -241,10 +287,14 @@ impl PreparedCache {
     }
 }
 
-/// The process-wide prepared-key cache (see module docs). Capacity comes
-/// from `SECCLOUD_PREPARED_CACHE` (read at first use) or
-/// [`DEFAULT_GLOBAL_CAPACITY`]; benchmarks re-bound it at runtime with
-/// [`PreparedCache::set_capacity`].
+/// The process-wide prepared-key cache for **public** points (see module
+/// docs). Capacity comes from `SECCLOUD_PREPARED_CACHE` (read at first
+/// use) or [`DEFAULT_GLOBAL_CAPACITY`]; benchmarks re-bound it at runtime
+/// with [`PreparedCache::set_capacity`].
+///
+/// Secret-derived preparations must go through [`secret`] instead — this
+/// instance is shared with general wire-handling code and must never hold
+/// key material.
 pub fn global() -> &'static PreparedCache {
     static GLOBAL: OnceLock<PreparedCache> = OnceLock::new();
     GLOBAL.get_or_init(|| {
@@ -252,6 +302,24 @@ pub fn global() -> &'static PreparedCache {
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(DEFAULT_GLOBAL_CAPACITY);
+        PreparedCache::new(capacity)
+    })
+}
+
+/// The process-wide prepared-key cache for **secret-derived** points —
+/// designated-verifier private keys (`sk_prepared`). Kept separate from
+/// [`global`] so public-key churn can neither evict nor probe secret
+/// entries; evicted/cleared [`G2Prepared`] values wipe their line
+/// coefficients on drop. Capacity comes from
+/// `SECCLOUD_SECRET_PREPARED_CACHE` (read at first use) or
+/// [`DEFAULT_SECRET_CAPACITY`].
+pub fn secret() -> &'static PreparedCache {
+    static SECRET: OnceLock<PreparedCache> = OnceLock::new();
+    SECRET.get_or_init(|| {
+        let capacity = std::env::var("SECCLOUD_SECRET_PREPARED_CACHE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_SECRET_CAPACITY);
         PreparedCache::new(capacity)
     })
 }
@@ -409,5 +477,42 @@ mod tests {
         let q = point(50);
         let a = g.get_or_prepare(&q);
         assert_eq!(*a, G2Prepared::from(&q));
+    }
+
+    #[test]
+    fn secret_cache_is_isolated_from_the_global_one() {
+        let s = secret();
+        let q = point(51);
+        let a = s.get_or_prepare(&q);
+        assert_eq!(*a, G2Prepared::from(&q));
+        assert!(
+            !global().contains(&q),
+            "secret-cache entries must never appear in the shared cache"
+        );
+        s.remove(&q);
+        assert!(!s.contains(&q));
+    }
+
+    #[test]
+    fn recency_index_survives_churn() {
+        // Interleave inserts, touches, removes and a shrink; the recency
+        // index must keep evicting in strict LRU order throughout.
+        let cache = PreparedCache::new(3);
+        let pts: Vec<G2Affine> = (70..75).map(point).collect();
+        for (i, p) in pts.iter().enumerate().take(3) {
+            cache.get_or_prepare(p);
+            assert_eq!(cache.len(), i + 1);
+        }
+        cache.get_or_prepare(&pts[0]); // order now: 1, 2, 0
+        cache.remove(&pts[2]); // order now: 1, 0
+        cache.get_or_prepare(&pts[3]); // order now: 1, 0, 3
+        cache.get_or_prepare(&pts[4]); // evicts 1 → 0, 3, 4
+        assert!(!cache.contains(&pts[1]), "LRU entry must go first");
+        assert!(cache.contains(&pts[0]));
+        assert!(cache.contains(&pts[3]));
+        assert!(cache.contains(&pts[4]));
+        cache.set_capacity(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&pts[4]), "most recent entry survives");
     }
 }

@@ -51,6 +51,7 @@ mod g1;
 mod g2;
 mod glv;
 pub mod mont;
+mod msm;
 mod pairing;
 pub mod params;
 mod prepared;
@@ -67,6 +68,7 @@ pub use fp6::Fp6;
 pub use fr::Fr;
 pub use g1::{hash_to_g1, G1Affine, G1Params, G1};
 pub use g2::{hash_to_g2, G2Affine, G2Params, G2};
+pub use msm::{weighted_fold, WEIGHT_BITS};
 pub use pairing::{
     final_exponentiation, multi_pairing, multi_pairing_tate, pairing, pairing_tate, Gt,
 };

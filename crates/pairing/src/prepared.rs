@@ -141,6 +141,20 @@ impl G2Prepared {
     }
 }
 
+impl Drop for G2Prepared {
+    /// Preparations of *secret* points (designated-verifier private keys)
+    /// carry secret-derived line coefficients, and preparations flow
+    /// through caches whose eviction paths cannot tell secret from
+    /// public. Wiping unconditionally on drop means eviction, `clear()`
+    /// and shrink paths zeroize rather than merely free — at a cost that
+    /// is noise next to the preparation itself.
+    fn drop(&mut self) {
+        for step in &mut self.steps {
+            seccloud_hash::wipe_copy(step, LineStep::One);
+        }
+    }
+}
+
 impl From<&G2Affine> for G2Prepared {
     fn from(q: &G2Affine) -> Self {
         if q.is_identity() {

@@ -1,41 +1,51 @@
-//! Cross-user, cross-shard batch verification fused into one Miller loop.
+//! Cross-user, cross-shard batch verification fused into one Miller loop,
+//! with small-exponent randomization.
 
 use std::sync::Arc;
 
+use seccloud_hash::{entropy_seed, HmacDrbg};
 use seccloud_ibs::BatchVerifier;
-use seccloud_pairing::{multi_miller_loop, G2Prepared, Gt, G1};
+use seccloud_pairing::{multi_miller_loop, weighted_fold, G2Prepared, Gt, G1};
 
-/// One shard's running aggregate in the sense of paper eq. (8): the sum
-/// `U_A = Σᵢⱼ (Uᵢⱼ + hᵢⱼ·Q_IDᵢ)` and the product `Σ_A = Πᵢⱼ Σᵢⱼ` over
-/// every audited signature in the shard.
-#[derive(Clone, Copy, Debug, Default)]
+/// One shard's retained verification terms in the sense of paper eq. (8):
+/// the pairs `(Uᵢⱼ + hᵢⱼ·Q_IDᵢ, Σᵢⱼ)` for every audited signature (or
+/// pre-merged aggregate) routed to the shard, plus the signature count.
+#[derive(Clone, Debug, Default)]
 struct Lane {
-    u: Option<G1>,
-    sigma: Option<Gt>,
+    terms: Vec<(G1, Gt)>,
     folded: usize,
 }
 
-/// Accumulates per-shard `(U_A, Σ_A)` aggregates over an epoch and checks
-/// them all with a **single** [`multi_miller_loop`] call.
+/// Accumulates per-shard verification terms over an epoch and checks them
+/// all with a **single** [`multi_miller_loop`] call, weighted by fresh
+/// verifier-drawn randomness.
 ///
 /// Each shard verifies against its own prepared key `sk_{V_s}` (shards
-/// have distinct designated verifiers), so the per-shard checks
-/// `ê(U_s, sk_{V_s}) = Σ_s` — paper eq. (9), one per shard — fuse into
+/// have distinct designated verifiers). At verification time every
+/// retained term gets an independent nonzero 64-bit weight `r`, drawn
+/// *after* the batch is fixed, and the per-shard checks — paper eq. (9),
+/// one per shard — fuse into
 ///
 /// ```text
-/// Π_s ê(U_s, sk_{V_s})  =  Π_s Σ_s
+/// Π_s ê(Σᵢ rₛᵢ·uₛᵢ, sk_{V_s})  =  Π_s Πᵢ Σₛᵢ^{rₛᵢ}
 /// ```
 ///
 /// evaluated as one shared Miller loop and one final exponentiation,
 /// regardless of how many users, signatures or shards contributed. The
-/// marginal cost of an extra audited signature is a `G1` add plus a `GT`
-/// multiply at fold time; the marginal cost of an extra *shard* is one
-/// Miller-loop argument.
+/// marginal cost of an extra audited signature is a `G1`/`GT` slot at
+/// fold time plus a few group operations inside the shared-window
+/// [`weighted_fold`] at verify time; the marginal cost of an extra
+/// *shard* is one Miller-loop argument.
 ///
-/// Soundness is the product relation: a forged `Σ` in one shard can only
-/// pass if another shard's aggregate is off by exactly the inverse error
-/// term, which requires breaking the underlying designated-verifier
-/// scheme (shards use independent verifier keys).
+/// Soundness is the standard small-exponent argument: any set of
+/// corruptions — including coordinated ones whose error terms multiply
+/// to one, within a lane or across lanes — survives the weighted product
+/// only if the adversary predicts the weights, i.e. with probability
+/// ≤ 2⁻⁶⁴ per verification attempt. Terms folded through
+/// [`Self::fold_aggregate`] are weighted per *aggregate* (the caller
+/// pre-merged them), so their internal consistency is vouched for by
+/// whoever produced the aggregate; [`Self::fold`] retains per-signature
+/// terms and needs no such trust.
 #[derive(Clone, Debug)]
 pub struct EpochVerifier {
     epoch: u64,
@@ -74,35 +84,36 @@ impl EpochVerifier {
 
     /// Folds one signature's aggregate terms — `u = U + h·Q_ID` and
     /// `sigma = Σ` — into `shard`'s lane, counting it as `count`
-    /// signatures (batched pushes fold pre-merged terms). Out-of-range
-    /// shards are ignored and reported as `false`.
+    /// signatures (batched pushes fold pre-merged terms, which share one
+    /// verification weight — see the type docs). Out-of-range shards are
+    /// ignored and reported as `false`.
     pub fn fold_aggregate(&mut self, shard: u32, u: &G1, sigma: &Gt, count: usize) -> bool {
         let Some(lane) = self.lanes.get_mut(shard as usize) else {
             return false;
         };
-        lane.u = Some(match &lane.u {
-            Some(acc) => acc.add(u),
-            None => *u,
-        });
-        lane.sigma = Some(match &lane.sigma {
-            Some(acc) => acc.mul(sigma),
-            None => *sigma,
-        });
+        lane.terms.push((*u, *sigma));
         lane.folded += count;
         true
     }
 
-    /// Folds a whole per-user [`BatchVerifier`] into `shard`'s lane. An
-    /// empty batch folds nothing (and returns `true` — there is nothing
-    /// to lose).
+    /// Folds a whole per-user [`BatchVerifier`] into `shard`'s lane,
+    /// retaining each signature's term so every signature gets its own
+    /// verification weight. An out-of-range shard is rejected (`false`)
+    /// even when the batch is empty — agreeing with
+    /// [`Self::fold_aggregate`] so callers can use the result to validate
+    /// shard routing; an empty batch for a *valid* shard folds nothing
+    /// and returns `true`.
     pub fn fold(&mut self, shard: u32, batch: &BatchVerifier) -> bool {
-        match batch.aggregate() {
-            Some((u, sigma)) => self.fold_aggregate(shard, &u, &sigma, batch.len()),
-            None => true,
-        }
+        let Some(lane) = self.lanes.get_mut(shard as usize) else {
+            return false;
+        };
+        lane.terms.extend_from_slice(batch.terms());
+        lane.folded += batch.len();
+        true
     }
 
-    /// Checks every folded aggregate in one fused pairing evaluation.
+    /// Checks every folded term in one fused pairing evaluation, under
+    /// fresh random weights.
     ///
     /// `keys[s]` is shard `s`'s prepared verifier key `sk_{V_s}`; shards
     /// that folded nothing are skipped, and a shard that folded
@@ -110,17 +121,31 @@ impl EpochVerifier {
     /// must never silently skip real audits). An accumulator with no
     /// folded signatures at all verifies vacuously.
     pub fn verify(&self, keys: &[Arc<G2Prepared>]) -> bool {
+        let mut drbg = HmacDrbg::new(&entropy_seed());
         let mut points = Vec::with_capacity(self.lanes.len());
         let mut expected = Gt::one();
         for (shard, lane) in self.lanes.iter().enumerate() {
-            let (Some(u), Some(sigma)) = (&lane.u, &lane.sigma) else {
+            if lane.terms.is_empty() {
                 continue;
-            };
+            }
             let Some(key) = keys.get(shard) else {
                 return false;
             };
+            let weights: Vec<u64> = lane
+                .terms
+                .iter()
+                .map(|_| {
+                    let r = drbg.next_u64();
+                    if r == 0 {
+                        1
+                    } else {
+                        r
+                    }
+                })
+                .collect();
+            let (u, sigma) = weighted_fold(&lane.terms, &weights);
             points.push((u.to_affine(), Arc::clone(key)));
-            expected = expected.mul(sigma);
+            expected = expected.mul(&sigma);
         }
         if points.is_empty() {
             return true;
@@ -135,6 +160,7 @@ impl EpochVerifier {
 mod tests {
     use super::*;
     use seccloud_ibs::{designate, sign, MasterKey};
+    use seccloud_pairing::pairing;
 
     /// Builds `users` users spread over `shards` shards, each signing
     /// `per_user` messages to its shard's own verifier, folded both into
@@ -167,6 +193,14 @@ mod tests {
         (epoch, keys)
     }
 
+    /// A nontrivial `GT` error term for corruption tests.
+    fn error_term() -> Gt {
+        pairing(
+            &seccloud_pairing::hash_to_g1(b"err-p").to_affine(),
+            &seccloud_pairing::hash_to_g2(b"err-q").to_affine(),
+        )
+    }
+
     #[test]
     fn fused_verification_accepts_honest_aggregates() {
         let (epoch, keys) = folded_epoch(6, 2, 3);
@@ -181,6 +215,35 @@ mod tests {
         // log relation, so the product equation must break.
         epoch.fold_aggregate(0, &G1::generator(), &Gt::one().invert(), 1);
         assert!(!epoch.verify(&keys));
+    }
+
+    #[test]
+    fn coordinated_corruptions_in_one_lane_fail() {
+        // The cancellation attack on the unweighted product: two extra
+        // items in the *same* lane whose sigma errors are e and e⁻¹. Their
+        // unweighted product contributes exactly the two honest sigmas, so
+        // a plain fold would accept; the per-item weights must not.
+        let (mut epoch, keys) = folded_epoch(4, 1, 2);
+        assert!(epoch.verify(&keys));
+        let e = error_term();
+        // Honest-shaped terms with opposite error factors. (u = identity
+        // keeps the pairing side unchanged; the sigma errors alone cancel
+        // multiplicatively.)
+        assert!(epoch.fold_aggregate(0, &G1::identity(), &e, 1));
+        assert!(epoch.fold_aggregate(0, &G1::identity(), &e.invert(), 1));
+        assert!(!epoch.verify(&keys), "same-lane cancellation must fail");
+    }
+
+    #[test]
+    fn coordinated_corruptions_across_lanes_fail() {
+        // Same attack split across two shards: lane 0 carries error e,
+        // lane 1 carries e⁻¹. The cross-lane product of expectations would
+        // cancel without per-item randomization.
+        let (mut epoch, keys) = folded_epoch(4, 1, 2);
+        let e = error_term();
+        assert!(epoch.fold_aggregate(0, &G1::identity(), &e, 1));
+        assert!(epoch.fold_aggregate(1, &G1::identity(), &e.invert(), 1));
+        assert!(!epoch.verify(&keys), "cross-lane cancellation must fail");
     }
 
     #[test]
@@ -214,6 +277,11 @@ mod tests {
     fn out_of_range_shard_is_rejected() {
         let mut epoch = EpochVerifier::new(2, 0);
         assert!(!epoch.fold_aggregate(7, &G1::generator(), &Gt::one(), 1));
+        // `fold` agrees with `fold_aggregate` even for an empty batch:
+        // routing to a nonexistent shard is an error regardless of
+        // payload.
+        assert!(!epoch.fold(7, &BatchVerifier::new()));
+        assert!(epoch.fold(1, &BatchVerifier::new()));
         assert_eq!(epoch.folded(), 0);
     }
 }

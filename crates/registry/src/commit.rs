@@ -69,6 +69,13 @@ pub enum CommitmentCheck {
         /// The shard the commitment actually names.
         presented: u32,
     },
+    /// The commitment was presented for a shard index the registry does
+    /// not have at all — a caller-side routing fault, not a swap between
+    /// two real shards.
+    UnknownShard {
+        /// The nonexistent shard the check was asked about.
+        shard: u32,
+    },
     /// The commitment is from an earlier (or later) epoch than the
     /// registry's current one (a stale replay).
     WrongEpoch {

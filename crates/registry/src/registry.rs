@@ -243,8 +243,14 @@ impl UserRegistry {
     /// registry's own view of `shard`, reporting exactly which binding
     /// failed — shard, epoch or root. This is the DA-side defence against
     /// stale-epoch replays and cross-shard swaps of otherwise-valid
-    /// commitments.
+    /// commitments. Asking about a shard index the registry does not have
+    /// is classified as [`CommitmentCheck::UnknownShard`] — a routing
+    /// fault at the caller, distinct from a swap between two real shards
+    /// — before any field of the presented bytes is compared.
     pub fn check_commitment(&self, shard: u32, bytes: &[u8]) -> CommitmentCheck {
+        let Some(s) = self.shards.get(shard as usize) else {
+            return CommitmentCheck::UnknownShard { shard };
+        };
         let Some(presented) = ShardCommitment::from_bytes(bytes) else {
             return CommitmentCheck::Malformed;
         };
@@ -258,9 +264,6 @@ impl UserRegistry {
                 presented: presented.epoch,
             };
         }
-        let Some(s) = self.shards.get(shard as usize) else {
-            return CommitmentCheck::WrongShard { presented: shard };
-        };
         let expected = s.root.unwrap_or_else(|| s.compute_root(shard, self.epoch));
         if expected == presented.root {
             CommitmentCheck::Valid
@@ -405,6 +408,18 @@ mod tests {
         assert_eq!(
             reg.check_commitment(0, &forged.to_bytes()),
             CommitmentCheck::WrongRoot
+        );
+        // Asking about a shard the registry does not have is a routing
+        // fault, not a cross-shard swap — even with perfectly valid bytes,
+        // and even with malformed bytes (the shard bound is checked
+        // first).
+        assert_eq!(
+            reg.check_commitment(9, &c0.to_bytes()),
+            CommitmentCheck::UnknownShard { shard: 9 }
+        );
+        assert_eq!(
+            reg.check_commitment(9, b"junk"),
+            CommitmentCheck::UnknownShard { shard: 9 }
         );
     }
 

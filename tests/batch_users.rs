@@ -8,8 +8,13 @@
 //! (`EpochVerifier`, paper eqs. 8–9) must agree with the one-pairing-
 //! per-item baseline (`verify_individually`) on every draw, and when a
 //! corruption was injected the baseline must pinpoint exactly the
-//! corrupted item. On failure the testkit shrinks the tape toward the
-//! minimal failing subset; replay with `SECCLOUD_TESTKIT_SEED`.
+//! corrupted item. A second suite injects *coordinated pairs* of
+//! corruptions whose `Σ` errors multiply to one — the cancellation that
+//! defeats an unweighted eq.-8 product — and requires the randomized
+//! fused check to reject them wherever the pair lands (same batch, same
+//! shard, or across shards). On failure the testkit shrinks the tape
+//! toward the minimal failing subset; replay with
+//! `SECCLOUD_TESTKIT_SEED`.
 
 use std::sync::Arc;
 
@@ -161,6 +166,124 @@ fn fused_batch_accepts_iff_every_signature_verifies() {
         }
         Ok(())
     });
+}
+
+/// A coordinated pair of corruptions: two distinct items (by global
+/// position across the whole case) whose `Σ` values are scaled by `e`
+/// and `e⁻¹` respectively, so the errors cancel in any unweighted
+/// product.
+#[derive(Debug, Clone)]
+struct CancelCase {
+    slots: Vec<usize>,
+    sigs: Vec<usize>,
+    /// Global index of the item scaled by `e`.
+    first: usize,
+    /// Global index of the item scaled by `e⁻¹` (≠ `first`).
+    second: usize,
+}
+
+fn gen_cancel_case(t: &mut Tape) -> CancelCase {
+    let n_slots = 2 + t.next_below(3) as usize;
+    let slots: Vec<usize> = (0..n_slots)
+        .map(|_| t.next_below(POOL as u64) as usize)
+        .collect();
+    let sigs: Vec<usize> = (0..n_slots).map(|_| 1 + t.next_below(3) as usize).collect();
+    let total: usize = sigs.iter().sum();
+    let first = t.next_below(total as u64) as usize;
+    // Any other position, wrapping past `first`.
+    let second = (first + 1 + t.next_below(total as u64 - 1) as usize) % total;
+    CancelCase {
+        slots,
+        sigs,
+        first,
+        second,
+    }
+}
+
+#[test]
+fn coordinated_cancelling_corruptions_never_pass_the_fused_check() {
+    let sio = MasterKey::from_seed(b"batch-users-cancel");
+    let users: Vec<_> = (0..POOL)
+        .map(|i| sio.extract_user(&format!("tenant-{i}")))
+        .collect();
+    let verifiers: Vec<_> = (0..SHARDS)
+        .map(|s| sio.extract_verifier(&format!("da/shard-{s}")))
+        .collect();
+    let keys: Vec<Arc<G2Prepared>> = verifiers.iter().map(|v| v.sk_prepared()).collect();
+    // A fixed nontrivial GT error term; its inverse cancels it exactly.
+    let error = seccloud::pairing::pairing(
+        &seccloud::pairing::hash_to_g1(b"cancel-e-p").to_affine(),
+        &seccloud::pairing::hash_to_g2(b"cancel-e-q").to_affine(),
+    );
+
+    forall(
+        "batch-users/coordinated-cancellation",
+        gen_cancel_case,
+        |case| {
+            let mut epoch = EpochVerifier::new(SHARDS, EPOCH);
+            let mut per_shard: Vec<Vec<BatchItem>> = vec![Vec::new(); SHARDS as usize];
+            let mut global_ix = 0usize;
+            let mut applied = 0usize;
+
+            for (slot, (&user_ix, &n_sigs)) in case.slots.iter().zip(&case.sigs).enumerate() {
+                let user = &users[user_ix];
+                let shard = shard_of(user.identity(), EPOCH, SHARDS);
+                let verifier = &verifiers[shard as usize];
+                let mut batch = BatchVerifier::new();
+                for j in 0..n_sigs {
+                    let message = format!("cancel block {slot}/{j}").into_bytes();
+                    let nonce = format!("nonce {slot}/{j}").into_bytes();
+                    let mut signature = designate(&sign(user, &message, &nonce), verifier.public());
+                    let factor = if global_ix == case.first {
+                        Some(error)
+                    } else if global_ix == case.second {
+                        Some(error.invert())
+                    } else {
+                        None
+                    };
+                    if let Some(f) = factor {
+                        signature = seccloud::ibs::DesignatedSignature::from_parts(
+                            *signature.u(),
+                            signature.sigma().mul(&f),
+                        );
+                        applied += 1;
+                    }
+                    global_ix += 1;
+                    let item = BatchItem {
+                        signer: user.public().clone(),
+                        message,
+                        signature,
+                    };
+                    batch.push_item(&item);
+                    per_shard[shard as usize].push(item);
+                }
+                epoch.fold(shard, &batch);
+            }
+
+            if applied != 2 {
+                return Err(format!("expected 2 corruptions applied, got {applied}"));
+            }
+            // Both corrupted items fail individually…
+            let individual_failures = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(s, items)| verify_individually(items, &verifiers[*s]).is_some())
+                .count();
+            if individual_failures == 0 {
+                return Err("premise broken: no shard fails individually".into());
+            }
+            // …so the fused check must reject, even though the two errors
+            // multiply to one in the unweighted aggregate.
+            if epoch.verify(&keys) {
+                return Err(format!(
+                    "coordinated cancellation passed the fused check \
+                 (items {} and {} of {global_ix})",
+                    case.first, case.second
+                ));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// The degenerate subsets: one user, one signature — the smallest
