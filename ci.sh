@@ -22,14 +22,44 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 build: cargo build --release (lint below reuses the artifact) =="
 cargo build --release
 
-echo "== seccloud-lint (token rules + interprocedural taint / panic_path / arith / dispatch) =="
+echo "== seccloud-lint (token rules + interprocedural taint / panic_path / arith / dispatch / ctflow / vartime / atomics) =="
+lint_start=$(date +%s%N)
 ./target/release/seccloud-lint
+lint_end=$(date +%s%N)
+echo "lint wall-clock: $(( (lint_end - lint_start) / 1000000 )) ms (SECCLOUD_THREADS=${SECCLOUD_THREADS:-auto})"
 
-echo "== seccloud-lint baseline drift vs crates/baselines (SARIF artifact in target/) =="
+echo "== seccloud-lint fixture suites (each rule catches its seeded violation, passes its clean twin) =="
+for bad in panic index secret ct unsafe transport taint_bad panic_path_bad \
+           arith_bad dispatch_bad ctflow_bad vartime_bad atomics_bad; do
+    if ./target/release/seccloud-lint "crates/analyzer/tests/fixtures/${bad}.rs" > /dev/null; then
+        echo "fixture ${bad}.rs should have tripped its rule (exit 1), but passed"
+        exit 1
+    fi
+done
+for clean in clean taint_clean panic_path_clean arith_clean dispatch_clean \
+             ctflow_clean vartime_clean atomics_clean; do
+    ./target/release/seccloud-lint "crates/analyzer/tests/fixtures/${clean}.rs" > /dev/null
+done
+
+echo "== seccloud-lint SARIF artifact: valid JSON with the expected rule ids =="
 ./target/release/seccloud-lint --format sarif > target/seccloud-lint.sarif
+python3 - <<'EOF'
+import json
+with open("target/seccloud-lint.sarif") as f:
+    sarif = json.load(f)
+assert sarif["version"] == "2.1.0", sarif["version"]
+rules = {r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]}
+expected = {"panic", "index", "secret", "ct", "unsafe", "transport", "annotation",
+            "taint", "panic_path", "arith", "dispatch", "ctflow", "vartime", "atomics"}
+missing = expected - rules
+assert not missing, f"SARIF driver.rules missing ids: {sorted(missing)}"
+print(f"sarif ok: {len(rules)} rules, {len(sarif['runs'][0]['results'])} results")
+EOF
+
+echo "== seccloud-lint baseline drift vs crates/baselines (both directions) =="
 ./target/release/seccloud-lint --baseline > target/seccloud-lint-baseline.json
 if ! diff -u crates/baselines/seccloud-lint-baseline.json target/seccloud-lint-baseline.json; then
-    echo "lint baseline drifted — new findings or allowances must be committed deliberately"
+    echo "lint baseline drifted — additions *and* removals must be committed deliberately"
     echo "(regenerate with: ./target/release/seccloud-lint --baseline > crates/baselines/seccloud-lint-baseline.json)"
     exit 1
 fi

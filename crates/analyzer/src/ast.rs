@@ -122,6 +122,9 @@ pub struct Arm {
     pub bindings: Vec<String>,
     /// Whether the pattern is a bare catch-all `_` (no guard).
     pub is_wildcard: bool,
+    /// Whether the pattern contains a literal token (`0`, `"ack"`, `'c'`)
+    /// — such an arm compares values, not just structure.
+    pub has_literal: bool,
     /// Whether the arm carries an `if` guard.
     pub has_guard: bool,
     /// The arm body.
@@ -1610,12 +1613,16 @@ impl<'t> Parser<'t> {
             let is_wildcard = !has_guard
                 && pat_part.len() == 1
                 && pat_part.first().is_some_and(|t| t.text == "_");
+            let has_literal = pat_part
+                .iter()
+                .any(|t| matches!(t.kind, TokKind::Number | TokKind::Str | TokKind::Char));
             let body = self.parse_expr(0, true);
             self.eat(",");
             arms.push(Arm {
                 pat_paths,
                 bindings,
                 is_wildcard,
+                has_literal,
                 has_guard,
                 body,
                 line: arm_line,

@@ -134,6 +134,102 @@ impl Workspace {
         self.edges.get(fn_idx).map_or(&[], Vec::as_slice)
     }
 
+    /// Iterates per-fn summaries to fixpoint with a reverse-edge worklist:
+    /// after one full pass, a fn is re-examined only when a callee whose
+    /// summary it reads actually changed. `edges_of` is built with the
+    /// same call resolution the analyses use, so the dependency set is
+    /// exact — this computes the identical fixpoint to the old
+    /// whole-program rounds at a fraction of the body walks. Summaries
+    /// only grow, so the per-fn requeue budget (mirroring the old
+    /// 12-round cap) only guards degenerate resolution cycles.
+    pub fn fixpoint_summaries<S, F>(&self, default: S, mut analyze: F) -> Vec<S>
+    where
+        S: Copy + PartialEq,
+        F: FnMut(usize, &[S]) -> S,
+    {
+        let n = self.fns.len();
+        let mut summaries = vec![default; n];
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for caller in 0..n {
+            for &(callee, _) in self.edges_of(caller) {
+                if let Some(v) = rev.get_mut(callee) {
+                    v.push(caller);
+                }
+            }
+        }
+        for v in &mut rev {
+            v.sort_unstable();
+            v.dedup();
+        }
+        // Seed in DFS post-order — callees before callers — so most fns
+        // see their callees' final summaries on the first analysis and
+        // the requeue tail stays short.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 expanded, 2 emitted
+        for root in 0..n {
+            if state.get(root).copied() != Some(0) {
+                continue;
+            }
+            let mut stack = vec![root];
+            while let Some(&i) = stack.last() {
+                match state.get(i).copied() {
+                    Some(0) => {
+                        if let Some(s) = state.get_mut(i) {
+                            *s = 1;
+                        }
+                        for &(callee, _) in self.edges_of(i) {
+                            if state.get(callee).copied() == Some(0) {
+                                stack.push(callee);
+                            }
+                        }
+                    }
+                    Some(1) => {
+                        if let Some(s) = state.get_mut(i) {
+                            *s = 2;
+                        }
+                        order.push(i);
+                        stack.pop();
+                    }
+                    _ => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> = order.into_iter().collect();
+        let mut queued = vec![true; n];
+        let mut budget = vec![12u8; n];
+        while let Some(i) = queue.pop_front() {
+            if let Some(q) = queued.get_mut(i) {
+                *q = false;
+            }
+            let next = analyze(i, &summaries);
+            if summaries.get(i).copied() == Some(next) {
+                continue;
+            }
+            if let Some(slot) = summaries.get_mut(i) {
+                *slot = next;
+            }
+            for &caller in rev.get(i).map_or(&[][..], Vec::as_slice) {
+                if queued.get(caller).copied() != Some(false) {
+                    continue;
+                }
+                let Some(b) = budget.get_mut(caller) else {
+                    continue;
+                };
+                if *b == 0 {
+                    continue;
+                }
+                *b -= 1;
+                if let Some(q) = queued.get_mut(caller) {
+                    *q = true;
+                }
+                queue.push_back(caller);
+            }
+        }
+        summaries
+    }
+
     /// Resolves the functions a `Type::name` / free-name call can reach.
     pub fn resolve_call(&self, segs: &[String], owner: Option<&str>) -> Vec<usize> {
         let Some(name) = segs.last() else {
@@ -165,8 +261,10 @@ impl Workspace {
 
     /// Resolves a method call: exact `(receiver type, name)` when the
     /// receiver type is inferable, otherwise the union of same-named
-    /// workspace methods.
-    pub fn resolve_method(&self, recv_ty: Option<&str>, name: &str) -> Vec<usize> {
+    /// workspace methods — narrowed to candidates that actually take a
+    /// `self` receiver plus `argc` arguments, so `sig.verify(a, b, c)`
+    /// does not pick up every 2- or 6-parameter `verify` in the tree.
+    pub fn resolve_method(&self, recv_ty: Option<&str>, name: &str, argc: usize) -> Vec<usize> {
         if let Some(ty) = recv_ty {
             if let Some(v) = self.by_type_method.get(&(ty.to_string(), name.to_string())) {
                 return v.clone();
@@ -177,7 +275,17 @@ impl Workspace {
                 return Vec::new();
             }
         }
-        self.methods_by_name.get(name).cloned().unwrap_or_default()
+        let Some(all) = self.methods_by_name.get(name) else {
+            return Vec::new();
+        };
+        all.iter()
+            .copied()
+            .filter(|&i| {
+                self.fns.get(i).is_some_and(|f| {
+                    f.params.first().is_some_and(|p| p.name == "self") && f.params.len() == argc + 1
+                })
+            })
+            .collect()
     }
 
     fn resolve_edges(&self, fn_idx: usize) -> Vec<(usize, u32)> {
@@ -198,10 +306,13 @@ impl Workspace {
                 }
             }
             Expr::MethodCall {
-                recv, name, line, ..
+                recv,
+                name,
+                args,
+                line,
             } => {
                 let recv_ty = typer.infer(recv);
-                for t in self.resolve_method(recv_ty.as_deref(), name) {
+                for t in self.resolve_method(recv_ty.as_deref(), name, args.len()) {
                     out.push((t, *line));
                 }
             }
@@ -308,6 +419,32 @@ pub fn type_head(ty: &str) -> String {
     head.to_string()
 }
 
+/// The element-type head of a container type: `Vec<T>`, `&[T]`, and
+/// `[T; N]` all yield `type_head(T)`. `None` for anything else.
+pub fn elem_head(ty: &str) -> Option<String> {
+    let mut t = ty.trim();
+    loop {
+        let peeled = t
+            .trim_start_matches('&')
+            .trim_start()
+            .trim_start_matches("mut ")
+            .trim_start();
+        if peeled == t {
+            break;
+        }
+        t = peeled;
+    }
+    let inner = if let Some(rest) = t.strip_prefix("Vec<") {
+        rest.strip_suffix('>')?
+    } else if let Some(rest) = t.strip_prefix('[') {
+        rest.split([';', ']']).next()?
+    } else {
+        return None;
+    };
+    let head = type_head(inner);
+    (!head.is_empty()).then_some(head)
+}
+
 /// Local type environment for one fn: resolves receiver expressions to
 /// type heads using params, annotated/inferable `let`s, and struct
 /// fields. Shared by the call graph and the taint engine.
@@ -315,6 +452,10 @@ pub struct Typer<'w> {
     ws: &'w Workspace,
     owner: Option<String>,
     locals: HashMap<String, String>,
+    /// Raw declared types (generics intact) for params and annotated
+    /// `let`s — the head alone cannot answer element-type questions
+    /// (`&[VerifierKey]` has head `""` but element `VerifierKey`).
+    raws: HashMap<String, String>,
 }
 
 impl<'w> Typer<'w> {
@@ -326,6 +467,7 @@ impl<'w> Typer<'w> {
             ws,
             owner: f.owner.clone(),
             locals: HashMap::new(),
+            raws: HashMap::new(),
         };
         for p in &f.params {
             let head = if p.name == "self" {
@@ -334,19 +476,32 @@ impl<'w> Typer<'w> {
                 type_head(&p.ty)
             };
             t.locals.insert(p.name.clone(), head);
+            if p.name != "self" {
+                t.raws.insert(p.name.clone(), p.ty.clone());
+            }
         }
         if let Some(body) = &f.body {
-            // Two passes so a `let` referring to a later-typed local still
-            // resolves (rare but free).
+            // Collect the (sparse) declaration sites once, then resolve
+            // them in two rounds so a `let` referring to a later-typed
+            // local still resolves — without re-walking the whole body.
+            let mut decls: Vec<&Expr> = Vec::new();
+            body.walk(&mut |e| {
+                if matches!(e, Expr::Let { .. } | Expr::For { .. }) {
+                    decls.push(e);
+                }
+            });
             for _ in 0..2 {
-                body.walk(&mut |e| {
+                for e in &decls {
                     if let Expr::Let {
                         bindings, ty, init, ..
                     } = e
                     {
                         if let (Some(name), 1) = (bindings.first(), bindings.len()) {
                             let resolved = match ty {
-                                Some(t_str) => Some(type_head(t_str)),
+                                Some(t_str) => {
+                                    t.raws.insert(name.clone(), t_str.clone());
+                                    Some(type_head(t_str))
+                                }
                                 None => init.as_ref().and_then(|i| t.infer(i)),
                             };
                             if let Some(head) = resolved {
@@ -365,7 +520,7 @@ impl<'w> Typer<'w> {
                             }
                         }
                     }
-                });
+                }
             }
         }
         t
@@ -391,9 +546,11 @@ impl<'w> Typer<'w> {
                     None
                 }
             }
-            Expr::MethodCall { recv, name, .. } => {
+            Expr::MethodCall {
+                recv, name, args, ..
+            } => {
                 let recv_ty = self.infer(recv);
-                let targets = self.ws.resolve_method(recv_ty.as_deref(), name);
+                let targets = self.ws.resolve_method(recv_ty.as_deref(), name, args.len());
                 // Only trust an exact-receiver resolution for typing.
                 if recv_ty.is_some() && !targets.is_empty() {
                     self.ret_head(&targets, recv_ty.as_ref())
@@ -402,6 +559,8 @@ impl<'w> Typer<'w> {
                 }
             }
             Expr::StructLit { segs, .. } => segs.last().cloned(),
+            // `verifiers[i]` — the element type of a container-typed base.
+            Expr::Index { base, .. } => elem_head(&self.raw_of(base)?),
             Expr::Cast { ty, .. } => Some(type_head(ty)),
             Expr::Group { children, .. } => match children.as_slice() {
                 [one] => self.infer(one),
@@ -411,9 +570,11 @@ impl<'w> Typer<'w> {
         }
     }
 
-    /// The element type of an iterated expression, when it is an array
-    /// literal (possibly behind `.iter()`/`.iter_mut()`/`.into_iter()`)
-    /// whose elements all infer to the same head.
+    /// The element type of an iterated expression: either a container
+    /// (`Vec<T>`, `&[T]`, `[T; N]`) with a declared element type reachable
+    /// through struct fields, or an array literal whose elements all infer
+    /// to the same head. Both possibly behind
+    /// `.iter()`/`.iter_mut()`/`.into_iter()` and `&` wrappers.
     fn infer_elem(&self, iter: &Expr) -> Option<String> {
         let inner = match iter {
             Expr::MethodCall { recv, name, .. }
@@ -423,6 +584,11 @@ impl<'w> Typer<'w> {
             }
             other => other,
         };
+        // `for block in &item.inputs` with `inputs: Vec<SignedBlock>` —
+        // the declared field type names the element type directly.
+        if let Some(head) = self.container_elem(inner) {
+            return Some(head);
+        }
         let Expr::Group { children, .. } = inner else {
             return None;
         };
@@ -431,6 +597,83 @@ impl<'w> Typer<'w> {
             .iter()
             .all(|c| self.infer(c).as_deref() == Some(&first))
             .then_some(first)
+    }
+
+    /// The declared element type of a container-typed field access or
+    /// local (peeling `&x`/`(x)` wrappers, which parse as single-child
+    /// groups).
+    fn container_elem(&self, e: &Expr) -> Option<String> {
+        elem_head(&self.raw_of(e)?)
+    }
+
+    /// The raw declared type of an expression, when the declaration is
+    /// reachable (param/annotated local, or a struct field).
+    fn raw_of(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Group { children, .. } => match children.as_slice() {
+                [one] => self.raw_of(one),
+                _ => None,
+            },
+            Expr::Path { segs, .. } => match segs.as_slice() {
+                [one] => self.raws.get(one).cloned(),
+                _ => None,
+            },
+            Expr::Field { base, name, .. } => {
+                let base_ty = self.infer(base)?;
+                self.ws.struct_fields.get(&base_ty)?.get(name).cloned()
+            }
+            _ => None,
+        }
+    }
+
+    /// The declared component types of a call returning a tuple —
+    /// `fn make() -> (MasterKey, Vec<Item>)` yields the two component
+    /// texts — so `let (key, items) = make();` can bind per-component
+    /// secrecy instead of smearing the whole tuple's taint over every
+    /// binding.
+    pub fn ret_tuple_types(&self, e: &Expr) -> Option<Vec<String>> {
+        let targets = match e {
+            Expr::Call { callee, .. } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    self.ws.resolve_call(segs, self.owner.as_deref())
+                } else {
+                    return None;
+                }
+            }
+            Expr::MethodCall {
+                recv, name, args, ..
+            } => {
+                let recv_ty = self.infer(recv)?;
+                self.ws.resolve_method(Some(&recv_ty), name, args.len())
+            }
+            Expr::Group { children, .. } => match children.as_slice() {
+                [one] => return self.ret_tuple_types(one),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let ret = self.ws.fns.get(*targets.first()?)?.ret.as_deref()?;
+        let inner = ret.trim().strip_prefix('(')?.strip_suffix(')')?;
+        let mut comps = Vec::new();
+        let mut depth = 0i32;
+        let mut cur = String::new();
+        for ch in inner.chars() {
+            match ch {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth -= 1,
+                ',' if depth == 0 => {
+                    comps.push(cur.trim().to_string());
+                    cur.clear();
+                    continue;
+                }
+                _ => {}
+            }
+            cur.push(ch);
+        }
+        if !cur.trim().is_empty() {
+            comps.push(cur.trim().to_string());
+        }
+        (comps.len() > 1).then_some(comps)
     }
 
     /// The shared return-type head of resolved callees (`Self` resolved

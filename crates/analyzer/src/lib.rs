@@ -26,15 +26,18 @@
 
 pub mod ast;
 mod astrules;
+mod atomics;
 pub mod callgraph;
+mod ctflow;
 pub mod lexer;
 pub mod rules;
 pub mod sarif;
 mod taint;
 
 pub use rules::{
-    lint_files, Allowance, Finding, Report, ALL_RULES, RULE_ANNOTATION, RULE_ARITH, RULE_CT,
-    RULE_DISPATCH, RULE_INDEX, RULE_PANIC, RULE_PANIC_PATH, RULE_SECRET, RULE_TAINT, RULE_UNSAFE,
+    lint_files, Allowance, Finding, Report, ALL_RULES, RULE_ANNOTATION, RULE_ARITH, RULE_ATOMICS,
+    RULE_CT, RULE_CTFLOW, RULE_DISPATCH, RULE_INDEX, RULE_PANIC, RULE_PANIC_PATH, RULE_SECRET,
+    RULE_TAINT, RULE_UNSAFE, RULE_VARTIME,
 };
 pub use sarif::render_sarif;
 

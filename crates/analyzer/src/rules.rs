@@ -25,6 +25,14 @@
 //!   the same line and the next line; the reason is mandatory and surfaced
 //!   in the lint summary.
 //! * `// lint: secret` — marks the next `struct`/`enum` as secret material.
+//! * `// lint: declassify(<reason>)` — declares the next line's
+//!   secret-derived value public by protocol design (suppresses `ctflow`;
+//!   recorded as a `ctflow` allowance).
+//! * `// lint: ordering(<reason>)` — justifies the next line's
+//!   `Ordering::*` choice (rule `atomics`; recorded as an allowance).
+//! * `// lint: vartime(<reason>)` — sanctions the following fn as a
+//!   variable-time primitive: the `vartime` rule proves no secret-tainted
+//!   value can reach it anywhere in the call graph.
 //!
 //! Any other `lint:` comment is itself reported (rule `annotation`), so a
 //! typo'd escape hatch can never silently disable a rule.
@@ -43,8 +51,15 @@ pub const RULE_INDEX: &str = "index";
 pub const RULE_SECRET: &str = "secret";
 /// Rule id: interprocedural secret taint flow.
 pub const RULE_TAINT: &str = "taint";
-/// Rule id: constant-time discipline.
+/// Rule id: constant-time discipline (token-level fallback tier; the
+/// dataflow-backed [`RULE_CTFLOW`] suppresses duplicates at the same site).
 pub const RULE_CT: &str = "ct";
+/// Rule id: interprocedural constant-time dataflow (timing sinks).
+pub const RULE_CTFLOW: &str = "ctflow";
+/// Rule id: variable-time primitives reachable from secret inputs.
+pub const RULE_VARTIME: &str = "vartime";
+/// Rule id: memory-ordering justification policy.
+pub const RULE_ATOMICS: &str = "atomics";
 /// Rule id: overflow-safe sampling/backoff arithmetic.
 pub const RULE_ARITH: &str = "arith";
 /// Rule id: exhaustive wire dispatch.
@@ -57,13 +72,16 @@ pub const RULE_TRANSPORT: &str = "transport";
 pub const RULE_ANNOTATION: &str = "annotation";
 
 /// Every rule id, in reporting order (drives the SARIF rule catalogue).
-pub const ALL_RULES: [&str; 11] = [
+pub const ALL_RULES: [&str; 14] = [
     RULE_PANIC,
     RULE_PANIC_PATH,
     RULE_INDEX,
     RULE_SECRET,
     RULE_TAINT,
     RULE_CT,
+    RULE_CTFLOW,
+    RULE_VARTIME,
+    RULE_ATOMICS,
     RULE_ARITH,
     RULE_DISPATCH,
     RULE_UNSAFE,
@@ -187,6 +205,11 @@ pub struct FileCtx {
     pub allows: HashMap<String, HashSet<u32>>,
     /// Lines whose vicinity carries a `SAFETY:` comment.
     pub safety_lines: HashSet<u32>,
+    /// Lines justified by `// lint: ordering(reason)` (the `atomics` rule).
+    pub ordering_lines: HashSet<u32>,
+    /// Lines of fns sanctioned by `// lint: vartime(reason)` (the
+    /// `vartime` rule treats them as variable-time primitives).
+    pub vartime_lines: HashSet<u32>,
 }
 
 impl FileCtx {
@@ -213,51 +236,123 @@ pub fn lint_files(inputs: &[(String, String)], all_rules: bool) -> Report {
         files: inputs.len(),
         ..Report::default()
     };
-    let mut ctxs = Vec::with_capacity(inputs.len());
-    for (path, src) in inputs {
+    let timing = std::env::var("SECCLOUD_LINT_TIMINGS").is_ok();
+    let mut mark = std::time::Instant::now();
+    let phase = |name: &str, mark: &mut std::time::Instant| {
+        if timing {
+            eprintln!("phase {name}: {:?}", mark.elapsed());
+        }
+        *mark = std::time::Instant::now();
+    };
+    // Per-file lexing, annotation parsing, and test-line detection are
+    // independent — fan them out over SECCLOUD_THREADS workers.
+    // `parallel_map` preserves input order, and the final sort below makes
+    // finding order deterministic regardless of scheduling.
+    let built = seccloud_parallel::parallel_map(inputs, |_, (path, src)| {
         let (toks, comments) = lex(src);
         let test_lines = test_item_lines(&toks);
-        let (allows, safety_lines, annotation_findings, allowances) =
-            parse_annotations(path, &comments);
-        report.findings.extend(annotation_findings);
+        let ann = parse_annotations(path, &comments);
+        (
+            FileCtx {
+                path: path.replace('\\', "/"),
+                toks,
+                comments,
+                test_lines,
+                allows: ann.allows,
+                safety_lines: ann.safety,
+                ordering_lines: ann.ordering,
+                vartime_lines: ann.vartime,
+            },
+            ann.findings,
+            ann.allowances,
+        )
+    });
+    phase("lex+ann", &mut mark);
+    let mut ctxs = Vec::with_capacity(built.len());
+    for (ctx, findings, allowances) in built {
+        report.findings.extend(findings);
         report.allowances.extend(allowances);
-        ctxs.push(FileCtx {
-            path: path.replace('\\', "/"),
-            toks,
-            comments,
-            test_lines,
-            allows,
-            safety_lines,
-        });
+        ctxs.push(ctx);
     }
 
     // Secret types are collected across every file first: the marker, the
     // `impl Drop`, and a leaking `format!` may live in different files.
     let secrets: Vec<SecretType> = ctxs.iter().flat_map(collect_secret_types).collect();
 
-    for ctx in &ctxs {
-        check_panic(ctx, all_rules, &mut report);
-        check_index(ctx, all_rules, &mut report);
-        check_ct(ctx, all_rules, &mut report);
-        check_unsafe(ctx, all_rules, &mut report);
-        check_transport(ctx, all_rules, &mut report);
+    // Token-level rules only read their own file's ctx — run them in
+    // parallel, one scratch report per file, merged in input order.
+    let token_reports = seccloud_parallel::parallel_map(&ctxs, |_, ctx| {
+        let mut r = Report::default();
+        check_panic(ctx, all_rules, &mut r);
+        check_index(ctx, all_rules, &mut r);
+        check_ct(ctx, all_rules, &mut r);
+        check_unsafe(ctx, all_rules, &mut r);
+        check_transport(ctx, all_rules, &mut r);
+        crate::atomics::check_atomics(ctx, all_rules, &mut r);
+        r
+    });
+    for r in token_reports {
+        report.findings.extend(r.findings);
+        report.allowances.extend(r.allowances);
     }
+    phase("token-rules", &mut mark);
     check_secret_types(&ctxs, &secrets, &mut report);
+    phase("secret-types", &mut mark);
 
-    // AST-backed interprocedural rules: parse every file, build the
-    // workspace call graph, then run panic reachability, taint flow,
-    // arithmetic, and dispatch analyses over it.
-    let parsed: Vec<(String, crate::ast::Ast)> = ctxs
-        .iter()
-        .map(|c| (c.path.clone(), crate::ast::parse(&c.toks)))
-        .collect();
+    // AST-backed interprocedural rules: parse every file (in parallel —
+    // parsing is per-file), build the workspace call graph, then run panic
+    // reachability, taint flow, constant-time dataflow, arithmetic, and
+    // dispatch analyses over it. The fixpoint passes themselves stay
+    // sequential: they iterate shared whole-program summaries.
+    let parsed: Vec<(String, crate::ast::Ast)> =
+        seccloud_parallel::parallel_map(&ctxs, |_, c| (c.path.clone(), crate::ast::parse(&c.toks)));
+    phase("parse", &mut mark);
     let ws = crate::callgraph::Workspace::build(parsed);
+    // One shared type environment per fn: the taint and ctflow passes
+    // (fixpoint + reporting each) would otherwise rebuild it 4x per fn.
+    let typers: Vec<crate::callgraph::Typer<'_>> = ws
+        .fns
+        .iter()
+        .map(|f| crate::callgraph::Typer::for_fn(&ws, f))
+        .collect();
+    phase("ws-build", &mut mark);
     let ctx_map: HashMap<&str, &FileCtx> = ctxs.iter().map(|c| (c.path.as_str(), c)).collect();
     crate::callgraph::check_panic_path(&ws, &ctx_map, all_rules, &mut report);
+    phase("panic_path", &mut mark);
     let secret_names: HashSet<String> = secrets.iter().map(|s| s.name.clone()).collect();
-    crate::taint::check_taint(&ws, &ctx_map, &secret_names, all_rules, &mut report);
+    crate::taint::check_taint(
+        &ws,
+        &typers,
+        &ctx_map,
+        &secret_names,
+        all_rules,
+        &mut report,
+    );
+    phase("taint", &mut mark);
+    crate::ctflow::check_ctflow(
+        &ws,
+        &typers,
+        &ctx_map,
+        &secret_names,
+        all_rules,
+        &mut report,
+    );
+    phase("ctflow", &mut mark);
     crate::astrules::check_arith(&ws, &ctx_map, all_rules, &mut report);
     crate::astrules::check_dispatch(&ws, &ctx_map, all_rules, &mut report);
+    phase("arith+dispatch", &mut mark);
+
+    // Fallback tier: the token-level `ct` heuristic stands down wherever
+    // the dataflow-backed `ctflow` rule covered the same site.
+    let ctflow_sites: HashSet<(String, u32)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RULE_CTFLOW)
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    report
+        .findings
+        .retain(|f| f.rule != RULE_CT || !ctflow_sites.contains(&(f.file.clone(), f.line)));
 
     report.findings.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
@@ -273,28 +368,32 @@ pub fn lint_files(inputs: &[(String, String)], all_rules: bool) -> Report {
 
 // --- annotations ----------------------------------------------------------
 
-type ParsedAnnotations = (
-    HashMap<String, HashSet<u32>>,
-    HashSet<u32>,
-    Vec<Finding>,
-    Vec<Allowance>,
-);
+/// Parsed per-file annotation state.
+#[derive(Default)]
+struct ParsedAnnotations {
+    allows: HashMap<String, HashSet<u32>>,
+    safety: HashSet<u32>,
+    ordering: HashSet<u32>,
+    vartime: HashSet<u32>,
+    findings: Vec<Finding>,
+    allowances: Vec<Allowance>,
+}
 
 /// Parses `lint:` and `SAFETY:` comments.
 ///
-/// An `allow` annotation covers its own line (trailing-comment form) and
-/// the immediately following line (standalone-comment form).
+/// An `allow`/`declassify`/`ordering`/`vartime` annotation covers its own
+/// line (trailing-comment form) and the immediately following line
+/// (standalone-comment form) — a `vartime` sanction must therefore sit
+/// directly above its `fn`, never separated by an attribute, so the
+/// sanction can never bleed onto a neighbouring declaration.
 fn parse_annotations(path: &str, comments: &[Comment]) -> ParsedAnnotations {
-    let mut allows: HashMap<String, HashSet<u32>> = HashMap::new();
-    let mut safety = HashSet::new();
-    let mut findings = Vec::new();
-    let mut allowances = Vec::new();
+    let mut out = ParsedAnnotations::default();
     for c in comments {
         if c.text.contains("SAFETY:") {
             // A SAFETY comment blesses the unsafe block on the following
             // few lines.
             for l in c.line..=c.end_line + 3 {
-                safety.insert(l);
+                out.safety.insert(l);
             }
         }
         let Some(rest) = c.text.trim().strip_prefix("lint:") else {
@@ -304,31 +403,79 @@ fn parse_annotations(path: &str, comments: &[Comment]) -> ParsedAnnotations {
         if rest == "secret" {
             continue; // handled by collect_secret_types
         }
+        let mut record = |rule: &str, reason: String| {
+            out.allowances.push(Allowance {
+                rule: rule.to_string(),
+                file: path.to_string(),
+                line: c.line,
+                reason,
+            });
+        };
+        if let Some(reason) = keyword_reason(rest, "declassify") {
+            // Publication of a secret-derived value is a protocol-level
+            // decision; it suppresses the dataflow rule like an allow.
+            let entry = out.allows.entry(RULE_CTFLOW.to_string()).or_default();
+            entry.insert(c.line);
+            entry.insert(c.end_line + 1);
+            record(RULE_CTFLOW, reason);
+            continue;
+        }
+        if let Some(reason) = keyword_reason(rest, "ordering") {
+            out.ordering.insert(c.line);
+            out.ordering.insert(c.end_line + 1);
+            record(RULE_ATOMICS, reason);
+            continue;
+        }
+        if let Some(reason) = keyword_reason(rest, "vartime") {
+            out.vartime.insert(c.line);
+            out.vartime.insert(c.end_line + 1);
+            record(RULE_VARTIME, reason);
+            continue;
+        }
         match parse_allow(rest) {
             Some((rule, reason)) => {
-                let entry = allows.entry(rule.clone()).or_default();
+                let entry = out.allows.entry(rule.clone()).or_default();
                 entry.insert(c.line);
                 entry.insert(c.end_line + 1);
-                allowances.push(Allowance {
+                out.allowances.push(Allowance {
                     rule,
                     file: path.to_string(),
                     line: c.line,
                     reason,
                 });
             }
-            None => findings.push(Finding {
+            None => out.findings.push(Finding {
                 rule: RULE_ANNOTATION,
                 file: path.to_string(),
                 line: c.line,
                 message: format!(
                     "malformed lint annotation `{}` — expected \
-                     `lint: allow(<rule>, reason=<text>)` or `lint: secret`",
+                     `lint: allow(<rule>, reason=<text>)`, `lint: secret`, \
+                     `lint: declassify(<reason>)`, `lint: ordering(<reason>)`, \
+                     or `lint: vartime(<reason>)`",
                     c.text.trim()
                 ),
             }),
         }
     }
-    (allows, safety, findings, allowances)
+    out
+}
+
+/// Parses `<kw>(<reason>)`, demanding a non-empty reason. Returns `None`
+/// both for "not this keyword" and for an empty reason — the latter then
+/// falls through to the malformed-annotation finding, so a blanket
+/// `declassify()` can never silently disable a rule.
+fn keyword_reason(s: &str, kw: &str) -> Option<String> {
+    let body = s
+        .strip_prefix(kw)?
+        .trim()
+        .strip_prefix('(')?
+        .strip_suffix(')')?;
+    let reason = body.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(reason.to_string())
 }
 
 /// Parses `allow(<rule>, reason=<text>)`; the reason is mandatory.
@@ -344,6 +491,9 @@ fn parse_allow(s: &str) -> Option<(String, String)> {
         RULE_SECRET,
         RULE_TAINT,
         RULE_CT,
+        RULE_CTFLOW,
+        RULE_VARTIME,
+        RULE_ATOMICS,
         RULE_ARITH,
         RULE_DISPATCH,
         RULE_UNSAFE,

@@ -22,6 +22,18 @@ fn rule_description(rule: &str) -> &'static str {
         "secret" => "Secret types: no Debug/Serialize derive, zeroize on Drop.",
         "taint" => "Secret-derived values must never reach format or wire-encode sinks.",
         "ct" => "Digest/tag comparisons must be constant-time (ct_eq).",
+        "ctflow" => {
+            "Secret-tainted values must not reach timing sinks (branches, \
+                     comparisons, indices, loop bounds)."
+        }
+        "vartime" => {
+            "Variable-time primitives (inverse_vartime, wNAF, Pippenger windows) \
+                      are reachable from public inputs only."
+        }
+        "atomics" => {
+            "Every Ordering::* choice carries an ordering(reason); no Relaxed RMW \
+                      on security-scoped atomics."
+        }
         "arith" => "Sampling/backoff integer math must be checked or saturating.",
         "dispatch" => "Matches on wire enums must not hide variants behind a catch-all `_`.",
         "unsafe" => "forbid(unsafe_code) on crate roots; SAFETY comments on unsafe blocks.",

@@ -81,6 +81,7 @@ struct Summary {
 /// Runs the taint rule over the workspace.
 pub fn check_taint(
     ws: &Workspace,
+    typers: &[Typer<'_>],
     ctxs: &HashMap<&str, &FileCtx>,
     secret_names: &HashSet<String>,
     all_rules: bool,
@@ -90,29 +91,15 @@ pub fn check_taint(
         return;
     }
     let n = ws.fns.len();
-    let mut summaries = vec![Summary::default(); n];
-    // Fixpoint: masks only grow, so iteration count is bounded; the cap
-    // guards against resolution cycles.
-    for _ in 0..12 {
-        let mut changed = false;
-        for i in 0..n {
-            let next = analyze_fn(ws, i, &summaries, secret_names, all_rules, None);
-            if summaries.get(i).copied() != Some(next) {
-                if let Some(slot) = summaries.get_mut(i) {
-                    *slot = next;
-                }
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let summaries = ws.fixpoint_summaries(Summary::default(), |i, sums| {
+        analyze_fn(ws, typers, i, sums, secret_names, all_rules, None)
+    });
     // Reporting pass.
     let mut findings = Vec::new();
     for i in 0..n {
         let _ = analyze_fn(
             ws,
+            typers,
             i,
             &summaries,
             secret_names,
@@ -134,14 +121,14 @@ fn is_declass(path: &str) -> bool {
     DECLASS_CRATES.iter().any(|p| path.starts_with(p))
 }
 
-/// Does this type string name a secret type?
-fn ty_secret(ty: &str, secret_names: &HashSet<String>) -> bool {
+/// Does this type string name a secret type? (Shared with `ctflow`.)
+pub(crate) fn ty_secret(ty: &str, secret_names: &HashSet<String>) -> bool {
     secret_names.iter().any(|s| contains_word(ty, s))
 }
 
 /// Does `f`'s declared return type name a secret type (directly or as
-/// `Self` on a secret owner)?
-fn ret_names_secret(f: &FnNode, secret_names: &HashSet<String>) -> bool {
+/// `Self` on a secret owner)? (Shared with `ctflow`.)
+pub(crate) fn ret_names_secret(f: &FnNode, secret_names: &HashSet<String>) -> bool {
     f.ret.as_deref().is_some_and(|r| {
         ty_secret(r, secret_names)
             || (contains_word(r, "Self")
@@ -173,6 +160,7 @@ fn contains_word(hay: &str, needle: &str) -> bool {
 /// `findings` is set, also records sink hits (the reporting pass).
 fn analyze_fn(
     ws: &Workspace,
+    typers: &[Typer<'_>],
     fn_idx: usize,
     summaries: &[Summary],
     secret_names: &HashSet<String>,
@@ -193,7 +181,10 @@ fn analyze_fn(
         ws,
         summaries,
         secret_names,
-        typer: Typer::for_fn(ws, f),
+        typer: match typers.get(fn_idx) {
+            Some(t) => t,
+            None => return Summary::default(),
+        },
         locals: HashMap::new(),
         owner: f.owner.clone(),
         owner_secret: f.owner.as_deref().is_some_and(|o| secret_names.contains(o)),
@@ -235,7 +226,7 @@ struct Eval<'a> {
     ws: &'a Workspace,
     summaries: &'a [Summary],
     secret_names: &'a HashSet<String>,
-    typer: Typer<'a>,
+    typer: &'a Typer<'a>,
     locals: HashMap<String, u64>,
     owner: Option<String>,
     owner_secret: bool,
@@ -550,7 +541,7 @@ impl Eval<'_> {
                     self.sink(sunk, *line, &format!("wire-encode sink `.{name}(…)`"));
                 }
                 let recv_ty = self.typer.infer(recv);
-                let targets = self.ws.resolve_method(recv_ty.as_deref(), name);
+                let targets = self.ws.resolve_method(recv_ty.as_deref(), name, args.len());
                 // Align receiver as param 0.
                 let mut aligned = Vec::with_capacity(masks.len() + 1);
                 aligned.push(recv_mask);
@@ -589,7 +580,7 @@ fn inline_captures(lit: &str) -> Vec<String> {
     out
 }
 
-fn qualified(f: &FnNode, fallback: &str) -> String {
+pub(crate) fn qualified(f: &FnNode, fallback: &str) -> String {
     match &f.owner {
         Some(o) => format!("{o}::{}", f.name),
         None if f.name.is_empty() => fallback.to_string(),
@@ -690,7 +681,8 @@ mod tests {
         let mut report = Report::default();
         let mut secrets = HashSet::new();
         secrets.insert("UserKey".to_string());
-        check_taint(&ws, &HashMap::new(), &secrets, false, &mut report);
+        let typers: Vec<Typer<'_>> = ws.fns.iter().map(|f| Typer::for_fn(&ws, f)).collect();
+        check_taint(&ws, &typers, &HashMap::new(), &secrets, false, &mut report);
         assert!(report.findings.is_empty());
     }
 }

@@ -1,0 +1,17 @@
+//! Fixture: memory-ordering sites without a `// lint: ordering(reason)`
+//! justification (rule `atomics`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static FLAG: AtomicU64 = AtomicU64::new(0);
+
+/// Unjustified Relaxed read-modify-write.
+pub fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Unjustified SeqCst store — even the strongest ordering needs a reason.
+pub fn publish(v: u64) {
+    FLAG.store(v, Ordering::SeqCst);
+}

@@ -1,0 +1,22 @@
+//! Clean twin of `atomics_bad.rs`: every ordering choice carries a
+//! justification annotation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static FLAG: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    // lint: ordering(SeqCst: the counter is the sole uniqueness guarantee, increments need a single total order)
+    COUNTER.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn stats() -> u64 {
+    // lint: ordering(Relaxed: monotonic stats read, publishes no other memory)
+    COUNTER.load(Ordering::Relaxed)
+}
+
+pub fn publish(v: u64) {
+    // lint: ordering(SeqCst: the flag gates reads of data written before the store; a single total order keeps the handoff safe)
+    FLAG.store(v, Ordering::SeqCst);
+}

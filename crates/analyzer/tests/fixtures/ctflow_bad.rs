@@ -1,0 +1,42 @@
+//! Fixture: secret-influenced values reaching timing sinks (rule `ctflow`).
+
+// lint: secret
+pub struct UserKey {
+    sk: u64,
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {}
+}
+
+/// Interprocedural hop: the scalar keeps its taint through a helper.
+fn low_bits(k: &UserKey) -> u64 {
+    k.sk & 0xff
+}
+
+/// A branch whose condition compares key material: the comparison is the
+/// timing sink.
+pub fn branch_on_key(k: &UserKey) -> u64 {
+    if low_bits(k) == 0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// A match scrutinee carrying key material.
+pub fn match_on_key(k: &UserKey) -> u64 {
+    match k.sk & 1 {
+        0 => 10,
+        _ => 20,
+    }
+}
+
+/// A loop bound derived from key material.
+pub fn loop_on_key(k: &UserKey) -> u64 {
+    let mut acc = 0;
+    for _ in 0..low_bits(k) {
+        acc += 1;
+    }
+    acc
+}

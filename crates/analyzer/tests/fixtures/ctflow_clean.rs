@@ -1,0 +1,32 @@
+//! Clean twin of `ctflow_bad.rs`: the same secret type handled through
+//! constant-time comparisons, masked selects, and an explicit declassify.
+
+// lint: secret
+pub struct UserKey {
+    sk: u64,
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {}
+}
+
+/// Constant-time comparison (sanitizer): the verdict is public.
+fn ct_eq(a: u64, b: u64) -> bool {
+    a == b
+}
+
+pub fn check_tag(k: &UserKey, tag: u64) -> bool {
+    ct_eq(k.sk, tag)
+}
+
+/// Masked select: data-independent control flow, taint stays in the value.
+pub fn select(k: &UserKey, a: u64, b: u64) -> u64 {
+    let mask = (k.sk & 1).wrapping_neg();
+    (a & !mask) | (b & mask)
+}
+
+/// Publication of a secret-derived bit is a protocol-level decision.
+pub fn audit_parity(k: &UserKey) -> bool {
+    // lint: declassify(the parity bit is published in the audit header by design)
+    k.sk & 1 == 1
+}

@@ -1,0 +1,31 @@
+//! Fixture: key material reaching a variable-time primitive (rule
+//! `vartime`), both directly and through an interprocedural path.
+
+// lint: secret
+pub struct UserKey {
+    sk: u64,
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {}
+}
+
+/// Variable-time by naming convention (`*_vartime`).
+fn modinv_vartime(x: u64) -> u64 {
+    x ^ 1
+}
+
+/// A non-suffixed path into the primitive.
+fn normalize(x: u64) -> u64 {
+    modinv_vartime(x)
+}
+
+/// Direct call with key material.
+pub fn bad_direct(k: &UserKey) -> u64 {
+    modinv_vartime(k.sk)
+}
+
+/// The same leak one call deep: `normalize` is a variable-time path.
+pub fn bad_via_path(k: &UserKey) -> u64 {
+    normalize(k.sk)
+}

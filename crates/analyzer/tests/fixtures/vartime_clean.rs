@@ -1,0 +1,32 @@
+//! Clean twin of `vartime_bad.rs`: variable-time primitives reached with
+//! public inputs only; key material routed through the constant-time
+//! sibling.
+
+// lint: secret
+pub struct UserKey {
+    sk: u64,
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {}
+}
+
+/// Variable-time by naming convention — fine for public operands.
+fn modinv_vartime(x: u64) -> u64 {
+    x ^ 1
+}
+
+/// Constant-time sibling for secret operands.
+fn modinv_ct(x: u64) -> u64 {
+    x ^ 1
+}
+
+/// Public wire data may take the fast path.
+pub fn normalize_public(wire: u64) -> u64 {
+    modinv_vartime(wire)
+}
+
+/// Key material takes the constant-time route.
+pub fn normalize_secret(k: &UserKey) -> u64 {
+    modinv_ct(k.sk)
+}

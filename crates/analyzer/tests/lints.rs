@@ -184,6 +184,85 @@ fn clean_fixture_is_silent_and_reports_allowance() {
 }
 
 #[test]
+fn ctflow_fixture_trips_ctflow_rule() {
+    let report = lint_fixture("ctflow_bad.rs");
+    assert_eq!(rules_hit(&report), ["ctflow"], "{:?}", report.findings);
+    // `==` comparison, `match` on concrete values, loop bound.
+    assert_eq!(report.findings.len(), 3, "{:?}", report.findings);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("comparison")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("match")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("loop bound")), "{msgs:?}");
+}
+
+#[test]
+fn ctflow_clean_fixture_is_silent_with_declassify_allowance() {
+    let report = lint_fixture("ctflow_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+    // The one `lint: declassify(...)` must surface as a ctflow allowance.
+    assert_eq!(report.allowances.len(), 1, "{:?}", report.allowances);
+    assert_eq!(report.allowances[0].rule, "ctflow");
+    assert!(report.allowances[0].reason.contains("parity"));
+}
+
+#[test]
+fn vartime_fixture_trips_vartime_rule() {
+    let report = lint_fixture("vartime_bad.rs");
+    assert_eq!(rules_hit(&report), ["vartime"], "{:?}", report.findings);
+    // Direct call into the primitive + the transitive path through `normalize`.
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("primitive `modinv_vartime`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("path `normalize`")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn vartime_clean_fixture_is_silent() {
+    let report = lint_fixture("vartime_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn atomics_fixture_trips_atomics_rule() {
+    let report = lint_fixture("atomics_bad.rs");
+    assert_eq!(rules_hit(&report), ["atomics"], "{:?}", report.findings);
+    // Two unannotated ordering sites + the Relaxed RMW escalation.
+    assert_eq!(report.findings.len(), 3, "{:?}", report.findings);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("read-modify-write")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn atomics_clean_fixture_is_silent_with_ordering_allowances() {
+    let report = lint_fixture("atomics_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+    assert_eq!(report.allowances.len(), 3, "{:?}", report.allowances);
+    assert!(report.allowances.iter().all(|a| a.rule == "atomics"));
+}
+
+#[test]
 fn binary_fails_on_each_bad_fixture() {
     for name in [
         "panic.rs",
@@ -196,6 +275,9 @@ fn binary_fails_on_each_bad_fixture() {
         "panic_path_bad.rs",
         "arith_bad.rs",
         "dispatch_bad.rs",
+        "ctflow_bad.rs",
+        "vartime_bad.rs",
+        "atomics_bad.rs",
     ] {
         let path = fixture_path(name);
         let out = run_binary(&[path.to_str().unwrap()]);
@@ -216,6 +298,9 @@ fn binary_passes_on_clean_fixtures() {
         "panic_path_clean.rs",
         "arith_clean.rs",
         "dispatch_clean.rs",
+        "ctflow_clean.rs",
+        "vartime_clean.rs",
+        "atomics_clean.rs",
     ] {
         let path = fixture_path(name);
         let out = run_binary(&[path.to_str().unwrap()]);

@@ -22,11 +22,15 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::sha256::Sha256;
 
+/// Process-local uniqueness counter, consumed once per [`entropy_seed`]
+/// call. Module-scoped (rather than function-local) so tests can assert
+/// it advances exactly once per call under concurrency.
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
 /// A 32-byte seed mixing the OS CSPRNG (when readable), the wall clock,
 /// and a process-unique counter. Never blocks, never panics; each call
 /// returns a distinct value.
 pub fn entropy_seed() -> [u8; 32] {
-    static COUNTER: AtomicU64 = AtomicU64::new(0);
     let mut hasher = Sha256::new();
     hasher.update(b"seccloud-entropy-v1");
 
@@ -42,7 +46,11 @@ pub fn entropy_seed() -> [u8; 32] {
         .duration_since(UNIX_EPOCH)
         .map_or(0u128, |d| d.as_nanos());
     hasher.update(&nanos.to_be_bytes());
-    hasher.update(&COUNTER.fetch_add(1, Ordering::Relaxed).to_be_bytes());
+    // The counter is the only uniqueness guarantee when OS entropy and the
+    // clock are both unavailable, so concurrent seeders must observe a
+    // single total order of increments.
+    // lint: ordering(counter is the sole uniqueness guarantee; increments need a single total order)
+    hasher.update(&COUNTER.fetch_add(1, Ordering::SeqCst).to_be_bytes());
     hasher.finalize()
 }
 
@@ -64,5 +72,35 @@ mod tests {
         let s = entropy_seed();
         assert_eq!(s.len(), 32);
         assert_ne!(s, [0u8; 32], "an all-zero seed is vanishingly unlikely");
+    }
+
+    #[test]
+    fn concurrent_seeders_stay_distinct_and_advance_the_counter() {
+        const THREADS: usize = 4;
+        const CALLS: usize = 16;
+        // lint: ordering(SeqCst: the assertion below compares against concurrent SeqCst increments, so the snapshots must sit in the same total order)
+        let before = COUNTER.load(Ordering::SeqCst);
+        let mut seeds: Vec<[u8; 32]> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| scope.spawn(|| (0..CALLS).map(|_| entropy_seed()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("seeder thread panicked"))
+                .collect()
+        });
+        // lint: ordering(SeqCst: the assertion below compares against concurrent SeqCst increments, so the snapshots must sit in the same total order)
+        let after = COUNTER.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            (THREADS * CALLS) as u64,
+            "the counter must advance exactly once per call, never skip or repeat"
+        );
+        // Even if OS entropy were unavailable and the clock frozen, the
+        // counter alone must keep every concurrent seed distinct.
+        seeds.sort_unstable();
+        let total = seeds.len();
+        seeds.dedup();
+        assert_eq!(seeds.len(), total, "concurrent seeds must never collide");
     }
 }

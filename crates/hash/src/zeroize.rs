@@ -30,6 +30,7 @@ pub fn wipe(bytes: &mut [u8]) {
     for b in bytes.iter_mut() {
         *core::hint::black_box(b) = 0;
     }
+    // lint: ordering(SeqCst compiler fence — the strongest available — keeps the wiping stores ordered before the memory is released for reuse)
     compiler_fence(Ordering::SeqCst);
 }
 
@@ -49,6 +50,7 @@ pub fn wipe(bytes: &mut [u8]) {
 /// ```
 pub fn wipe_copy<T: Copy>(slot: &mut T, zero: T) {
     *core::hint::black_box(slot) = zero;
+    // lint: ordering(SeqCst compiler fence — the strongest available — keeps the wiping store ordered before the memory is released for reuse)
     compiler_fence(Ordering::SeqCst);
 }
 

@@ -145,7 +145,7 @@ impl BatchVerifier {
         }
         let weights = draw_weights(self.terms.len());
         let (u, sigma) = weighted_fold(&self.terms, &weights);
-        pairing_prepared(&u.to_affine(), prepared) == sigma
+        pairing_prepared(&u.to_affine(), prepared).ct_eq(&sigma)
     }
 
     /// The retained per-signature terms `[(U + h·Q_ID, Σ)]`, in push

@@ -80,8 +80,8 @@ impl MasterKey {
     /// [`MasterKey::from_seed`]).
     pub fn from_scalar(s: Fr) -> Self {
         let params = SystemParams {
-            p_pub_g1: G1::generator().mul_fr(&s),
-            p_pub_g2: G2::generator().mul_fr(&s),
+            p_pub_g1: G1::generator().mul_fr_ct(&s),
+            p_pub_g2: G2::generator().mul_fr_ct(&s),
         };
         Self { s, params }
     }
@@ -100,7 +100,7 @@ impl MasterKey {
                 identity: identity.to_owned(),
                 q,
             },
-            sk: q.mul_fr(&self.s),
+            sk: q.mul_fr_ct(&self.s),
         }
     }
 
@@ -113,7 +113,7 @@ impl MasterKey {
                 identity: identity.to_owned(),
                 q,
             },
-            sk: q.mul_fr(&self.s),
+            sk: q.mul_fr_ct(&self.s),
         }
     }
 }
@@ -297,7 +297,7 @@ impl VerifierKey {
     /// preparation alive past a `wipe()` of this key; drop the handle as
     /// soon as the verification engine is done with it.
     pub fn sk_prepared(&self) -> Arc<G2Prepared> {
-        seccloud_pairing::cache::secret().get_or_prepare(&self.sk.to_affine())
+        seccloud_pairing::cache::secret().get_or_prepare_ct(&self.sk.to_affine())
     }
 }
 

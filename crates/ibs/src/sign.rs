@@ -82,7 +82,7 @@ impl DesignatedSignature {
     pub fn verify(&self, verifier: &VerifierKey, signer: &UserPublic, message: &[u8]) -> bool {
         let h = challenge_hash(&self.u, message);
         let target = self.u.add(&signer.q().mul_fr(&h));
-        pairing_prepared(&target.to_affine(), &verifier.sk_prepared()) == self.sigma
+        pairing_prepared(&target.to_affine(), &verifier.sk_prepared()).ct_eq(&self.sigma)
     }
 
     /// What a *non-designated* third party can conclude from the signature:
@@ -137,9 +137,11 @@ pub fn sign(user: &UserKey, message: &[u8], nonce: &[u8]) -> IbsSignature {
 /// manage their own DRBG).
 pub fn sign_with_rng(user: &UserKey, message: &[u8], drbg: &mut HmacDrbg) -> IbsSignature {
     let r = Fr::random_nonzero(drbg);
-    let u = user.public().q().mul_fr(&r);
+    // Constant-time ladders: leaking the nonce `r` through the wNAF digit
+    // pattern leaks `sk` via `V = (r + h)·sk`.
+    let u = user.public().q().mul_fr_ct(&r);
     let h = challenge_hash(&u, message);
-    let v = user.sk().mul_fr(&r.add(&h));
+    let v = user.sk().mul_fr_ct(&r.add(&h));
     IbsSignature { u, v }
 }
 
@@ -164,7 +166,7 @@ pub fn simulate(
     drbg: &mut HmacDrbg,
 ) -> DesignatedSignature {
     let r = Fr::random_nonzero(drbg);
-    let u = signer.q().mul_fr(&r);
+    let u = signer.q().mul_fr_ct(&r);
     let h = challenge_hash(&u, message);
     let target = u.add(&signer.q().mul_fr(&h));
     let sigma = pairing_prepared(&target.to_affine(), &verifier.sk_prepared());

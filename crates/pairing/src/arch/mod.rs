@@ -127,10 +127,12 @@ fn detect() -> Backend {
 /// The currently active backend (detected on first use).
 #[inline]
 pub fn active() -> Backend {
+    // lint: ordering(Relaxed: the flag is the only shared state and every backend returns identical canonical limbs, so a stale read merely repeats detection)
     match decode(ACTIVE.load(Ordering::Relaxed)) {
         Some(b) => b,
         None => {
             let b = detect();
+            // lint: ordering(Relaxed: racing detections store the same encoding; nothing else is published through this flag)
             ACTIVE.store(encode(b), Ordering::Relaxed);
             b
         }
@@ -143,6 +145,7 @@ pub fn active() -> Backend {
 /// mid-switch; ordinary code should rely on auto-detection instead.
 #[doc(hidden)]
 pub fn set_backend(b: Backend) {
+    // lint: ordering(Relaxed: bench/test hook; all backends agree on canonical results, so readers mid-switch stay correct)
     ACTIVE.store(encode(b), Ordering::Relaxed);
 }
 

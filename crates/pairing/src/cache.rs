@@ -140,6 +140,7 @@ impl Inner {
                 return;
             };
             self.map.remove(&oldest);
+            // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
             evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -201,10 +202,12 @@ impl PreparedCache {
             let mut inner = self.lock();
             if let Some(shared) = inner.touch(&key) {
                 drop(inner);
+                // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return shared;
             }
         }
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
         self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(G2Prepared::from(q));
         let mut inner = self.lock();
@@ -213,6 +216,36 @@ impl PreparedCache {
         }
         // A racing miss may have inserted meanwhile; both preparations are
         // identical, so keeping ours (refreshing recency) is equivalent.
+        inner.insert(key, Arc::clone(&prepared));
+        inner.trim(&self.evictions);
+        prepared
+    }
+
+    /// [`Self::get_or_prepare`] for *secret* points: a miss prepares
+    /// through the constant-time [`G2Prepared::from_ct`] walk, so a cold
+    /// cache never routes key-derived coordinates into the variable-time
+    /// inversions. Hits are indistinguishable from the public variant.
+    /// Pair this with the [`secret()`] cache instance — the cache *key*
+    /// is the compressed point either way, so the lookup itself does not
+    /// branch on coordinate values beyond the map hash.
+    pub fn get_or_prepare_ct(&self, q: &G2Affine) -> Arc<G2Prepared> {
+        let key = q.to_compressed();
+        {
+            let mut inner = self.lock();
+            if let Some(shared) = inner.touch(&key) {
+                drop(inner);
+                // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return shared;
+            }
+        }
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(G2Prepared::from_ct(q));
+        let mut inner = self.lock();
+        if inner.capacity == 0 {
+            return prepared;
+        }
         inner.insert(key, Arc::clone(&prepared));
         inner.trim(&self.evictions);
         prepared
@@ -266,23 +299,29 @@ impl PreparedCache {
 
     /// Lookups served from the map since construction.
     pub fn hits(&self) -> u64 {
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that had to prepare since construction.
     pub fn misses(&self) -> u64 {
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Entries evicted by the capacity bound since construction.
     pub fn evictions(&self) -> u64 {
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
         self.evictions.load(Ordering::Relaxed)
     }
 
     /// Resets the hit/miss/eviction counters (entries stay resident).
     pub fn reset_counters(&self) {
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
         self.hits.store(0, Ordering::Relaxed);
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
         self.misses.store(0, Ordering::Relaxed);
+        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
         self.evictions.store(0, Ordering::Relaxed);
     }
 }
@@ -467,6 +506,44 @@ mod tests {
         assert!(
             cache.misses() >= u64::from(POINTS / 2),
             "misses undercounted"
+        );
+    }
+
+    #[test]
+    fn eviction_clear_and_shrink_release_the_cache_reference() {
+        // `G2Prepared::drop` wipes line coefficients in place (asserted in
+        // `prepared::tests::wipe_on_drop_clears_every_line_coefficient`);
+        // what the cache must guarantee is that every removal path drops
+        // its clone of the entry, so the wipe runs as soon as no caller
+        // still holds it.
+        let cache = PreparedCache::new(2);
+        let (a, b) = (point(80), point(81));
+        let held_a = cache.get_or_prepare(&a);
+        assert_eq!(Arc::strong_count(&held_a), 2);
+
+        // LRU eviction: two further inserts push `a` off the end.
+        cache.get_or_prepare(&b);
+        cache.get_or_prepare(&point(82));
+        assert!(!cache.contains(&a));
+        assert_eq!(
+            Arc::strong_count(&held_a),
+            1,
+            "eviction must drop the cache's clone"
+        );
+
+        // clear(): every remaining entry drops.
+        let held_b = cache.get(&b).expect("b still resident");
+        cache.clear();
+        assert_eq!(Arc::strong_count(&held_b), 1, "clear must drop every clone");
+
+        // Capacity shrink to zero: trimming drops whatever remains.
+        let held_c = cache.get_or_prepare(&point(83));
+        assert_eq!(Arc::strong_count(&held_c), 2);
+        cache.set_capacity(0);
+        assert_eq!(
+            Arc::strong_count(&held_c),
+            1,
+            "shrink must drop trimmed entries"
         );
     }
 

@@ -304,6 +304,101 @@ impl<C: CurveParams> Point<C> {
         acc
     }
 
+    /// Constant-time select: `a` when `choice == 0`, `b` when
+    /// `choice == 1`, coordinate-wise. `choice` **must** be 0 or 1.
+    pub fn ct_select(a: &Self, b: &Self, choice: u64) -> Self {
+        Self {
+            x: C::Base::ct_select(&a.x, &b.x, choice),
+            y: C::Base::ct_select(&a.y, &b.y, choice),
+            z: C::Base::ct_select(&a.z, &b.z, choice),
+            _curve: PhantomData,
+        }
+    }
+
+    /// Branchless doubling: the dbl-2009-l formulas evaluated
+    /// unconditionally. The identity needs no special case — `Z = 0`
+    /// forces `Z₃ = 2·Y·Z = 0`, so the result is again the identity
+    /// whatever the other coordinates compute to.
+    pub fn double_ct(&self) -> Self {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = self.x.add(&b).square().sub(&a).sub(&c).double();
+        let e = a.double().add(&a);
+        let f = e.square();
+        let x3 = f.sub(&d.double());
+        let eight_c = c.double().double().double();
+        let y3 = e.mul(&d.sub(&x3)).sub(&eight_c);
+        let z3 = self.y.mul(&self.z).double();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+            _curve: PhantomData,
+        }
+    }
+
+    /// Branchless addition: evaluates the general add-2007-bl formulas
+    /// unconditionally, then resolves every degenerate case (`P = Q`,
+    /// `P = −Q`, either operand the identity) with masked selects instead
+    /// of the early returns [`Point::add`] uses. Roughly one doubling
+    /// more expensive than `add`; used by the constant-time scalar ladder
+    /// where the operands derive from key material.
+    pub fn add_ct(&self, rhs: &Self) -> Self {
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = rhs.x.mul(&z1z1);
+        let s1 = self.y.mul(&rhs.z).mul(&z2z2);
+        let s2 = rhs.y.mul(&self.z).mul(&z1z1);
+        let h = u2.sub(&u1);
+        let rr = s2.sub(&s1);
+        // General chord addition; garbage when h = 0, discarded below.
+        let i = h.double().square();
+        let j = h.mul(&i);
+        let r2 = rr.double();
+        let v = u1.mul(&i);
+        let x3 = r2.square().sub(&j).sub(&v.double());
+        let y3 = r2.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
+        let z3 = self.z.add(&rhs.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+        let general = Self {
+            x: x3,
+            y: y3,
+            z: z3,
+            _curve: PhantomData,
+        };
+        let h_zero = h.ct_is_zero();
+        let r_zero = rr.ct_is_zero();
+        // h = 0, s₁ = s₂ → tangent case (doubling); h = 0, s₁ ≠ s₂ →
+        // inverse points, identity.
+        let mut out = Self::ct_select(&general, &self.double_ct(), h_zero & r_zero);
+        out = Self::ct_select(&out, &Self::identity(), h_zero & (r_zero ^ 1));
+        // Identity operands pass the other side through unchanged (when
+        // both are the identity the final select still yields it).
+        out = Self::ct_select(&out, self, rhs.z.ct_is_zero());
+        Self::ct_select(&out, rhs, self.z.ct_is_zero())
+    }
+
+    /// Constant-time scalar multiplication: a fixed 256-iteration
+    /// double-and-always-add ladder over [`Point::double_ct`] /
+    /// [`Point::add_ct`], with the addition folded in by masked select.
+    /// Runs the identical instruction and memory-access sequence for
+    /// every `(point, scalar)` pair — use this whenever the scalar is key
+    /// material (extraction, per-signature nonces); the wNAF path
+    /// ([`Point::mul_u256`]) stays several times faster for public
+    /// scalars.
+    pub fn mul_u256_ct(&self, scalar: &U256) -> Self {
+        let limbs = scalar.limbs();
+        let mut acc = Self::identity();
+        for i in (0..256).rev() {
+            acc = acc.double_ct();
+            let sum = acc.add_ct(self);
+            let bit = (limbs[i / 64] >> (i % 64)) & 1;
+            acc = Self::ct_select(&acc, &sum, bit);
+        }
+        acc
+    }
+
     /// Converts to affine coordinates.
     pub fn to_affine(&self) -> Affine<C> {
         if self.is_identity() {

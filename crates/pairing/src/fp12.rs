@@ -242,6 +242,17 @@ impl FieldElement for Fp12 {
             self.c1.mul(&denom_inv).neg(),
         ))
     }
+
+    fn ct_select(a: &Self, b: &Self, choice: u64) -> Self {
+        Self::new(
+            Fp6::ct_select(&a.c0, &b.c0, choice),
+            Fp6::ct_select(&a.c1, &b.c1, choice),
+        )
+    }
+
+    fn ct_is_zero(&self) -> u64 {
+        self.c0.ct_is_zero() & self.c1.ct_is_zero()
+    }
 }
 
 #[cfg(test)]

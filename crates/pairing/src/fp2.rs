@@ -186,6 +186,17 @@ impl FieldElement for Fp2 {
             self.c1.mul(&norm_inv).neg(),
         ))
     }
+
+    fn ct_select(a: &Self, b: &Self, choice: u64) -> Self {
+        Self::new(
+            Fp::ct_select(&a.c0, &b.c0, choice),
+            Fp::ct_select(&a.c1, &b.c1, choice),
+        )
+    }
+
+    fn ct_is_zero(&self) -> u64 {
+        self.c0.ct_is_zero() & self.c1.ct_is_zero()
+    }
 }
 
 // Convenience operators.

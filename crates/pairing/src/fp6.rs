@@ -144,6 +144,18 @@ impl FieldElement for Fp6 {
         let t_inv = t.inverse()?;
         Some(Self::new(d0.mul(&t_inv), d1.mul(&t_inv), d2.mul(&t_inv)))
     }
+
+    fn ct_select(a: &Self, b: &Self, choice: u64) -> Self {
+        Self::new(
+            Fp2::ct_select(&a.c0, &b.c0, choice),
+            Fp2::ct_select(&a.c1, &b.c1, choice),
+            Fp2::ct_select(&a.c2, &b.c2, choice),
+        )
+    }
+
+    fn ct_is_zero(&self) -> u64 {
+        self.c0.ct_is_zero() & self.c1.ct_is_zero() & self.c2.ct_is_zero()
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,15 @@ impl G1 {
     pub fn mul_fr(&self, k: &Fr) -> Self {
         crate::glv::mul_glv(self, k)
     }
+
+    /// Constant-time scalar multiplication for *secret* scalars (key
+    /// extraction, per-signature nonces): a fixed double-and-always-add
+    /// ladder with no GLV decomposition (the lattice reduction is
+    /// variable-time in the scalar) and no wNAF recoding. Several times
+    /// slower than [`G1::mul_fr`] — reserve it for key material.
+    pub fn mul_fr_ct(&self, k: &Fr) -> Self {
+        self.mul_u256_ct(&k.to_u256())
+    }
 }
 
 impl G1Affine {
@@ -121,6 +130,36 @@ pub fn hash_to_g1(msg: &[u8]) -> G1 {
 mod tests {
     use super::*;
     use seccloud_bigint::U256;
+
+    #[test]
+    fn ct_ladder_matches_wnaf_glv() {
+        let g = G1::generator();
+        let mut drbg = seccloud_hash::HmacDrbg::new(b"g1-ct-ladder");
+        for _ in 0..8 {
+            let k = Fr::random_nonzero(&mut drbg);
+            assert_eq!(g.mul_fr_ct(&k), g.mul_fr(&k));
+        }
+        assert!(g.mul_fr_ct(&Fr::zero()).is_identity());
+        assert_eq!(g.mul_fr_ct(&Fr::from_u64(1)), g);
+        // r − 1 exercises the full 254-bit ladder depth: (r−1)·G = −G.
+        let r_minus_1 = Fr::zero().sub(&Fr::from_u64(1));
+        assert_eq!(g.mul_fr_ct(&r_minus_1), g.neg());
+    }
+
+    #[test]
+    fn ct_add_handles_every_degenerate_case() {
+        let g = G1::generator();
+        let p = g.mul_fr(&Fr::from_u64(5));
+        let q = g.mul_fr(&Fr::from_u64(9));
+        assert_eq!(p.add_ct(&q), p.add(&q));
+        assert_eq!(p.add_ct(&p), p.double());
+        assert!(p.add_ct(&p.neg()).is_identity());
+        assert_eq!(G1::identity().add_ct(&p), p);
+        assert_eq!(p.add_ct(&G1::identity()), p);
+        assert!(G1::identity().add_ct(&G1::identity()).is_identity());
+        assert_eq!(p.double_ct(), p.double());
+        assert!(G1::identity().double_ct().is_identity());
+    }
 
     #[test]
     fn generator_is_on_curve_and_has_order_r() {

@@ -68,6 +68,13 @@ impl G2 {
         self.mul_limbs_wnaf(k.to_u256().limbs())
     }
 
+    /// Constant-time scalar multiplication for *secret* scalars: the
+    /// fixed-sequence ladder of [`crate::ec::Point::mul_u256_ct`] instead
+    /// of the wNAF recoding (whose digit pattern is scalar-dependent).
+    pub fn mul_fr_ct(&self, k: &Fr) -> Self {
+        self.mul_u256_ct(&k.to_u256())
+    }
+
     /// Whether the point lies in the order-`r` subgroup.
     pub fn is_torsion_free(&self) -> bool {
         self.mul_u256(&Fr::modulus()).is_identity()
@@ -171,6 +178,19 @@ pub fn hash_to_g2(msg: &[u8]) -> G2 {
 mod tests {
     use super::*;
     use seccloud_bigint::U256;
+
+    #[test]
+    fn ct_ladder_matches_wnaf() {
+        let g = G2::generator();
+        let mut drbg = seccloud_hash::HmacDrbg::new(b"g2-ct-ladder");
+        for _ in 0..4 {
+            let k = Fr::random_nonzero(&mut drbg);
+            assert_eq!(g.mul_fr_ct(&k), g.mul_fr(&k));
+        }
+        assert!(g.mul_fr_ct(&Fr::zero()).is_identity());
+        let r_minus_1 = Fr::zero().sub(&Fr::from_u64(1));
+        assert_eq!(g.mul_fr_ct(&r_minus_1), g.neg());
+    }
 
     #[test]
     fn generator_is_on_twist_and_in_subgroup() {

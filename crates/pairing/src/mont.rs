@@ -404,6 +404,27 @@ macro_rules! mont_field {
             pub fn from_repr_unchecked(repr: [u64; 4]) -> Self {
                 Self { repr }
             }
+
+            /// Constant-time select: `a` when `choice == 0`, `b` when
+            /// `choice == 1`, via masked limb merges — no branch, no
+            /// data-dependent load. `choice` **must** be 0 or 1.
+            #[inline]
+            pub fn ct_select(a: &Self, b: &Self, choice: u64) -> Self {
+                let mask = choice.wrapping_neg();
+                let mut repr = [0u64; 4];
+                for i in 0..4 {
+                    repr[i] = (a.repr[i] & !mask) | (b.repr[i] & mask);
+                }
+                Self { repr }
+            }
+
+            /// Constant-time zero test: `1` when zero, `0` otherwise.
+            /// (Montgomery form maps 0 to 0, so a limb OR-fold suffices.)
+            #[inline]
+            pub fn ct_is_zero(&self) -> u64 {
+                let d = self.repr[0] | self.repr[1] | self.repr[2] | self.repr[3];
+                (!(d | d.wrapping_neg())) >> 63
+            }
         }
 
         impl $crate::traits::FieldElement for $name {
@@ -436,6 +457,12 @@ macro_rules! mont_field {
             }
             fn inverse(&self) -> Option<Self> {
                 Self::inverse(self)
+            }
+            fn ct_select(a: &Self, b: &Self, choice: u64) -> Self {
+                Self::ct_select(a, b, choice)
+            }
+            fn ct_is_zero(&self) -> u64 {
+                Self::ct_is_zero(self)
             }
         }
 

@@ -69,6 +69,18 @@ impl Gt {
         Gt(self.0.pow_limbs(k.to_u256().limbs()))
     }
 
+    /// Constant-time equality: compares all 12 `Fp` components through a
+    /// masked zero-fold with no early exit. Designated verification
+    /// compares a pairing computed *from the verifier's secret key*
+    /// against an adversary-supplied `Σ` — a short-circuiting `==` there
+    /// is a byte-position timing oracle on the expected tag, exactly the
+    /// MAC-verification leak `seccloud_hash::ct_eq` exists for.
+    #[must_use]
+    pub fn ct_eq(&self, rhs: &Self) -> bool {
+        use crate::traits::FieldElement;
+        self.0.sub(&rhs.0).ct_is_zero() == 1
+    }
+
     /// The underlying `Fp12` representative.
     pub fn as_fp12(&self) -> &Fp12 {
         &self.0
@@ -324,6 +336,22 @@ mod tests {
     use super::*;
     use crate::g1::{hash_to_g1, G1};
     use crate::g2::{hash_to_g2, G2};
+
+    #[test]
+    fn gt_ct_eq_agrees_with_eq() {
+        let a = pairing(
+            &hash_to_g1(b"ct-eq-p").to_affine(),
+            &hash_to_g2(b"ct-eq-q").to_affine(),
+        );
+        let b = pairing(
+            &hash_to_g1(b"ct-eq-p2").to_affine(),
+            &hash_to_g2(b"ct-eq-q2").to_affine(),
+        );
+        assert!(a.ct_eq(&a));
+        assert!(!a.ct_eq(&b));
+        assert!(Gt::one().ct_eq(&Gt::one()));
+        assert_eq!(a.ct_eq(&b), a == b);
+    }
 
     #[test]
     fn hard_part_chain_matches_derived_exponent() {

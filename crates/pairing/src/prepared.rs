@@ -110,6 +110,62 @@ impl Recorder {
         let y3 = lambda.mul(&x1.sub(&x3)).sub(&y1);
         self.t = Some((x3, y3));
     }
+
+    // The `_ct` twins below repeat the step formulas with the Fermat
+    // inverse instead of `inverse_vartime`. They are deliberately
+    // *separate functions* rather than an `if ct` inside the fast steps:
+    // the `vartime` dataflow rule is path-insensitive, so only disjoint
+    // call graphs let it prove that `G2Prepared::from_ct` never reaches a
+    // variable-time inversion while `From<&G2Affine>` still does.
+
+    fn double_step_ct(&mut self) {
+        let Some((x, y)) = self.t else {
+            self.steps.push(LineStep::One);
+            return;
+        };
+        if y.is_zero() {
+            self.t = None;
+            self.steps.push(LineStep::One); // vertical
+            return;
+        }
+        let lambda = x
+            .square()
+            .scale(&Fp::from_u64(3))
+            .mul(&y.double().inverse().expect("y ≠ 0"));
+        self.steps.push(LineStep::Line {
+            neg_lambda: lambda.neg(),
+            c1: lambda.mul(&x).sub(&y),
+        });
+        let x3 = lambda.square().sub(&x.double());
+        let y3 = lambda.mul(&x.sub(&x3)).sub(&y);
+        self.t = Some((x3, y3));
+    }
+
+    fn add_step_ct(&mut self, r: (Fp2, Fp2)) {
+        let Some((x1, y1)) = self.t else {
+            self.t = Some(r);
+            self.steps.push(LineStep::One);
+            return;
+        };
+        let (x2, y2) = r;
+        if x1 == x2 {
+            if y1 == y2 {
+                self.double_step_ct();
+                return;
+            }
+            self.t = None;
+            self.steps.push(LineStep::One); // vertical
+            return;
+        }
+        let lambda = y2.sub(&y1).mul(&x2.sub(&x1).inverse().expect("x₂ ≠ x₁"));
+        self.steps.push(LineStep::Line {
+            neg_lambda: lambda.neg(),
+            c1: lambda.mul(&x1).sub(&y1),
+        });
+        let x3 = lambda.square().sub(&x1).sub(&x2);
+        let y3 = lambda.mul(&x1.sub(&x3)).sub(&y1);
+        self.t = Some((x3, y3));
+    }
 }
 
 /// A `G2` point with its Miller-loop line coefficients precomputed.
@@ -139,6 +195,60 @@ impl G2Prepared {
     pub fn is_identity(&self) -> bool {
         self.infinity
     }
+
+    /// Constant-time preparation for *secret* points — designated-verifier
+    /// private keys whose line slopes are key-derived. Identical walk and
+    /// output to `From<&G2Affine>`, but every slope denominator goes
+    /// through the fixed-sequence Fermat inverse instead of the
+    /// variable-time binary Euclid, so preparation time does not depend on
+    /// the coordinate values. Costs ~65 Fermat ladders more than `from`;
+    /// preparation of a long-lived key is a one-time cost.
+    pub fn from_ct(q: &G2Affine) -> Self {
+        if q.is_identity() {
+            return Self {
+                steps: Vec::new(),
+                infinity: true,
+            };
+        }
+        let q_aff = (q.x(), q.y());
+        let s = loop_count();
+        let bits = s.bits();
+        let mut rec = Recorder {
+            t: Some(q_aff),
+            steps: Vec::with_capacity(
+                bits + s
+                    .to_le_limbs()
+                    .iter()
+                    .map(|l| l.count_ones() as usize)
+                    .sum::<usize>()
+                    + 2,
+            ),
+        };
+        for i in (0..bits - 1).rev() {
+            rec.double_step_ct();
+            if s.bit(i) {
+                rec.add_step_ct(q_aff);
+            }
+        }
+        let q1 = twist_frobenius(q_aff);
+        let q2 = twist_frobenius_sq(q_aff);
+        rec.add_step_ct(q1);
+        rec.add_step_ct((q2.0, q2.1.neg()));
+        Self {
+            steps: rec.steps,
+            infinity: false,
+        }
+    }
+
+    /// Overwrites every cached line coefficient with the unit
+    /// contribution. [`Drop`] delegates here; it is a separate method so
+    /// tests can observe the wiped state in place (after a real drop the
+    /// memory is already released).
+    fn wipe_steps(&mut self) {
+        for step in &mut self.steps {
+            seccloud_hash::wipe_copy(step, LineStep::One);
+        }
+    }
 }
 
 impl Drop for G2Prepared {
@@ -149,9 +259,7 @@ impl Drop for G2Prepared {
     /// and shrink paths zeroize rather than merely free — at a cost that
     /// is noise next to the preparation itself.
     fn drop(&mut self) {
-        for step in &mut self.steps {
-            seccloud_hash::wipe_copy(step, LineStep::One);
-        }
+        self.wipe_steps();
     }
 }
 
@@ -250,6 +358,15 @@ pub fn pairing_prepared(p: &G1Affine, q: &G2Prepared) -> Gt {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ct_preparation_is_bit_identical_to_vartime() {
+        for name in [&b"ct-prep-a"[..], b"ct-prep-b", b"ct-prep-c"] {
+            let q = crate::hash_to_g2(name).to_affine();
+            assert_eq!(G2Prepared::from_ct(&q), G2Prepared::from(&q));
+        }
+        assert!(G2Prepared::from_ct(&G2Affine::identity()).is_identity());
+    }
     use crate::fr::Fr;
     use crate::g1::{hash_to_g1, G1};
     use crate::g2::{hash_to_g2, G2};
@@ -339,6 +456,25 @@ mod tests {
         );
         let prep_aq = G2Prepared::from(&q.mul_fr(&a).to_affine());
         assert_eq!(pairing_prepared(&p.to_affine(), &prep_aq), base.pow(&a));
+    }
+
+    #[test]
+    fn wipe_on_drop_clears_every_line_coefficient() {
+        let q = hash_to_g2(b"wipe-on-drop").to_affine();
+        let mut prep = G2Prepared::from(&q);
+        assert!(
+            prep.steps
+                .iter()
+                .any(|s| matches!(s, LineStep::Line { .. })),
+            "a real preparation carries live coefficients"
+        );
+        // `Drop` delegates to `wipe_steps`; run it directly so the wiped
+        // state is still observable.
+        prep.wipe_steps();
+        assert!(
+            prep.steps.iter().all(|s| matches!(s, LineStep::One)),
+            "every cached line must be wiped to the unit contribution"
+        );
     }
 
     #[test]

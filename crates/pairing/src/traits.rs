@@ -33,6 +33,16 @@ pub trait FieldElement: Copy + Clone + PartialEq + Eq + Debug + Send + Sync + 's
     /// Multiplicative inverse; `None` for zero.
     fn inverse(&self) -> Option<Self>;
 
+    /// Constant-time select: returns `a` when `choice == 0` and `b` when
+    /// `choice == 1`, by masked limb arithmetic — no branch, no
+    /// data-dependent memory access. `choice` **must** be 0 or 1.
+    fn ct_select(a: &Self, b: &Self, choice: u64) -> Self;
+
+    /// Constant-time zero test: returns `1` when `self` is the additive
+    /// identity and `0` otherwise, as a mask-friendly bit rather than a
+    /// branchable `bool`.
+    fn ct_is_zero(&self) -> u64;
+
     /// Exponentiation by a little-endian limb slice (square-and-multiply).
     fn pow_limbs(&self, exp: &[u64]) -> Self {
         let mut acc = Self::one();
