@@ -99,4 +99,11 @@ echo "== fault/property/recovery suites: serial and 4-thread (${SECCLOUD_TESTKIT
 SECCLOUD_THREADS=1 cargo test -q --test fault_injection --test wire_roundtrip --test batch_users
 SECCLOUD_THREADS=4 cargo test -q --test fault_injection --test wire_roundtrip --test batch_users
 
+echo "== socket runtime suite: real TCP + chaos proxy, serial and 4-worker server =="
+SECCLOUD_THREADS=1 cargo test -q --test net_rpc
+SECCLOUD_THREADS=4 cargo test -q --test net_rpc
+
+echo "== service smoke bench: loopback latency + audit success under socket faults =="
+./target/release/bench_service --smoke --out target/BENCH_service_smoke.json
+
 echo "CI OK"

@@ -15,7 +15,7 @@
 //!   a `// SAFETY:` comment.
 //! * [`RULE_TRANSPORT`] — raw wire channels (`WireTransport` /
 //!   `WireServer`) must not be named outside the crates that define and
-//!   wrap them (`cloudsim`, `resilience`, `testkit`): audits everywhere
+//!   wrap them (`cloudsim`, `resilience`, `testkit`, `net`): audits everywhere
 //!   else must go through `ResilientTransport`, so a flaky channel can
 //!   never abort or launder an audit (DESIGN.md §10).
 //!
@@ -147,13 +147,15 @@ const INDEX_SCOPE: [&str; 1] = ["crates/core/src/wire.rs"];
 
 /// Places allowed to name raw wire channels for [`RULE_TRANSPORT`]:
 /// `cloudsim` defines the trait and the direct server, `resilience` wraps
-/// it, `testkit` interposes fault injection, and the analyzer's own tree
+/// it, `testkit` interposes fault injection, `net` serves the trait over
+/// TCP (its server/client *are* the channel), and the analyzer's own tree
 /// holds the rule's fixtures. Everywhere else must drive audits through
 /// `ResilientTransport` (or annotate a deliberate raw-path baseline).
-const TRANSPORT_ALLOWED: [&str; 4] = [
+const TRANSPORT_ALLOWED: [&str; 5] = [
     "crates/cloudsim/src/",
     "crates/resilience/src/",
     "crates/testkit/src/",
+    "crates/net/src/",
     "crates/analyzer/",
 ];
 
@@ -911,7 +913,7 @@ fn check_transport(ctx: &FileCtx, all_rules: bool, report: &mut Report) {
             file: ctx.path.clone(),
             line: t.line,
             message: format!(
-                "raw `{}` outside cloudsim/resilience/testkit — drive audits through \
+                "raw `{}` outside cloudsim/resilience/testkit/net — drive audits through \
                  `seccloud_resilience::ResilientTransport` so channel faults are retried \
                  and byzantine evidence is pinned, or annotate \
                  `// lint: allow(transport, reason=...)`",
@@ -1271,6 +1273,7 @@ mod tests {
             "crates/cloudsim/src/rpc.rs",
             "crates/resilience/src/transport.rs",
             "crates/testkit/src/fault.rs",
+            "crates/net/src/server.rs",
         ] {
             let r = lint_one(path, "pub trait WireTransport {}\nstruct WireServer;");
             assert!(r.findings.is_empty(), "{path}: {:?}", r.findings);

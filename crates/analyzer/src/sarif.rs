@@ -37,7 +37,7 @@ fn rule_description(rule: &str) -> &'static str {
         "arith" => "Sampling/backoff integer math must be checked or saturating.",
         "dispatch" => "Matches on wire enums must not hide variants behind a catch-all `_`.",
         "unsafe" => "forbid(unsafe_code) on crate roots; SAFETY comments on unsafe blocks.",
-        "transport" => "Raw wire channels only inside cloudsim/resilience/testkit.",
+        "transport" => "Raw wire channels only inside cloudsim/resilience/testkit/net.",
         "annotation" => "lint: annotations must parse and carry a reason.",
         _ => "seccloud-lint rule.",
     }

@@ -1,5 +1,5 @@
 //! Bad fixture for the `transport` rule: raw wire channels named outside
-//! the defining/wrapping crates (cloudsim/resilience/testkit).
+//! the defining/wrapping crates (cloudsim/resilience/testkit/net).
 //! Never compiled — lexed by the analyzer self-tests only.
 
 pub fn audit_over_raw_channel<T: WireTransport>(transport: &mut T) -> bool {

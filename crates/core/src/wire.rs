@@ -28,7 +28,10 @@ use crate::warrant::Warrant;
 /// Format version byte leading every top-level message.
 const VERSION: u8 = 1;
 
-/// Errors from decoding a wire message.
+/// Errors from decoding a wire message, or from moving one across a real
+/// I/O boundary (the `Timeout`/`ConnectionLost`/`FrameTooLarge`/
+/// `TruncatedFrame` variants are produced by the socket framing layer in
+/// `crates/net`, never by the in-memory decoders).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// Input ended before the structure was complete.
@@ -41,6 +44,18 @@ pub enum WireError {
     TrailingBytes,
     /// A declared length exceeds sanity bounds.
     LengthOverflow,
+    /// A socket read or write missed its per-connection deadline.
+    Timeout,
+    /// The connection dropped between frames (reset, clean close, broken
+    /// pipe) — no frame was in flight when it died.
+    ConnectionLost,
+    /// A frame header declared a length beyond the hard cap. Rejected
+    /// *before* any allocation: a length bomb must cost the receiver
+    /// nothing, and is never worth retrying against the same peer.
+    FrameTooLarge,
+    /// The connection dropped mid-frame: the header promised more bytes
+    /// than arrived before EOF.
+    TruncatedFrame,
 }
 
 impl std::fmt::Display for WireError {
@@ -51,6 +66,10 @@ impl std::fmt::Display for WireError {
             WireError::BadElement => write!(f, "invalid group/field element"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
             WireError::LengthOverflow => write!(f, "declared length too large"),
+            WireError::Timeout => write!(f, "socket deadline missed"),
+            WireError::ConnectionLost => write!(f, "connection lost between frames"),
+            WireError::FrameTooLarge => write!(f, "frame length exceeds hard cap"),
+            WireError::TruncatedFrame => write!(f, "connection dropped mid-frame"),
         }
     }
 }
@@ -58,18 +77,28 @@ impl std::fmt::Display for WireError {
 impl WireError {
     /// Whether retrying the exchange can plausibly succeed.
     ///
-    /// Every decode failure is transient: the wire is unauthenticated, so a
+    /// Decode failures are transient: the wire is unauthenticated, so a
     /// truncation, flipped tag or mangled element says something about the
     /// *channel*, never about the peer. Authenticated misbehaviour only
     /// exists after a message decodes and its signatures verify — by
-    /// construction no [`WireError`] carries such evidence.
+    /// construction no [`WireError`] carries such evidence. The I/O
+    /// variants follow the same logic: a missed deadline, a dropped
+    /// connection or a frame cut short are channel weather. The one
+    /// exception is [`WireError::FrameTooLarge`] — a peer that *declares*
+    /// an absurd frame length composed that header deliberately (lengths
+    /// are not a bit-flip away from sane values at the cap's magnitude), so
+    /// hammering it with retries only re-opens the allocation-bomb window.
     pub fn is_transient(&self) -> bool {
         match self {
             WireError::Truncated
             | WireError::BadTag(_)
             | WireError::BadElement
             | WireError::TrailingBytes
-            | WireError::LengthOverflow => true,
+            | WireError::LengthOverflow
+            | WireError::Timeout
+            | WireError::ConnectionLost
+            | WireError::TruncatedFrame => true,
+            WireError::FrameTooLarge => false,
         }
     }
 }
@@ -907,6 +936,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn io_boundary_variants_classify_correctly() {
+        // The socket-layer variants join the taxonomy: deadlines, drops
+        // and mid-frame cuts are channel weather (retry is sound), while a
+        // declared-length bomb is a deliberate header and must not be
+        // retried into a fresh allocation window.
+        assert!(WireError::Timeout.is_transient());
+        assert!(WireError::ConnectionLost.is_transient());
+        assert!(WireError::TruncatedFrame.is_transient());
+        assert!(!WireError::FrameTooLarge.is_transient());
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! * [`registry`] — the epoch-sharded multi-tenant user registry with
 //!   per-shard Merkle set commitments and cross-user batch verification
 //!   fused into a single Miller loop (paper eqs. 8–9 at fleet scale).
+//! * [`net`] — the dep-free TCP RPC runtime: length-framed wire protocol
+//!   over `std::net` with per-connection deadlines, a reconnect-on-drop
+//!   client transport, and a seeded socket-level chaos proxy.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use seccloud_core as core;
 pub use seccloud_hash as hash;
 pub use seccloud_ibs as ibs;
 pub use seccloud_merkle as merkle;
+pub use seccloud_net as net;
 pub use seccloud_pairing as pairing;
 pub use seccloud_registry as registry;
 pub use seccloud_resilience as resilience;
