@@ -22,22 +22,32 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 build: cargo build --release (lint below reuses the artifact) =="
 cargo build --release
 
-echo "== seccloud-lint (token rules + interprocedural taint / panic_path / arith / dispatch / ctflow / vartime / atomics) =="
+echo "== seccloud-lint (token rules + interprocedural taint / panic_path / arith / dispatch / ctflow / vartime / atomics / locks / blocking / deadline) =="
 lint_start=$(date +%s%N)
 ./target/release/seccloud-lint
 lint_end=$(date +%s%N)
 echo "lint wall-clock: $(( (lint_end - lint_start) / 1000000 )) ms (SECCLOUD_THREADS=${SECCLOUD_THREADS:-auto})"
 
+echo "== seccloud-lint determinism: serial and 4-thread runs must emit identical reports =="
+SECCLOUD_THREADS=1 ./target/release/seccloud-lint --baseline > target/seccloud-lint-t1.json
+SECCLOUD_THREADS=4 ./target/release/seccloud-lint --baseline > target/seccloud-lint-t4.json
+if ! diff -u target/seccloud-lint-t1.json target/seccloud-lint-t4.json; then
+    echo "lint output depends on worker scheduling — findings/allowances must be deterministic"
+    exit 1
+fi
+
 echo "== seccloud-lint fixture suites (each rule catches its seeded violation, passes its clean twin) =="
 for bad in panic index secret ct unsafe transport taint_bad panic_path_bad \
-           arith_bad dispatch_bad ctflow_bad vartime_bad atomics_bad; do
+           arith_bad dispatch_bad ctflow_bad vartime_bad atomics_bad \
+           locks_bad blocking_bad deadline_bad; do
     if ./target/release/seccloud-lint "crates/analyzer/tests/fixtures/${bad}.rs" > /dev/null; then
         echo "fixture ${bad}.rs should have tripped its rule (exit 1), but passed"
         exit 1
     fi
 done
 for clean in clean taint_clean panic_path_clean arith_clean dispatch_clean \
-             ctflow_clean vartime_clean atomics_clean; do
+             ctflow_clean vartime_clean atomics_clean \
+             locks_clean blocking_clean deadline_clean; do
     ./target/release/seccloud-lint "crates/analyzer/tests/fixtures/${clean}.rs" > /dev/null
 done
 
@@ -50,7 +60,8 @@ with open("target/seccloud-lint.sarif") as f:
 assert sarif["version"] == "2.1.0", sarif["version"]
 rules = {r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]}
 expected = {"panic", "index", "secret", "ct", "unsafe", "transport", "annotation",
-            "taint", "panic_path", "arith", "dispatch", "ctflow", "vartime", "atomics"}
+            "taint", "panic_path", "arith", "dispatch", "ctflow", "vartime", "atomics",
+            "locks", "blocking", "deadline"}
 missing = expected - rules
 assert not missing, f"SARIF driver.rules missing ids: {sorted(missing)}"
 print(f"sarif ok: {len(rules)} rules, {len(sarif['runs'][0]['results'])} results")

@@ -606,6 +606,15 @@ impl<'w> Typer<'w> {
         elem_head(&self.raw_of(e)?)
     }
 
+    /// The raw declared type of an expression (generics intact), when the
+    /// declaration is reachable. Public face of [`Self::raw_of`] for the
+    /// concurrency analyses, which key lock identity and stream tracking
+    /// off declared generic arguments (`Arc<Mutex<Receiver<TcpStream>>>`)
+    /// that [`Self::infer`]'s head types erase.
+    pub fn raw_type_of(&self, e: &Expr) -> Option<String> {
+        self.raw_of(e)
+    }
+
     /// The raw declared type of an expression, when the declaration is
     /// reachable (param/annotated local, or a struct field).
     fn raw_of(&self, e: &Expr) -> Option<String> {

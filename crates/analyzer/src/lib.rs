@@ -27,17 +27,19 @@
 pub mod ast;
 mod astrules;
 mod atomics;
+mod blocking;
 pub mod callgraph;
 mod ctflow;
 pub mod lexer;
+mod locks;
 pub mod rules;
 pub mod sarif;
 mod taint;
 
 pub use rules::{
     lint_files, Allowance, Finding, Report, ALL_RULES, RULE_ANNOTATION, RULE_ARITH, RULE_ATOMICS,
-    RULE_CT, RULE_CTFLOW, RULE_DISPATCH, RULE_INDEX, RULE_PANIC, RULE_PANIC_PATH, RULE_SECRET,
-    RULE_TAINT, RULE_UNSAFE, RULE_VARTIME,
+    RULE_BLOCKING, RULE_CT, RULE_CTFLOW, RULE_DEADLINE, RULE_DISPATCH, RULE_INDEX, RULE_LOCKS,
+    RULE_PANIC, RULE_PANIC_PATH, RULE_SECRET, RULE_TAINT, RULE_UNSAFE, RULE_VARTIME,
 };
 pub use sarif::render_sarif;
 

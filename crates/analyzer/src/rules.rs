@@ -33,6 +33,9 @@
 //! * `// lint: vartime(<reason>)` — sanctions the following fn as a
 //!   variable-time primitive: the `vartime` rule proves no secret-tainted
 //!   value can reach it anywhere in the call graph.
+//! * `// lint: lock(<reason>)` — justifies the next line's blocking
+//!   operation under a held lock (rule `blocking`; recorded as an
+//!   allowance).
 //!
 //! Any other `lint:` comment is itself reported (rule `annotation`), so a
 //! typo'd escape hatch can never silently disable a rule.
@@ -60,6 +63,12 @@ pub const RULE_CTFLOW: &str = "ctflow";
 pub const RULE_VARTIME: &str = "vartime";
 /// Rule id: memory-ordering justification policy.
 pub const RULE_ATOMICS: &str = "atomics";
+/// Rule id: lock-order cycles and re-entrant acquisitions.
+pub const RULE_LOCKS: &str = "locks";
+/// Rule id: blocking/expensive operations under a held lock.
+pub const RULE_BLOCKING: &str = "blocking";
+/// Rule id: socket I/O must be dominated by a read/write deadline.
+pub const RULE_DEADLINE: &str = "deadline";
 /// Rule id: overflow-safe sampling/backoff arithmetic.
 pub const RULE_ARITH: &str = "arith";
 /// Rule id: exhaustive wire dispatch.
@@ -72,7 +81,7 @@ pub const RULE_TRANSPORT: &str = "transport";
 pub const RULE_ANNOTATION: &str = "annotation";
 
 /// Every rule id, in reporting order (drives the SARIF rule catalogue).
-pub const ALL_RULES: [&str; 14] = [
+pub const ALL_RULES: [&str; 17] = [
     RULE_PANIC,
     RULE_PANIC_PATH,
     RULE_INDEX,
@@ -82,6 +91,9 @@ pub const ALL_RULES: [&str; 14] = [
     RULE_CTFLOW,
     RULE_VARTIME,
     RULE_ATOMICS,
+    RULE_LOCKS,
+    RULE_BLOCKING,
+    RULE_DEADLINE,
     RULE_ARITH,
     RULE_DISPATCH,
     RULE_UNSAFE,
@@ -212,6 +224,9 @@ pub struct FileCtx {
     /// Lines of fns sanctioned by `// lint: vartime(reason)` (the
     /// `vartime` rule treats them as variable-time primitives).
     pub vartime_lines: HashSet<u32>,
+    /// Lines justified by `// lint: lock(reason)` (the `blocking` rule's
+    /// escape: a deliberate blocking call under a held lock).
+    pub lock_lines: HashSet<u32>,
 }
 
 impl FileCtx {
@@ -264,6 +279,7 @@ pub fn lint_files(inputs: &[(String, String)], all_rules: bool) -> Report {
                 safety_lines: ann.safety,
                 ordering_lines: ann.ordering,
                 vartime_lines: ann.vartime,
+                lock_lines: ann.lock,
             },
             ann.findings,
             ann.allowances,
@@ -343,6 +359,13 @@ pub fn lint_files(inputs: &[(String, String)], all_rules: bool) -> Report {
     crate::astrules::check_arith(&ws, &ctx_map, all_rules, &mut report);
     crate::astrules::check_dispatch(&ws, &ctx_map, all_rules, &mut report);
     phase("arith+dispatch", &mut mark);
+    // Concurrency tier: the deadline pass computes per-fn stream-I/O
+    // summaries that the locks pass reuses (a call handing a TcpStream to
+    // an I/O-doing callee blocks like a direct socket op).
+    let net = crate::blocking::check_deadline(&ws, &typers, &ctx_map, all_rules, &mut report);
+    phase("deadline", &mut mark);
+    crate::locks::check_locks(&ws, &typers, &ctx_map, &net, &mut report);
+    phase("locks+blocking", &mut mark);
 
     // Fallback tier: the token-level `ct` heuristic stands down wherever
     // the dataflow-backed `ctflow` rule covered the same site.
@@ -377,6 +400,7 @@ struct ParsedAnnotations {
     safety: HashSet<u32>,
     ordering: HashSet<u32>,
     vartime: HashSet<u32>,
+    lock: HashSet<u32>,
     findings: Vec<Finding>,
     allowances: Vec<Allowance>,
 }
@@ -434,6 +458,12 @@ fn parse_annotations(path: &str, comments: &[Comment]) -> ParsedAnnotations {
             record(RULE_VARTIME, reason);
             continue;
         }
+        if let Some(reason) = keyword_reason(rest, "lock") {
+            out.lock.insert(c.line);
+            out.lock.insert(c.end_line + 1);
+            record(RULE_BLOCKING, reason);
+            continue;
+        }
         match parse_allow(rest) {
             Some((rule, reason)) => {
                 let entry = out.allows.entry(rule.clone()).or_default();
@@ -454,7 +484,7 @@ fn parse_annotations(path: &str, comments: &[Comment]) -> ParsedAnnotations {
                     "malformed lint annotation `{}` — expected \
                      `lint: allow(<rule>, reason=<text>)`, `lint: secret`, \
                      `lint: declassify(<reason>)`, `lint: ordering(<reason>)`, \
-                     or `lint: vartime(<reason>)`",
+                     `lint: vartime(<reason>)`, or `lint: lock(<reason>)`",
                     c.text.trim()
                 ),
             }),
@@ -496,6 +526,9 @@ fn parse_allow(s: &str) -> Option<(String, String)> {
         RULE_CTFLOW,
         RULE_VARTIME,
         RULE_ATOMICS,
+        RULE_LOCKS,
+        RULE_BLOCKING,
+        RULE_DEADLINE,
         RULE_ARITH,
         RULE_DISPATCH,
         RULE_UNSAFE,

@@ -34,6 +34,18 @@ fn rule_description(rule: &str) -> &'static str {
             "Every Ordering::* choice carries an ordering(reason); no Relaxed RMW \
                       on security-scoped atomics."
         }
+        "locks" => {
+            "No lock-order cycles across the workspace and no re-entrant \
+                    acquisition of a held Mutex/RwLock/OnceLock."
+        }
+        "blocking" => {
+            "No socket I/O, channel send/recv, joins, sleeps, or pairing work \
+                       while a lock is held (escape: lock(reason))."
+        }
+        "deadline" => {
+            "Every std::net read/write must be dominated by set_read_timeout/\
+                       set_write_timeout on the same stream."
+        }
         "arith" => "Sampling/backoff integer math must be checked or saturating.",
         "dispatch" => "Matches on wire enums must not hide variants behind a catch-all `_`.",
         "unsafe" => "forbid(unsafe_code) on crate roots; SAFETY comments on unsafe blocks.",

@@ -1,0 +1,45 @@
+//! Fixture: the blocking-policy shapes done right. Expensive work runs
+//! after the guard is dropped (explicitly or by scope), sleeps happen
+//! between lock acquisitions, and the one deliberate under-lock call
+//! carries a reason-bearing `lint: lock(...)` escape.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct State {
+    inner: Mutex<u64>,
+}
+
+fn miller_loop(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}
+
+impl State {
+    fn read(&self) -> u64 {
+        self.inner.lock().map(|g| *g).unwrap_or(0)
+    }
+
+    pub fn pair_after_drop(&self) -> u64 {
+        let Ok(g) = self.inner.lock() else { return 0 };
+        let snapshot = g.wrapping_add(0);
+        drop(g);
+        miller_loop(snapshot)
+    }
+
+    pub fn pair_after_scope(&self) -> u64 {
+        let snapshot = self.read();
+        miller_loop(snapshot)
+    }
+
+    pub fn sleep_between_polls(&self) -> u64 {
+        let v = self.read();
+        std::thread::sleep(Duration::from_millis(1));
+        v
+    }
+
+    pub fn justified(&self) -> u64 {
+        let Ok(g) = self.inner.lock() else { return 0 };
+        // lint: lock(this stub costs nanoseconds and the counter mutex is the serialization point for the fold)
+        miller_loop(*g)
+    }
+}

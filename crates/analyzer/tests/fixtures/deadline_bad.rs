@@ -1,0 +1,24 @@
+//! Fixture: `std::net` I/O with no socket deadlines.
+//!
+//! The direct `write_all` on a fresh `TcpStream` must fire, and the read
+//! obligation of the generic `read_header` helper must propagate to the
+//! call site — the helper itself is not at fault (it cannot set a timeout
+//! on an abstract `R: Read`), the caller handing it a raw stream is.
+
+use std::io::Read;
+use std::io::Write;
+use std::net::TcpStream;
+
+fn read_header<R: Read>(s: &mut R) -> Option<[u8; 8]> {
+    let mut buf = [0u8; 8];
+    s.read_exact(&mut buf).ok()?;
+    Some(buf)
+}
+
+pub fn fetch(addr: &str) -> Option<[u8; 8]> {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return None;
+    };
+    stream.write_all(b"hello").ok()?;
+    read_header(&mut stream)
+}

@@ -1,0 +1,28 @@
+//! Fixture: the `deadline_bad.rs` shape made total — both timeouts are
+//! set on the stream before any I/O, so the direct write and the stream
+//! handed into the generic helper are covered.
+
+use std::io::Read;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn read_header<R: Read>(s: &mut R) -> Option<[u8; 8]> {
+    let mut buf = [0u8; 8];
+    s.read_exact(&mut buf).ok()?;
+    Some(buf)
+}
+
+pub fn fetch(addr: &str) -> Option<[u8; 8]> {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return None;
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    stream
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    stream.write_all(b"hello").ok()?;
+    read_header(&mut stream)
+}

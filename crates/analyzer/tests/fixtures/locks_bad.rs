@@ -1,0 +1,32 @@
+//! Fixture: inconsistent lock order across functions.
+//!
+//! `forward` takes `a` then (through the `with_b` helper) `b`; `backward`
+//! takes `b` then `a`. Run concurrently the two interleave into a classic
+//! AB/BA deadlock — the lint must stitch the cross-function edge
+//! `Pair.a → Pair.b` (via the call) into a cycle with the direct
+//! `Pair.b → Pair.a` edge.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<Vec<u8>>,
+    b: Mutex<Vec<u8>>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> usize {
+        let Ok(ga) = self.a.lock() else { return 0 };
+        self.with_b(ga.len())
+    }
+
+    fn with_b(&self, base: usize) -> usize {
+        let Ok(gb) = self.b.lock() else { return base };
+        base.max(gb.len())
+    }
+
+    pub fn backward(&self) -> usize {
+        let Ok(gb) = self.b.lock() else { return 0 };
+        let Ok(ga) = self.a.lock() else { return 0 };
+        ga.len().max(gb.len())
+    }
+}

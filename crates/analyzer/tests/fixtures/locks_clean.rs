@@ -1,0 +1,28 @@
+//! Fixture: the same two-lock shape as `locks_bad.rs`, but every path
+//! acquires in the one global order `a` before `b` — the lock-order graph
+//! is acyclic and the lint must stay silent.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<Vec<u8>>,
+    b: Mutex<Vec<u8>>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> usize {
+        let Ok(ga) = self.a.lock() else { return 0 };
+        self.with_b(ga.len())
+    }
+
+    fn with_b(&self, base: usize) -> usize {
+        let Ok(gb) = self.b.lock() else { return base };
+        base.max(gb.len())
+    }
+
+    pub fn both(&self) -> usize {
+        let Ok(ga) = self.a.lock() else { return 0 };
+        let Ok(gb) = self.b.lock() else { return 0 };
+        ga.len().max(gb.len())
+    }
+}

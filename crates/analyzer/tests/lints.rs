@@ -263,6 +263,93 @@ fn atomics_clean_fixture_is_silent_with_ordering_allowances() {
 }
 
 #[test]
+fn locks_fixture_trips_locks_rule() {
+    let report = lint_fixture("locks_bad.rs");
+    assert_eq!(rules_hit(&report), ["locks"], "{:?}", report.findings);
+    // One elementary cycle: `Pair.a → Pair.b → Pair.a`.
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("lock-order cycle"), "{msg}");
+    // The cross-function edge names the helper it goes through, and every
+    // edge carries a file:line witness.
+    assert!(msg.contains("via `with_b`"), "{msg}");
+    assert!(msg.contains("`Pair::backward`"), "{msg}");
+    assert!(msg.contains("locks_bad.rs:"), "{msg}");
+}
+
+#[test]
+fn locks_clean_fixture_is_silent() {
+    let report = lint_fixture("locks_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn blocking_fixture_trips_blocking_rule() {
+    let report = lint_fixture("blocking_bad.rs");
+    assert_eq!(rules_hit(&report), ["blocking"], "{:?}", report.findings);
+    // Pairing under a bound guard + sleep on a guard-extending temporary.
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("miller_loop") && m.contains("pairing computation")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("sleep") && m.contains("while holding `State.inner`")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn blocking_clean_fixture_is_silent_with_lock_allowance() {
+    let report = lint_fixture("blocking_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+    // The one justified `lint: lock(...)` surfaces as a blocking allowance.
+    assert_eq!(report.allowances.len(), 1, "{:?}", report.allowances);
+    assert_eq!(report.allowances[0].rule, "blocking");
+    assert!(report.allowances[0].reason.contains("serialization point"));
+}
+
+#[test]
+fn deadline_fixture_trips_deadline_rule() {
+    let report = lint_fixture("deadline_bad.rs");
+    assert_eq!(rules_hit(&report), ["deadline"], "{:?}", report.findings);
+    // Direct un-deadlined write + the read obligation propagated out of
+    // the generic `read_header` helper to the call site.
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("no write deadline")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("flows into `read_header`") && m.contains("no read deadline")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn deadline_clean_fixture_is_silent() {
+    let report = lint_fixture("deadline_clean.rs");
+    assert!(
+        report.findings.is_empty(),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn binary_fails_on_each_bad_fixture() {
     for name in [
         "panic.rs",
@@ -278,6 +365,9 @@ fn binary_fails_on_each_bad_fixture() {
         "ctflow_bad.rs",
         "vartime_bad.rs",
         "atomics_bad.rs",
+        "locks_bad.rs",
+        "blocking_bad.rs",
+        "deadline_bad.rs",
     ] {
         let path = fixture_path(name);
         let out = run_binary(&[path.to_str().unwrap()]);
@@ -301,6 +391,9 @@ fn binary_passes_on_clean_fixtures() {
         "ctflow_clean.rs",
         "vartime_clean.rs",
         "atomics_clean.rs",
+        "locks_clean.rs",
+        "blocking_clean.rs",
+        "deadline_clean.rs",
     ] {
         let path = fixture_path(name);
         let out = run_binary(&[path.to_str().unwrap()]);

@@ -330,7 +330,7 @@ impl Drop for ChaosProxy {
 /// Reads one raw frame (header + payload, unparsed beyond the length) from
 /// a relay socket. Returns `None` on EOF/desync/deadline — any of which
 /// ends the relay.
-fn read_raw_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> Option<Vec<u8>> {
+fn read_raw_frame<R: std::io::Read>(stream: &mut R, shutdown: &AtomicBool) -> Option<Vec<u8>> {
     let mut frame = vec![0u8; FRAME_HEADER_LEN];
     read_exact_relay(stream, &mut frame, shutdown)?;
     if frame.get(..FRAME_MAGIC.len()) != Some(&FRAME_MAGIC[..]) {
@@ -348,8 +348,11 @@ fn read_raw_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> Option<Vec<u
     Some(frame)
 }
 
-fn read_exact_relay(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> Option<()> {
-    use std::io::Read;
+fn read_exact_relay<R: std::io::Read>(
+    stream: &mut R,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> Option<()> {
     let mut got = 0usize;
     while got < buf.len() {
         // lint: ordering(SeqCst: shutdown latch; single flag, no data published through it)
@@ -374,8 +377,7 @@ fn read_exact_relay(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBoo
 
 /// Writes one delivery to `stream`; returns `false` when the connection
 /// must close (fault-induced or peer-gone).
-fn write_delivery(stream: &mut TcpStream, delivery: &Delivery) -> bool {
-    use std::io::Write;
+fn write_delivery<W: std::io::Write>(stream: &mut W, delivery: &Delivery) -> bool {
     if delivery.stall_before_ms > 0 {
         std::thread::sleep(Duration::from_millis(delivery.stall_before_ms));
     }
@@ -401,14 +403,18 @@ fn relay_connection(
     conn: u64,
     shared: &ProxyShared,
 ) {
-    // Short socket timeouts keep the relay responsive to shutdown; actual
-    // deadline semantics live at the endpoints, not in the proxy.
+    // Short read timeouts keep the relay responsive to shutdown; write
+    // timeouts bound delivery so a stalled peer cannot wedge the relay
+    // thread mid-frame. Actual deadline *semantics* live at the endpoints,
+    // not in the proxy.
     let _ = client.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = client.set_write_timeout(Some(Duration::from_millis(1_000)));
     let Ok(mut upstream) = TcpStream::connect_timeout(&upstream_addr, Duration::from_millis(1_000))
     else {
         return;
     };
     let _ = upstream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = upstream.set_write_timeout(Some(Duration::from_millis(1_000)));
     let _ = client.set_nodelay(true);
     let _ = upstream.set_nodelay(true);
 
@@ -449,10 +455,10 @@ fn relay_connection(
     }
 }
 
-fn relay_one(
+fn relay_one<W: std::io::Write>(
     engine: &mut ChaosEngine,
     frame: &[u8],
-    dest: &mut TcpStream,
+    dest: &mut W,
     conn: u64,
     frame_no: u64,
     to_server: bool,

@@ -24,7 +24,7 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -135,9 +135,8 @@ impl NetServer {
         }
         {
             let shared = Arc::clone(&shared);
-            let config = config.clone();
             threads.push(std::thread::spawn(move || {
-                accept_loop(&listener, &tx, &shared, &config);
+                accept_loop(&listener, &tx, &shared);
             }));
         }
         Ok(Self {
@@ -185,21 +184,11 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    tx: &SyncSender<TcpStream>,
-    shared: &Shared,
-    config: &NetServerConfig,
-) {
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shared: &Shared) {
     // lint: ordering(SeqCst: shutdown latch; pairs with the store in stop_and_join)
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Deadlines are set before the socket can block a worker.
-                let _ = stream
-                    .set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
-                let _ = stream
-                    .set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms.max(1))));
                 let _ = stream.set_nodelay(true);
                 match tx.try_send(stream) {
                     Ok(()) => {
@@ -233,16 +222,20 @@ fn worker_loop<T: WireTransport>(
 ) {
     // lint: ordering(SeqCst: shutdown latch; pairs with the store in stop_and_join)
     while !shared.shutdown.load(Ordering::SeqCst) {
-        // Take the receiver lock only long enough to dequeue one socket, so
-        // a worker stuck inside a slow connection never starves its peers.
+        // Hold the receiver lock only for a non-blocking dequeue: a
+        // blocking `recv` under the mutex would park this worker *inside*
+        // the critical section, so its peers could not even poll the
+        // queue until a connection arrived (the `blocking` lint rejects
+        // exactly that shape). Empty-queue waiting happens outside the
+        // lock instead, where it stalls nobody.
         let conn = {
             let Ok(guard) = rx.lock() else { return };
-            guard.recv_timeout(Duration::from_millis(50))
+            guard.try_recv()
         };
         match conn {
             Ok(stream) => serve_connection(stream, shared, transport, config),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(TryRecvError::Empty) => std::thread::sleep(Duration::from_millis(1)),
+            Err(TryRecvError::Disconnected) => return,
         }
     }
 }
@@ -253,6 +246,12 @@ fn serve_connection<T: WireTransport>(
     transport: &Arc<Mutex<T>>,
     config: &NetServerConfig,
 ) {
+    // Deadlines are set here — in the worker, before the first read — so
+    // the `deadline` rule can prove every frame op below is covered on
+    // *this* stream, rather than trusting the accept thread to have
+    // configured the socket before queueing it.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms.max(1))));
     for _ in 0..config.max_requests_per_conn.max(1) {
         let payload = match read_frame(&mut stream) {
             Ok(p) => p,
@@ -270,6 +269,7 @@ fn serve_connection<T: WireTransport>(
         let response = match NetRequest::from_wire(&payload) {
             Ok(request) => {
                 let Ok(mut t) = transport.lock() else { return };
+                // lint: lock(the transport mutex IS the dispatch serialization point — WireTransport is &mut self, so request handling, pairing included, must run under it; per-request work is bounded by the frame cap and the client-side deadline)
                 dispatch(&mut *t, request)
             }
             // The frame arrived intact but its payload is garbage — answer

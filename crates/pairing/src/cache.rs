@@ -52,7 +52,6 @@
 //! wire-handling code touches.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use crate::g2::G2Affine;
@@ -81,14 +80,22 @@ struct Entry {
 }
 
 /// The lock-protected state: the map, a monotonically increasing
-/// use-stamp (recency order without any clock), and a stamp-ordered index
+/// use-stamp (recency order without any clock), a stamp-ordered index
 /// mirroring the map so the least-recently-used entry is always the
-/// index's first key.
+/// index's first key, and the hit/miss/eviction counters. The counters
+/// live *inside* the lock deliberately: every path that bumps one already
+/// holds the guard for the map mutation it describes, so folding them in
+/// costs nothing, keeps the whole cache in one synchronization domain,
+/// and makes each stats snapshot exactly consistent with the map state
+/// that produced it (no torn hit/miss vs. len readings).
 struct Inner {
     capacity: usize,
     stamp: u64,
     map: HashMap<Key, Entry>,
     order: BTreeMap<u64, Key>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl Inner {
@@ -134,14 +141,13 @@ impl Inner {
 
     /// Evicts least-recently-used entries until within capacity — each
     /// eviction is one `BTreeMap::pop_first`, O(log n).
-    fn trim(&mut self, evictions: &AtomicU64) {
+    fn trim(&mut self) {
         while self.map.len() > self.capacity {
             let Some((_, oldest)) = self.order.pop_first() else {
                 return;
             };
             self.map.remove(&oldest);
-            // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-            evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions += 1;
         }
     }
 }
@@ -149,9 +155,6 @@ impl Inner {
 /// A bounded LRU cache of prepared `G2` points (see module docs).
 pub struct PreparedCache {
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for PreparedCache {
@@ -176,10 +179,10 @@ impl PreparedCache {
                 stamp: 0,
                 map: HashMap::new(),
                 order: BTreeMap::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -201,14 +204,11 @@ impl PreparedCache {
         {
             let mut inner = self.lock();
             if let Some(shared) = inner.touch(&key) {
-                drop(inner);
-                // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                inner.hits += 1;
                 return shared;
             }
+            inner.misses += 1;
         }
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(G2Prepared::from(q));
         let mut inner = self.lock();
         if inner.capacity == 0 {
@@ -217,7 +217,7 @@ impl PreparedCache {
         // A racing miss may have inserted meanwhile; both preparations are
         // identical, so keeping ours (refreshing recency) is equivalent.
         inner.insert(key, Arc::clone(&prepared));
-        inner.trim(&self.evictions);
+        inner.trim();
         prepared
     }
 
@@ -233,21 +233,18 @@ impl PreparedCache {
         {
             let mut inner = self.lock();
             if let Some(shared) = inner.touch(&key) {
-                drop(inner);
-                // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                inner.hits += 1;
                 return shared;
             }
+            inner.misses += 1;
         }
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(G2Prepared::from_ct(q));
         let mut inner = self.lock();
         if inner.capacity == 0 {
             return prepared;
         }
         inner.insert(key, Arc::clone(&prepared));
-        inner.trim(&self.evictions);
+        inner.trim();
         prepared
     }
 
@@ -279,7 +276,7 @@ impl PreparedCache {
     pub fn set_capacity(&self, capacity: usize) {
         let mut inner = self.lock();
         inner.capacity = capacity;
-        inner.trim(&self.evictions);
+        inner.trim();
     }
 
     /// The current bound.
@@ -299,30 +296,27 @@ impl PreparedCache {
 
     /// Lookups served from the map since construction.
     pub fn hits(&self) -> u64 {
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.hits.load(Ordering::Relaxed)
+        self.lock().hits
     }
 
     /// Lookups that had to prepare since construction.
     pub fn misses(&self) -> u64 {
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.misses.load(Ordering::Relaxed)
+        self.lock().misses
     }
 
     /// Entries evicted by the capacity bound since construction.
     pub fn evictions(&self) -> u64 {
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.evictions.load(Ordering::Relaxed)
+        self.lock().evictions
     }
 
     /// Resets the hit/miss/eviction counters (entries stay resident).
+    /// One lock acquisition: the reset is atomic with respect to every
+    /// concurrent lookup, so no lookup is ever split across the reset.
     pub fn reset_counters(&self) {
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.hits.store(0, Ordering::Relaxed);
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.misses.store(0, Ordering::Relaxed);
-        // lint: ordering(Relaxed: monotonic stats counter; it publishes no other memory — the map itself is mutex-guarded)
-        self.evictions.store(0, Ordering::Relaxed);
+        let mut inner = self.lock();
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
     }
 }
 
